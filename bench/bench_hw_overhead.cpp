@@ -1,0 +1,45 @@
+// Hardware overhead estimates (section 3.1 footnote 4 and section 5.3):
+// flip-flop/gate cost of the framework's input interface as a function of
+// machine parameters, and the MLR module's datapath inventory.
+#include <iostream>
+
+#include "report/table.hpp"
+#include "rse/hw_cost.hpp"
+
+using namespace rse;
+
+int main() {
+  std::cout << "=== Hardware overhead of the RSE framework ===\n"
+            << "(paper reference: 2560 flip-flops and 12,800 gates for the input\n"
+            << " queues and MUXes of a 32-bit, 16-entry-ROB machine)\n\n";
+
+  report::Table table({"ROB entries", "word bits", "flip-flops", "MUX gates"});
+  for (const u32 entries : {8u, 16u, 32u, 64u}) {
+    for (const u32 bits : {32u, 64u}) {
+      engine::HwCostConfig config;
+      config.entries_per_queue = entries;
+      config.bits_per_entry = bits;
+      const engine::QueueCost cost = engine::input_interface_cost(config);
+      table.row({std::to_string(entries), std::to_string(bits),
+                 std::to_string(cost.flip_flops), std::to_string(cost.mux_gates)});
+    }
+  }
+  table.print();
+
+  const engine::QueueCost paper = engine::input_interface_cost(engine::HwCostConfig{});
+  std::cout << "\nPaper configuration (5 queues x 16 entries x 32 bits): "
+            << paper.flip_flops << " flip-flops, " << paper.mux_gates << " gates\n";
+
+  std::cout << "\n=== MLR module hardware (section 5.3) ===\n";
+  const engine::MlrHwCost mlr = engine::mlr_hw_cost();
+  report::Table mlr_table({"Resource", "Count"});
+  mlr_table.row({"PI datapath word registers", std::to_string(mlr.pi_registers)});
+  mlr_table.row({"PI datapath adders", std::to_string(mlr.pi_adders)});
+  mlr_table.row({"header memory block (bytes)", std::to_string(mlr.header_block_bytes)});
+  mlr_table.row({"GOT buffer (bytes)", std::to_string(mlr.got_buffer_bytes)});
+  mlr_table.row({"PLT buffer (bytes)", std::to_string(mlr.plt_buffer_bytes)});
+  mlr_table.row({"GOT/PLT adders (4 parallel + 1 addr)", std::to_string(mlr.pd_adders)});
+  mlr_table.row({"GOT/PLT word registers", std::to_string(mlr.pd_registers)});
+  mlr_table.print();
+  return 0;
+}

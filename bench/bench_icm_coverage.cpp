@@ -1,0 +1,152 @@
+// Ablation: ICM coverage vs cost.  The paper's Table 4 checks all
+// control-flow instructions; this bench sweeps the instrumentation policy
+// (none / control / control+memory) and reports the cycle overhead alongside
+// fault coverage from bit-flip campaigns targeted at each instruction class.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "os/guest_os.hpp"
+#include "os/machine.hpp"
+#include "report/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rse;
+
+namespace {
+
+workloads::KMeansParams bench_params() {
+  workloads::KMeansParams p;
+  p.patterns = 120;
+  p.clusters = 8;
+  p.iters = 2;
+  return p;
+}
+
+Cycle run_cycles(const std::string& source) {
+  os::MachineConfig config;
+  config.framework_present = true;
+  os::Machine machine(config);
+  os::GuestOs guest(machine);
+  guest.load(isa::assemble(source));
+  guest.run();
+  return machine.now();
+}
+
+/// Flip one random bit on the Nth fetch of instructions of a given class;
+/// count corruptions that escaped (wrong output, nothing detected).
+struct Coverage {
+  u32 triggered = 0;
+  u32 escaped = 0;            // silent wrong output, nothing noticed
+  u32 uncontrolled_crash = 0; // fail-stop without preemptive detection
+  u32 preempted = 0;          // caught by the ICM before commit
+};
+
+Coverage campaign(const std::string& source, const std::string& expected,
+                  const std::function<bool(const isa::Instr&)>& victim_class, u64 seed,
+                  int trials) {
+  const isa::Program program = isa::assemble(source);
+  std::vector<Addr> victims;
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    if (victim_class(isa::decode(program.text[i]))) {
+      victims.push_back(program.text_base + static_cast<Addr>(i * 4));
+    }
+  }
+  Xorshift64 rng(seed);
+  Coverage coverage;
+  for (int trial = 0; trial < trials; ++trial) {
+    os::MachineConfig config;
+    config.framework_present = true;
+    os::Machine machine(config);
+    os::GuestOs guest(machine);
+    guest.load(program);
+    const Addr victim = victims[rng.next_below(victims.size())];
+    const Word mask = 1u << rng.next_below(32);
+    const u64 trigger = 2 + rng.next_below(40);
+    u64 fetches = 0;
+    bool injected = false;
+    machine.core().set_fetch_fault_hook([&](Addr pc, Word raw) -> Word {
+      if (pc == victim && ++fetches == trigger) {
+        injected = true;
+        return raw ^ mask;
+      }
+      return raw;
+    });
+    guest.run();
+    if (!injected) continue;
+    ++coverage.triggered;
+    const bool output_ok = guest.output() == expected && guest.exit_code() == 0;
+    const bool icm_caught = machine.icm()->stats().mismatches > 0;
+    if (icm_caught) ++coverage.preempted;
+    if (!output_ok) {
+      if (guest.exit_code() != 0 && !icm_caught) {
+        ++coverage.uncontrolled_crash;
+      } else if (!icm_caught) {
+        ++coverage.escaped;
+      }
+    }
+  }
+  return coverage;
+}
+
+std::string cov_cell(const Coverage& c) {
+  return std::to_string(c.escaped) + " esc, " + std::to_string(c.uncontrolled_crash) +
+         " crash, " + std::to_string(c.preempted) + " caught /" +
+         std::to_string(c.triggered);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ICM coverage/cost ablation ===\n"
+            << "(flips are aimed at a specific instruction class per campaign, so the\n"
+            << " policies are compared on identical threat models; 'escapes' are\n"
+            << " corruptions that produced wrong output with no detection)\n\n";
+
+  const std::string plain = workloads::kmeans_source(bench_params());
+  workloads::InstrumentOptions control_only;
+  workloads::InstrumentOptions control_mem;
+  control_mem.check_mem = true;
+  const std::string checked_control = workloads::instrument_checks(plain, control_only);
+  const std::string checked_all = workloads::instrument_checks(plain, control_mem);
+
+  const Cycle base = run_cycles(plain);
+  const Cycle with_control = run_cycles(checked_control);
+  const Cycle with_all = run_cycles(checked_all);
+
+  std::string expected;
+  {
+    os::Machine machine{os::MachineConfig{}};
+    os::GuestOs guest(machine);
+    guest.load(isa::assemble(plain));
+    guest.run();
+    expected = guest.output();
+  }
+
+  auto is_control = [](const isa::Instr& in) { return in.is_control(); };
+  auto is_mem = [](const isa::Instr& in) { return in.is_mem(); };
+  const int kTrials = 40;
+
+  report::Table table({"Policy", "cycles", "overhead", "branch flips",
+                       "memory-op flips"});
+  auto pct = [&](Cycle c) {
+    return report::fmt_pct((static_cast<double>(c) - base) / static_cast<double>(base));
+  };
+  table.row({"no CHECKs", std::to_string(base), "-",
+             cov_cell(campaign(plain, expected, is_control, 11, kTrials)),
+             cov_cell(campaign(plain, expected, is_mem, 12, kTrials))});
+  table.row({"control flow (paper Table 4)", std::to_string(with_control), pct(with_control),
+             cov_cell(campaign(checked_control, expected, is_control, 21, kTrials)),
+             cov_cell(campaign(checked_control, expected, is_mem, 22, kTrials))});
+  table.row({"control + memory ops", std::to_string(with_all), pct(with_all),
+             cov_cell(campaign(checked_all, expected, is_control, 31, kTrials)),
+             cov_cell(campaign(checked_all, expected, is_mem, 32, kTrials))});
+  table.print();
+  std::cout << "\nReading: guarding a class eliminates both its silent escapes and its\n"
+            << "uncontrolled crashes (the ICM catches the corruption pre-commit and\n"
+            << "retries) — 'pre-emptive checking protects against uncontrolled\n"
+            << "crashes' (section 5.2) — at increasing cycle overhead per class.\n";
+  return 0;
+}

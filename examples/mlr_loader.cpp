@@ -1,0 +1,74 @@
+// Memory Layout Randomization in action (paper section 4.1): the loader
+// invokes the MLR module so every process instance gets a different memory
+// layout, and an attack that relies on the fixed default layout crashes
+// instead of hijacking the process.
+#include <iostream>
+
+#include "isa/assembler.hpp"
+#include "os/guest_os.hpp"
+#include "os/machine.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rse;
+
+namespace {
+
+/// Run a probe that prints its own stack pointer, with or without MLR.
+Addr probe_stack_base(bool randomize, u64 hw_seed) {
+  os::MachineConfig machine_config;
+  machine_config.framework_present = true;
+  machine_config.mlr.seed = hw_seed;  // different silicon entropy per "boot"
+  os::Machine machine(machine_config);
+  os::OsConfig os_config;
+  os_config.randomize_layout = randomize;
+  os::GuestOs guest(machine, os_config);
+  guest.load(isa::assemble(R"(
+.text
+main:
+  li a0, 0
+  li v0, 1
+  syscall
+)"));
+  guest.run();
+  return guest.stack_base();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== process memory layout across four loads ===\n";
+  std::cout << "without MLR (fixed layout an attacker can rely on):\n";
+  for (int boot = 0; boot < 4; ++boot) {
+    std::cout << "  stack base = 0x" << std::hex << probe_stack_base(false, 100 + boot)
+              << std::dec << "\n";
+  }
+  std::cout << "with the MLR module randomizing at load time:\n";
+  for (int boot = 0; boot < 4; ++boot) {
+    std::cout << "  stack base = 0x" << std::hex << probe_stack_base(true, 100 + boot)
+              << std::dec << "\n";
+  }
+
+  // The attack: guest code that transfers control to a hardcoded address
+  // derived from the *default* layout (what ~60% of CERT-reported attacks
+  // assumed, per the paper).  Under MLR the address holds nothing.
+  std::cout << "\n=== fixed-layout attack vs randomized process ===\n";
+  os::MachineConfig machine_config;
+  machine_config.framework_present = true;
+  os::Machine machine(machine_config);
+  os::OsConfig os_config;
+  os_config.randomize_layout = true;
+  os::GuestOs guest(machine, os_config);
+  guest.load(isa::assemble(R"(
+.text
+main:
+  li t0, 0x7FFEFF00   # "known" code location under the fixed layout
+  jr t0
+)"));
+  guest.run();
+  std::cout << "attack outcome: exit code " << guest.exit_code()
+            << (guest.exit_code() == 139 ? " — the hijack became a contained crash\n"
+                                         : " — unexpected\n");
+  std::cout << "(the MLR converts a control-flow hijack into a recoverable crash,\n"
+            << " which the DDT recovery of example `secure_server` then survives)\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Adaptive Heartbeat Monitor watching guest threads (paper section 4.4):
+// two worker threads heartbeat the AHBM through CHECK instructions; one of
+// them deadlocks mid-run and the module flags it after its learned timeout.
+#include <iostream>
+
+#include "isa/assembler.hpp"
+#include "os/guest_os.hpp"
+#include "os/machine.hpp"
+
+int main() {
+  using namespace rse;
+
+  os::MachineConfig machine_config;
+  machine_config.framework_present = true;
+  machine_config.ahbm.sample_interval = 2048;
+  machine_config.ahbm.min_timeout = 4096;
+  os::Machine machine(machine_config);
+  os::GuestOs guest(machine);
+
+  machine.ahbm()->set_hang_handler([&](u32 entity, Cycle now, Cycle silence) {
+    std::cout << "[AHBM] cycle " << now << ": entity " << entity << " missed its heartbeat ("
+              << silence << " cycles silent, adaptive timeout "
+              << machine.ahbm()->timeout_of(entity).value_or(0) << ")\n";
+  });
+
+  // worker(id): registers itself with the AHBM, beats every loop iteration.
+  // Worker 1 "deadlocks" (spins without heartbeating) after 60 iterations.
+  guest.load(isa::assemble(R"(
+.text
+main:
+  chk frame, 1, nblk, r0, 4    # enable the AHBM (module id 4)
+  la a0, worker
+  li a1, 1
+  li v0, 6
+  syscall
+  move s0, v0
+  la a0, worker
+  li a1, 2
+  li v0, 6
+  syscall
+  move s1, v0
+  move a0, s0
+  li v0, 9
+  syscall                      # join worker 1 (never returns: it hangs...)
+  li a0, 0
+  li v0, 1
+  syscall
+
+worker:
+  move s7, a0                  # entity id
+  chk ahbm, 3, nblk, s7, 0     # register with the heartbeat monitor
+  li s6, 0
+work:
+  addi s6, s6, 1
+  # do a slice of work
+  li t0, 0
+slice:
+  li t1, 300
+  addi t0, t0, 1
+  blt t0, t1, slice
+  chk ahbm, 4, nblk, s7, 0     # heartbeat
+  # worker 1 deadlocks after 60 iterations
+  li t2, 60
+  blt s6, t2, work
+  li t3, 1
+  bne s7, t3, work             # worker 2 keeps going (and beating)
+hang:
+  b hang                       # worker 1: silent spin, no heartbeats
+)"));
+
+  std::cout << "two workers heartbeating the AHBM; worker 1 will deadlock...\n";
+  // Run a bounded slice of time (the hung worker never exits).
+  for (int i = 0; i < 2'000'000 && machine.ahbm()->stats().hangs_declared == 0; ++i) {
+    guest.step();
+  }
+  for (int i = 0; i < 10'000; ++i) guest.step();  // let worker 2 beat on
+
+  const auto& stats = machine.ahbm()->stats();
+  std::cout << "\nAHBM stats: " << stats.registrations << " entities registered, "
+            << stats.beats_received << " heartbeats received, " << stats.hangs_declared
+            << " hang(s) declared, " << stats.false_resumes << " false resume(s)\n";
+  std::cout << "worker 2 timeout adapted to "
+            << machine.ahbm()->timeout_of(2).value_or(0) << " cycles\n";
+  return stats.hangs_declared == 1 ? 0 : 1;
+}

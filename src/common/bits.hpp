@@ -1,0 +1,51 @@
+// Bit-manipulation helpers used by the ISA encoder/decoder and hardware models.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace rse {
+
+/// Extract `count` bits starting at bit position `lsb` (0 = least significant).
+constexpr u32 bits(u32 value, unsigned lsb, unsigned count) {
+  assert(lsb < 32 && count >= 1 && count <= 32 && lsb + count <= 32);
+  const u32 mask = count == 32 ? ~0u : ((1u << count) - 1u);
+  return (value >> lsb) & mask;
+}
+
+/// Insert the low `count` bits of `field` into `value` at position `lsb`.
+constexpr u32 insert_bits(u32 value, unsigned lsb, unsigned count, u32 field) {
+  assert(lsb < 32 && count >= 1 && count <= 32 && lsb + count <= 32);
+  const u32 mask = (count == 32 ? ~0u : ((1u << count) - 1u)) << lsb;
+  return (value & ~mask) | ((field << lsb) & mask);
+}
+
+/// Sign-extend the low `count` bits of `value` to a signed 32-bit integer.
+constexpr i32 sign_extend(u32 value, unsigned count) {
+  assert(count >= 1 && count <= 32);
+  const u32 shift = 32 - count;
+  return static_cast<i32>(value << shift) >> shift;
+}
+
+/// True if `value` is a power of two (and nonzero).
+constexpr bool is_pow2(u64 value) { return value != 0 && (value & (value - 1)) == 0; }
+
+/// log2 of a power-of-two value.
+constexpr unsigned log2_pow2(u64 value) {
+  assert(is_pow2(value));
+  unsigned n = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Round `value` up to the next multiple of power-of-two `align`.
+constexpr u32 align_up(u32 value, u32 align) {
+  assert(is_pow2(align));
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace rse

@@ -1,0 +1,36 @@
+// Error types for the library's public API.  Simulator construction and guest
+// program assembly report problems through exceptions derived from SimError;
+// per-cycle hardware models never throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rse {
+
+/// Base class for all errors raised by the RSE simulator library.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised by the assembler on malformed guest assembly.
+class AssemblyError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// Raised when a guest program performs an unrecoverable illegal action
+/// (e.g. misaligned access with trapping disabled, unknown syscall).
+class GuestError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// Raised on invalid simulator configuration (non-power-of-two cache size...).
+class ConfigError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+}  // namespace rse

@@ -1,0 +1,70 @@
+// Fixed-capacity circular FIFO used for hardware queue models (fetch buffer,
+// MAU request queue, network event queues).  Capacity is set at construction;
+// no reallocation ever happens, matching the fixed-size hardware structures.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace rse {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) { assert(capacity > 0); }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Push to the back.  Precondition: !full().
+  void push(T value) {
+    assert(!full());
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+  }
+
+  /// Pop from the front.  Precondition: !empty().
+  T pop() {
+    assert(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 == front).
+  const T& at(std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  T& at(std::size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rse

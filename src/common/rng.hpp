@@ -1,0 +1,40 @@
+// Deterministic, seedable RNG used by hardware models (MLR randomizer) and
+// workload generators.  xorshift64* is small enough to reason about as a
+// stand-in for the paper's "clock cycle counter" entropy source while still
+// giving well-distributed values for workload generation.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rse {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(u64 seed = 0x9E3779B97F4A7C15ull) : state_(seed ? seed : 1) {}
+
+  /// Next 64-bit pseudo-random value.
+  u64 next() {
+    u64 x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  i64 next_in(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace rse

@@ -1,0 +1,32 @@
+// Fundamental type aliases shared across the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace rse {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Byte address in the simulated 32-bit physical/virtual address space.
+using Addr = u32;
+
+/// Simulated machine cycle count.
+using Cycle = u64;
+
+/// A 32-bit machine word (register value or encoded instruction).
+using Word = u32;
+
+/// Identifier of a guest thread (index into the guest process' thread table).
+using ThreadId = u32;
+
+/// Sentinel for "no thread".
+inline constexpr ThreadId kNoThread = 0xFFFFFFFFu;
+
+}  // namespace rse

@@ -1,0 +1,74 @@
+#include "mem/cache.hpp"
+
+#include "common/bits.hpp"
+
+namespace rse::mem {
+
+Cache::Cache(CacheConfig config, MemLevel& next) : config_(std::move(config)), next_(&next) {
+  if (!is_pow2(config_.size_bytes) || !is_pow2(config_.block_bytes) || config_.assoc == 0) {
+    throw ConfigError("cache '" + config_.name + "': size and block must be powers of two");
+  }
+  if (config_.size_bytes % (config_.block_bytes * config_.assoc) != 0) {
+    throw ConfigError("cache '" + config_.name + "': size not divisible by assoc*block");
+  }
+  num_sets_ = config_.size_bytes / (config_.block_bytes * config_.assoc);
+  if (!is_pow2(num_sets_)) {
+    throw ConfigError("cache '" + config_.name + "': number of sets must be a power of two");
+  }
+  block_shift_ = log2_pow2(config_.block_bytes);
+  set_shift_ = log2_pow2(num_sets_);
+  lines_.assign(static_cast<std::size_t>(num_sets_) * config_.assoc, Line{});
+}
+
+Cycle Cache::access(Cycle now, Addr addr, u32 bytes, bool write) {
+  ++stats_.accesses;
+  ++stamp_;
+  const u32 set = set_index(addr);
+  const u32 tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+
+  // Hit?
+  for (u32 w = 0; w < config_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru = stamp_;
+      if (write) line.dirty = true;
+      // Accesses crossing a block boundary pay one extra hit-latency; guest
+      // code keeps data aligned so this is rare.
+      const bool crosses = ((addr & (config_.block_bytes - 1)) + bytes) > config_.block_bytes;
+      return now + config_.hit_latency + (crosses ? config_.hit_latency : 0);
+    }
+  }
+
+  // Miss: choose LRU victim.
+  ++stats_.misses;
+  Line* victim = base;
+  for (u32 w = 1; w < config_.assoc; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  Cycle t = now + config_.hit_latency;  // tag check before going down
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    const Addr victim_addr = ((victim->tag << set_shift_) | set) << block_shift_;
+    t = next_->access(t, victim_addr, config_.block_bytes, /*write=*/true);
+  }
+  t = next_->access(t, addr & ~(config_.block_bytes - 1), config_.block_bytes, /*write=*/false);
+
+  victim->valid = true;
+  victim->dirty = write;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  return t;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) line = Line{};
+}
+
+}  // namespace rse::mem

@@ -1,0 +1,53 @@
+// Functional main memory: a sparse, page-granular byte store for the guest's
+// 32-bit address space.  Timing is modeled separately (BusArbiter / Cache);
+// this class answers "what value lives at address A" only.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rse::mem {
+
+inline constexpr u32 kPageShift = 12;  // 4 KB pages (also the DDT granularity)
+inline constexpr u32 kPageBytes = 1u << kPageShift;
+
+/// Page number of an address.
+constexpr u32 page_of(Addr addr) { return addr >> kPageShift; }
+constexpr Addr page_base(u32 page) { return page << kPageShift; }
+
+class MainMemory {
+ public:
+  u8 read_u8(Addr addr) const;
+  u16 read_u16(Addr addr) const;
+  u32 read_u32(Addr addr) const;
+
+  void write_u8(Addr addr, u8 value);
+  void write_u16(Addr addr, u16 value);
+  void write_u32(Addr addr, u32 value);
+
+  /// Bulk copy out of guest memory (used by the MAU and checkpointing).
+  void read_block(Addr addr, u8* out, u32 count) const;
+  /// Bulk copy into guest memory.
+  void write_block(Addr addr, const u8* data, u32 count);
+
+  /// Snapshot one whole page (allocating it if untouched).
+  std::vector<u8> snapshot_page(u32 page) const;
+  /// Restore a page snapshot.
+  void restore_page(u32 page, const std::vector<u8>& bytes);
+
+  /// Number of distinct pages touched so far.
+  std::size_t pages_touched() const { return pages_.size(); }
+
+ private:
+  u8* page_ptr(Addr addr);
+  const u8* page_ptr_or_null(Addr addr) const;
+
+  // unique_ptr to fixed arrays keeps page data stable across rehashing.
+  std::unordered_map<u32, std::unique_ptr<u8[]>> pages_;
+};
+
+}  // namespace rse::mem

@@ -1,0 +1,113 @@
+#include "modules/ahbm/ahbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rse::modules {
+
+AhbmModule::AhbmModule(engine::Framework& framework, AhbmConfig config)
+    : Module(framework), config_(config), slots_(config.entity_slots) {}
+
+AhbmModule::Slot* AhbmModule::find(u32 entity) {
+  for (Slot& slot : slots_) {
+    if (slot.used && slot.entity == entity) return &slot;
+  }
+  return nullptr;
+}
+
+bool AhbmModule::register_entity(u32 entity, Cycle now) {
+  if (find(entity) != nullptr) return true;
+  for (Slot& slot : slots_) {
+    if (slot.used) continue;
+    slot = Slot{};
+    slot.used = true;
+    slot.entity = entity;
+    slot.last_change = now;
+    slot.timeout = config_.adaptive ? config_.min_timeout : config_.fixed_timeout;
+    ++stats_.registrations;
+    return true;
+  }
+  return false;  // CAM full
+}
+
+void AhbmModule::unregister_entity(u32 entity) {
+  if (Slot* slot = find(entity)) slot->used = false;
+}
+
+void AhbmModule::beat(u32 entity, Cycle now) {
+  Slot* slot = find(entity);
+  if (slot == nullptr) return;
+  ++stats_.beats_received;
+  ++slot->counter;
+  const Cycle gap = now - slot->last_change;
+  slot->last_change = now;
+  if (slot->hung) {
+    slot->hung = false;
+    ++stats_.false_resumes;
+  }
+  if (!config_.adaptive) return;
+  // Jacobson-style estimator over inter-beat gaps.
+  if (!slot->seeded) {
+    slot->mean_gap = static_cast<double>(gap);
+    slot->dev_gap = static_cast<double>(gap) / 2.0;
+    slot->seeded = true;
+  } else {
+    const double err = static_cast<double>(gap) - slot->mean_gap;
+    slot->mean_gap += err / 8.0;
+    slot->dev_gap += (std::abs(err) - slot->dev_gap) / 4.0;
+  }
+}
+
+void AhbmModule::on_dispatch(const engine::DispatchInfo& info, Cycle now) {
+  if (info.instr.op != isa::Op::kChk || info.instr.chk_module != isa::ModuleId::kAhbm) return;
+  if (info.wrong_path) return;  // never act on speculative wrong-path CHECKs
+  const u32 entity = info.operands[0];
+  switch (info.instr.chk_op) {
+    case kAhbmOpRegister: register_entity(entity, now); break;
+    case kAhbmOpBeat: beat(entity, now); break;
+    case kAhbmOpUnregister: unregister_entity(entity); break;
+    default: break;
+  }
+  fw_->module_write_ioq(*this, info.tag, /*check_valid=*/true, /*check=*/false, now);
+}
+
+void AhbmModule::tick(Cycle now) {
+  if (now < next_sample_) return;
+  next_sample_ = now + config_.sample_interval;
+  for (Slot& slot : slots_) {
+    if (!slot.used) continue;
+    if (config_.adaptive && slot.seeded) {
+      const double adaptive =
+          slot.mean_gap + config_.deviation_multiplier * slot.dev_gap;
+      slot.timeout = std::max<Cycle>(config_.min_timeout, static_cast<Cycle>(adaptive));
+    } else if (config_.adaptive) {
+      // Registration grace: until the first heartbeat seeds the estimator,
+      // give the entity a generous rope so slow-but-alive entities are not
+      // falsely accused before the monitor has learned their rate.
+      slot.timeout = 32 * config_.min_timeout;
+    } else {
+      slot.timeout = config_.fixed_timeout;
+    }
+    slot.sampled_counter = slot.counter;
+    const Cycle silence = now > slot.last_change ? now - slot.last_change : 0;
+    if (!slot.hung && silence > slot.timeout) {
+      slot.hung = true;
+      ++stats_.hangs_declared;
+      if (on_hang_) on_hang_(slot.entity, now, silence);
+    }
+  }
+}
+
+std::optional<Cycle> AhbmModule::timeout_of(u32 entity) const {
+  for (const Slot& slot : slots_) {
+    if (slot.used && slot.entity == entity) return slot.timeout;
+  }
+  return std::nullopt;
+}
+
+void AhbmModule::reset() {
+  for (Slot& slot : slots_) slot = Slot{};
+  next_sample_ = 0;
+}
+
+}  // namespace rse::modules

@@ -1,0 +1,180 @@
+#include "modules/ddt/ddt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace rse::modules {
+
+DdtModule::DdtModule(engine::Framework& framework, DdtConfig config)
+    : Module(framework), config_(config) {
+  assert(config_.max_threads <= 64 && "DDM row is modeled as a 64-bit word");
+  ddm_.assign(config_.max_threads, 0);
+  mau_buffer_.resize(config_.max_threads * 8);
+}
+
+DdtModule::PstEntry& DdtModule::pst_lookup(u32 page) {
+  auto [it, inserted] = pst_.try_emplace(page);
+  it->second.lru = ++pst_stamp_;
+  if (inserted) maybe_evict();
+  return it->second;
+}
+
+void DdtModule::maybe_evict() {
+  if (config_.pst_entries == 0 || pst_.size() <= config_.pst_entries) return;
+  auto victim = pst_.begin();
+  for (auto it = pst_.begin(); it != pst_.end(); ++it) {
+    if (it->second.lru < victim->second.lru) victim = it;
+  }
+  pst_.erase(victim);
+  ++stats_.pst_evictions;
+}
+
+void DdtModule::on_dispatch(const engine::DispatchInfo& info, Cycle now) {
+  if (info.instr.op != isa::Op::kChk || info.instr.chk_module != isa::ModuleId::kDdt) return;
+  if (info.wrong_path) return;  // never act on speculative wrong-path CHECKs
+  if (info.instr.chk_op == kDdtOpQueryMatrix) {
+    write_matrix_to_guest(info.operands[0], now, info.tag);
+    return;
+  }
+  // Unknown DDT op: acknowledge so the pipeline never hangs on it.
+  fw_->module_write_ioq(*this, info.tag, /*check_valid=*/true, /*check=*/false, now);
+}
+
+void DdtModule::write_matrix_to_guest(Addr dest, Cycle now, const engine::InstrTag& tag) {
+  (void)now;
+  // Serialize the DDM (one 64-bit row per thread) into the module buffer and
+  // ship it to guest memory through the MAU.  The CHECK completes when the
+  // transfer lands.
+  std::memcpy(mau_buffer_.data(), ddm_.data(), ddm_.size() * 8);
+  const engine::InstrTag chk_tag = tag;
+  fw_->mau().submit(isa::ModuleId::kDdt, dest, static_cast<u32>(ddm_.size() * 8),
+                    /*is_write=*/true, mau_buffer_.data(), [this, chk_tag](Cycle done_at) {
+                      fw_->module_write_ioq(*this, chk_tag, /*check_valid=*/true,
+                                            /*check=*/false, done_at);
+                    });
+}
+
+void DdtModule::on_commit(const engine::CommitInfo& info, Cycle now) {
+  if (info.instr.op_class() != isa::OpClass::kLoad) return;
+  if (info.thread >= config_.max_threads) return;
+  ++stats_.tracked_loads;
+  const u32 page = mem::page_of(info.eff_addr);
+  PstEntry& entry = pst_lookup(page);
+  const ThreadId t = info.thread;
+  if (entry.read_owner == kNoThread) {
+    // First recorded access: the reader becomes both owners without a
+    // dependency (matches the near-zero tracking cost of a single thread).
+    entry.read_owner = t;
+    if (entry.write_owner == kNoThread) entry.write_owner = t;
+    return;
+  }
+  if (entry.read_owner != t) {
+    entry.read_owner = t;
+    const ThreadId producer = entry.write_owner;
+    if (producer != kNoThread && producer != t) {
+      // Section 4.2.1: logging a dependency takes the module one cycle, so
+      // it "may lag behind the pipeline by at most 1 cycle — if a new load
+      // which creates a new dependency arrives within this time the module
+      // fails to log" it.  Modeled behind a flag (off by default).
+      if (config_.model_log_lag && last_dep_logged_at_ != 0 &&
+          now <= last_dep_logged_at_ + 1) {
+        ++stats_.lag_missed_dependencies;
+        return;
+      }
+      const u64 bit = u64{1} << t;
+      if (!(ddm_[producer] & bit)) {
+        ddm_[producer] |= bit;
+        ++stats_.dependencies_logged;
+      }
+      last_dep_logged_at_ = now;
+    }
+  }
+}
+
+Cycle DdtModule::on_store_commit(const engine::CommitInfo& info, Cycle now) {
+  if (info.thread >= config_.max_threads) return 0;
+  ++stats_.tracked_stores;
+  const u32 page = mem::page_of(info.eff_addr);
+  PstEntry& entry = pst_lookup(page);
+  const ThreadId t = info.thread;
+  Cycle stall = 0;
+  if (entry.write_owner == kNoThread) {
+    // First write to an untracked page: take ownership without a checkpoint.
+    entry.write_owner = t;
+    entry.read_owner = t;
+    return 0;
+  }
+  if (entry.write_owner != t) {
+    // Figure 5: a write by a non-owner raises SavePage.  The OS exception
+    // handler checkpoints the page (its content is still pre-store) and the
+    // process stays suspended until the copy completes.
+    ++stats_.save_page_exceptions;
+    if (on_save_page_) stall = on_save_page_(page, t, now);
+    entry.write_owner = t;
+    entry.read_owner = t;
+  }
+  return stall;
+}
+
+bool DdtModule::depends(ThreadId producer, ThreadId consumer) const {
+  if (producer >= config_.max_threads || consumer >= config_.max_threads) return false;
+  return (ddm_[producer] >> consumer) & 1;
+}
+
+std::vector<ThreadId> DdtModule::dependent_closure(ThreadId faulty) const {
+  std::vector<ThreadId> closure;
+  if (faulty >= config_.max_threads) return closure;
+  std::vector<bool> seen(config_.max_threads, false);
+  std::vector<ThreadId> frontier{faulty};
+  seen[faulty] = true;
+  while (!frontier.empty()) {
+    const ThreadId producer = frontier.back();
+    frontier.pop_back();
+    closure.push_back(producer);
+    const u64 row = ddm_[producer];
+    for (u32 consumer = 0; consumer < config_.max_threads; ++consumer) {
+      if (((row >> consumer) & 1) && !seen[consumer]) {
+        seen[consumer] = true;
+        frontier.push_back(consumer);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+DdtModule::PageOwners DdtModule::page_owners(u32 page) const {
+  auto it = pst_.find(page);
+  if (it == pst_.end()) return PageOwners{};
+  return PageOwners{it->second.read_owner, it->second.write_owner};
+}
+
+void DdtModule::forget_threads(const std::vector<ThreadId>& threads) {
+  u64 mask = 0;
+  for (ThreadId t : threads) {
+    if (t < config_.max_threads) {
+      ddm_[t] = 0;
+      mask |= u64{1} << t;
+    }
+  }
+  for (u64& row : ddm_) row &= ~mask;
+  for (auto it = pst_.begin(); it != pst_.end();) {
+    const bool read_dead = std::find(threads.begin(), threads.end(), it->second.read_owner) !=
+                           threads.end();
+    const bool write_dead = std::find(threads.begin(), threads.end(), it->second.write_owner) !=
+                            threads.end();
+    if (read_dead || write_dead) {
+      it = pst_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DdtModule::reset() {
+  pst_.clear();
+  std::fill(ddm_.begin(), ddm_.end(), 0);
+}
+
+}  // namespace rse::modules

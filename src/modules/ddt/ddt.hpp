@@ -1,0 +1,105 @@
+// Data Dependency Tracker (paper section 4.2).
+//
+// Page-granularity tracking of inter-thread data dependencies.  Each memory
+// page has a read-owner and a write-owner (Page Status Table).  When thread
+// t reads a page whose read-owner differs, t becomes the read-owner and the
+// dependency write_owner -> t is recorded in the Data Dependency Matrix.
+// When thread t writes a page it does not write-own, a SavePage exception
+// checkpoints the page (handled by the OS) *before* the store lands, and t
+// becomes both owners — the state machine of Figure 5.
+//
+// The module is asynchronous: dependency logging happens on the Commit_Out
+// signal so no speculative state ever enters the module.  The SavePage path
+// is the exception — it intercepts the store at commit, suspending the
+// process until the page is saved.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/main_memory.hpp"
+#include "rse/framework.hpp"
+#include "rse/module.hpp"
+
+namespace rse::modules {
+
+// CHECK operations for the DDT (enable/disable go through the framework).
+inline constexpr u8 kDdtOpQueryMatrix = 3;  // param = destination buffer address
+
+struct DdtConfig {
+  u32 max_threads = 32;   // DDM is max_threads x max_threads bits
+  u32 pst_entries = 0;    // 0 = unbounded; otherwise LRU-capped "hot page" table
+  bool model_log_lag = false;  // model the 1-cycle lag window of section 4.2.1
+};
+
+struct DdtStats {
+  u64 tracked_loads = 0;
+  u64 tracked_stores = 0;
+  u64 dependencies_logged = 0;
+  u64 save_page_exceptions = 0;
+  u64 pst_evictions = 0;
+  u64 lag_missed_dependencies = 0;
+};
+
+class DdtModule : public engine::Module {
+ public:
+  /// SavePage handler: the OS checkpoints `page` (content is still
+  /// pre-store) and returns the number of cycles the process is suspended.
+  using SavePageHandler = std::function<Cycle(u32 page, ThreadId new_writer, Cycle now)>;
+
+  DdtModule(engine::Framework& framework, DdtConfig config = {});
+
+  isa::ModuleId id() const override { return isa::ModuleId::kDdt; }
+  const char* name() const override { return "DDT"; }
+
+  void set_save_page_handler(SavePageHandler handler) { on_save_page_ = std::move(handler); }
+
+  void on_dispatch(const engine::DispatchInfo& info, Cycle now) override;
+  void on_commit(const engine::CommitInfo& info, Cycle now) override;
+  Cycle on_store_commit(const engine::CommitInfo& info, Cycle now) override;
+  void reset() override;
+
+  // ---- recovery-side queries (the OS exception handler's privileged view;
+  //      guest code uses the kDdtOpQueryMatrix CHECK instead) ----
+  /// True if `consumer` directly depends on `producer`.
+  bool depends(ThreadId producer, ThreadId consumer) const;
+  /// All threads transitively dependent on `faulty` (including `faulty`).
+  std::vector<ThreadId> dependent_closure(ThreadId faulty) const;
+  struct PageOwners {
+    ThreadId read_owner = kNoThread;
+    ThreadId write_owner = kNoThread;
+  };
+  PageOwners page_owners(u32 page) const;
+  /// Clear the DDM rows/columns of terminated threads and forget their page
+  /// ownership (post-recovery cleanup).
+  void forget_threads(const std::vector<ThreadId>& threads);
+
+  const DdtStats& stats() const { return stats_; }
+  const DdtConfig& config() const { return config_; }
+
+ private:
+  struct PstEntry {
+    ThreadId read_owner = kNoThread;
+    ThreadId write_owner = kNoThread;
+    u64 lru = 0;
+  };
+
+  PstEntry& pst_lookup(u32 page);
+  void maybe_evict();
+  void write_matrix_to_guest(Addr dest, Cycle now, const engine::InstrTag& tag);
+
+  DdtConfig config_;
+  DdtStats stats_;
+  SavePageHandler on_save_page_;
+
+  std::unordered_map<u32, PstEntry> pst_;
+  u64 pst_stamp_ = 0;
+  std::vector<u64> ddm_;  // row r bit c: thread c depends on thread r
+  Cycle last_dep_logged_at_ = 0;  // for the optional 1-cycle lag model
+
+  std::vector<u8> mau_buffer_;
+};
+
+}  // namespace rse::modules

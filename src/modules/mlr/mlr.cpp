@@ -1,0 +1,203 @@
+#include "modules/mlr/mlr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rse::modules {
+
+MlrModule::MlrModule(engine::Framework& framework, MlrConfig config)
+    : Module(framework), config_(config), rng_(config.seed) {
+  buffer_.resize(config_.buffer_bytes);
+  buffer2_.resize(config_.buffer_bytes);
+}
+
+Addr MlrModule::randomize(Addr base, Cycle now) {
+  // Entropy: clock-cycle counter mixed with the module LFSR (Figure 3B shows
+  // the adder fed by the clock cycle counter).  The offset keeps the base's
+  // alignment and stays within the configured page range.
+  const u64 entropy = rng_.next() ^ now;
+  const u32 range = config_.entropy_pages * mem::kPageBytes;
+  const u32 offset =
+      static_cast<u32>(entropy % (range / config_.region_align)) * config_.region_align;
+  return base + offset;
+}
+
+MlrModule::RandomizedBases MlrModule::randomize_bases(Addr shlib, Addr stack, Addr heap,
+                                                      Cycle now) {
+  ++stats_.pi_randomizations;
+  stats_.last_op_cycles = kPiRandFixedCost;
+  return RandomizedBases{randomize(shlib, now), randomize(stack, now + 1),
+                         randomize(heap, now + 2)};
+}
+
+void MlrModule::on_dispatch(const engine::DispatchInfo& info, Cycle now) {
+  if (info.instr.op != isa::Op::kChk || info.instr.chk_module != isa::ModuleId::kMlr) return;
+  if (info.wrong_path) return;  // never act on speculative wrong-path CHECKs
+  const Word param = info.operands[0];
+  switch (info.instr.chk_op) {
+    case kMlrOpHdrLoc: hdr_loc_ = param; break;
+    case kMlrOpHdrSize: hdr_size_ = param; break;
+    case kMlrOpGotOld: got_old_ = param; break;
+    case kMlrOpGotSize: got_size_ = param; break;
+    case kMlrOpGotNew: got_new_ = param; break;
+    case kMlrOpPltLoc: plt_loc_ = param; break;
+    case kMlrOpPltSize: plt_size_ = param; break;
+    case kMlrOpPiRand:
+      pi_result_loc_ = param;
+      blocking_tag_ = info.tag;
+      blocking_live_ = true;
+      op_started_ = now;
+      start_pi_rand(now);
+      return;
+    case kMlrOpCopyGot:
+      blocking_tag_ = info.tag;
+      blocking_live_ = true;
+      op_started_ = now;
+      start_got_copy(now);
+      return;
+    case kMlrOpWritePlt:
+      blocking_tag_ = info.tag;
+      blocking_live_ = true;
+      op_started_ = now;
+      start_plt_write(now);
+      return;
+    default:
+      break;
+  }
+  // Parameter-register writes are non-blocking: acknowledge immediately.
+  fw_->module_write_ioq(*this, info.tag, /*check_valid=*/true, /*check=*/false, now);
+}
+
+void MlrModule::finish_blocking(bool error, Cycle now) {
+  if (!blocking_live_) return;
+  stats_.last_op_cycles = now - op_started_;
+  fw_->module_write_ioq(*this, blocking_tag_, /*check_valid=*/true, error, now);
+  blocking_live_ = false;
+  state_ = OpState::kIdle;
+}
+
+void MlrModule::start_pi_rand(Cycle now) {
+  if (hdr_size_ == 0 || hdr_size_ > config_.buffer_bytes) {
+    finish_blocking(/*error=*/true, now);
+    return;
+  }
+  state_ = OpState::kPiReadHdr;
+  fw_->mau().submit(isa::ModuleId::kMlr, hdr_loc_, hdr_size_, /*is_write=*/false,
+                    buffer_.data(), [this](Cycle done_at) {
+                      // Parse header, add the clock-cycle counter, write the
+                      // three randomized bases back (Figure 3B datapath: the
+                      // three adders run in parallel, one cycle).
+                      u32 words[7] = {};
+                      std::memcpy(words, buffer_.data(),
+                                  std::min<u32>(hdr_size_, sizeof(words)));
+                      const Addr shlib = words[4];
+                      const Addr stack = words[5];
+                      const Addr heap = words[6];
+                      u32 results[3];
+                      results[0] = randomize(shlib, done_at);
+                      results[1] = randomize(stack, done_at);
+                      results[2] = randomize(heap, done_at);
+                      std::memcpy(buffer_.data(), results, sizeof(results));
+                      state_ = OpState::kPiWriteResults;
+                      fw_->mau().submit(isa::ModuleId::kMlr, pi_result_loc_, sizeof(results),
+                                        /*is_write=*/true, buffer_.data(),
+                                        [this](Cycle write_done) {
+                                          ++stats_.pi_randomizations;
+                                          finish_blocking(false, write_done + 1);
+                                        });
+                    });
+}
+
+void MlrModule::start_got_copy(Cycle now) {
+  if (got_size_ == 0 || got_size_ > config_.buffer_bytes) {
+    finish_blocking(/*error=*/true, now);
+    return;
+  }
+  state_ = OpState::kGotRead;
+  fw_->mau().submit(isa::ModuleId::kMlr, got_old_, got_size_, /*is_write=*/false,
+                    buffer_.data(), [this](Cycle) {
+                      state_ = OpState::kGotWrite;
+                      fw_->mau().submit(isa::ModuleId::kMlr, got_new_, got_size_,
+                                        /*is_write=*/true, buffer_.data(),
+                                        [this](Cycle write_done) {
+                                          ++stats_.got_copies;
+                                          finish_blocking(false, write_done + 1);
+                                        });
+                    });
+}
+
+void MlrModule::start_plt_write(Cycle now) {
+  if (plt_size_ == 0 || plt_size_ > config_.buffer_bytes) {
+    finish_blocking(/*error=*/true, now);
+    return;
+  }
+  state_ = OpState::kPltRead;
+  fw_->mau().submit(
+      isa::ModuleId::kMlr, plt_loc_, plt_size_, /*is_write=*/false, buffer2_.data(),
+      [this](Cycle read_done) {
+        // Rewrite PLT entries in the PLT buffer: each one-word entry holds
+        // the address of the GOT slot its stub jumps through, retargeted
+        // from the old GOT to the new GOT.  Four entries are processed per
+        // cycle (the module's four parallel adders).
+        const u32 entries = plt_size_ / 4;
+        for (u32 i = 0; i < entries; ++i) {
+          u32 got_ptr;
+          std::memcpy(&got_ptr, buffer2_.data() + i * 4, 4);
+          got_ptr = got_new_ + (got_ptr - got_old_);
+          std::memcpy(buffer2_.data() + i * 4, &got_ptr, 4);
+        }
+        stats_.plt_entries_rewritten += entries;
+        const Cycle rewrite_cycles =
+            (entries + config_.parallel_adders - 1) / config_.parallel_adders;
+        state_ = OpState::kPltRewrite;
+        rewrite_done_at_ = read_done + rewrite_cycles;
+      });
+}
+
+void MlrModule::tick(Cycle now) {
+  if (state_ == OpState::kPltRewrite && now >= rewrite_done_at_) {
+    state_ = OpState::kPltWrite;
+    fw_->mau().submit(isa::ModuleId::kMlr, plt_loc_, plt_size_, /*is_write=*/true,
+                      buffer2_.data(), [this](Cycle write_done) {
+                        ++stats_.plt_rewrites;
+                        finish_blocking(false, write_done + 1);
+                      });
+  }
+}
+
+u32 MlrModule::relocate_got(mem::MainMemory& memory, Addr old_got, Addr new_got,
+                            u32 got_bytes, Addr plt, u32 plt_bytes) {
+  std::vector<u8> got(got_bytes);
+  memory.read_block(old_got, got.data(), got_bytes);
+  memory.write_block(new_got, got.data(), got_bytes);
+  const u32 entries = plt_bytes / 4;
+  u32 rewritten = 0;
+  for (u32 i = 0; i < entries; ++i) {
+    const Addr slot = plt + i * 4;
+    const Word p = memory.read_u32(slot);
+    if (p >= old_got && p < old_got + got_bytes) {
+      memory.write_u32(slot, new_got + (p - old_got));
+      ++rewritten;
+    }
+  }
+  ++stats_.got_copies;
+  ++stats_.plt_rewrites;
+  stats_.plt_entries_rewritten += rewritten;
+  return rewritten;
+}
+
+void MlrModule::on_squash(const engine::InstrTag& tag, Cycle now) {
+  (void)now;
+  if (blocking_live_ && blocking_tag_ == tag) {
+    // The blocking CHECK was squashed (e.g. a CHECK-error flush); abandon
+    // the result but let any in-flight MAU transfer drain harmlessly.
+    blocking_live_ = false;
+  }
+}
+
+void MlrModule::reset() {
+  blocking_live_ = false;
+  state_ = OpState::kIdle;
+}
+
+}  // namespace rse::modules

@@ -1,0 +1,63 @@
+// Checkpoint store for DDT SavePage snapshots (paper section 4.2.2).
+// Snapshots live in "main memory" managed by the OS exception handler; a
+// byte budget models buffer overflow, handled by garbage-collecting the
+// oldest snapshots while keeping history information for deleted pages —
+// if recovery later needs a deleted page, the whole process must be
+// terminated (insufficient information).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rse::os {
+
+struct PageCheckpoint {
+  u32 page = 0;
+  ThreadId new_writer = kNoThread;  // the thread whose write triggered SavePage
+  Cycle at = 0;
+  std::vector<u8> data;  // page content before new_writer's first write
+};
+
+class CheckpointStore {
+ public:
+  /// max_bytes == 0 means unbounded.
+  explicit CheckpointStore(u64 max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  void add(u32 page, ThreadId writer, Cycle at, std::vector<u8> data) {
+    bytes_ += data.size();
+    log_.push_back(PageCheckpoint{page, writer, at, std::move(data)});
+    while (max_bytes_ != 0 && bytes_ > max_bytes_ && !log_.empty()) {
+      bytes_ -= log_.front().data.size();
+      dropped_pages_.insert(log_.front().page);
+      ++dropped_count_;
+      log_.erase(log_.begin());
+    }
+  }
+
+  const std::vector<PageCheckpoint>& log() const { return log_; }
+  bool page_history_dropped(u32 page) const { return dropped_pages_.count(page) != 0; }
+  /// Pages whose snapshot history was garbage-collected ("history
+  /// information for deleted pages", section 4.2.2).
+  const std::set<u32>& dropped_pages() const { return dropped_pages_; }
+
+  u64 bytes() const { return bytes_; }
+  std::size_t count() const { return log_.size(); }
+  u64 dropped_count() const { return dropped_count_; }
+
+  void clear() {
+    log_.clear();
+    dropped_pages_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::vector<PageCheckpoint> log_;
+  std::set<u32> dropped_pages_;
+  u64 bytes_ = 0;
+  u64 max_bytes_;
+  u64 dropped_count_ = 0;
+};
+
+}  // namespace rse::os

@@ -1,0 +1,217 @@
+// A small guest operating system running on the simulated machine: program
+// loader (with optional MLR layout randomization), syscall layer, a
+// round-robin thread scheduler with blocking I/O, the DDT SavePage exception
+// handler, and the thread-recovery driver of paper section 4.2 (terminate the
+// faulty thread's dependent closure, undo its memory updates from the saved
+// pages, resume the healthy survivors).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/program.hpp"
+#include "os/checkpoint.hpp"
+#include "os/machine.hpp"
+#include "os/network.hpp"
+
+namespace rse::os {
+
+/// Syscall numbers (guest ABI: number in v0, args in a0..a2, result in v0).
+enum class Sys : u32 {
+  kExit = 1,         // a0 = exit code; terminates the whole process
+  kPrintInt = 2,     // a0 = value
+  kPrintChar = 3,    // a0 = character
+  kClock = 4,        // -> v0 = current cycle (low 32 bits)
+  kSbrk = 5,         // a0 = bytes; -> v0 = old break
+  kThreadCreate = 6, // a0 = entry pc, a1 = argument; -> v0 = tid
+  kThreadExit = 7,
+  kYield = 8,
+  kJoin = 9,         // a0 = tid; blocks until it terminates
+  kNetAccept = 10,   // -> v0 = request id, or -1 when no requests remain
+  kNetIo = 11,       // blocks for a backend I/O latency
+  kNetReply = 12,    // a0 = request id
+  kCrash = 13,       // simulate a (malicious) crash of the current thread
+  kRand = 14,        // -> v0 = pseudo-random value
+  kPrintStr = 15,    // a0 = address of NUL-terminated string
+  // Runtime re-randomization support (paper section 4.1 extension):
+  kRegisterGot = 16,       // a0 = GOT address, a1 = PLT address, a2 = size bytes
+  kRegisterPtrTable = 17,  // a0 = table of pointer-slot addresses, a1 = count
+};
+
+enum class ThreadState : u8 {
+  kReady,
+  kRunning,
+  kBlockedIo,
+  kBlockedAccept,
+  kBlockedJoin,
+  kTerminated,  // clean exit
+  kKilled,      // crashed or terminated by recovery
+};
+
+struct OsConfig {
+  Cycle quantum = 20'000;
+  Cycle context_switch_cost = 300;
+  Cycle syscall_cost = 40;
+  u32 thread_stack_bytes = 64 * 1024;
+  u32 max_threads = 16;
+  u32 check_error_retries = 3;  // CHECK-error flush/retry budget per PC
+  bool randomize_layout = false;  // loader invokes the MLR module
+  /// Runtime re-randomization period (0 = off): every interval the process
+  /// is stopped at a drain point and the MLR relocates the registered GOT,
+  /// rewriting the PLT and every compiler-recorded pointer slot.
+  Cycle rerandomize_interval = 0;
+  u64 max_checkpoint_bytes = 0;   // 0 = unbounded
+  Cycle run_limit = 2'000'000'000;
+  u64 seed = 42;
+};
+
+struct RecoveryReport {
+  ThreadId faulty = kNoThread;
+  std::vector<ThreadId> killed;     // dependent closure, including faulty
+  std::vector<ThreadId> survivors;  // healthy threads that keep running
+  u32 pages_restored = 0;
+  bool total_loss = false;  // needed history was garbage-collected: kill all
+};
+
+/// One contiguous stretch of a thread owning the core (for Figure 8-style
+/// execution timelines).
+struct RunSlice {
+  ThreadId thread = kNoThread;
+  Cycle from = 0;
+  Cycle to = 0;
+};
+
+struct OsStats {
+  u64 context_switches = 0;
+  u64 preemptions = 0;
+  u64 syscalls = 0;
+  u64 check_error_retries = 0;
+  u64 check_error_aborts = 0;
+  u64 crashes = 0;
+  u64 recoveries = 0;
+  u64 pages_saved = 0;
+  u64 rerandomizations = 0;
+  Cycle rerandomize_cycles = 0;  // total process-stop time spent relocating
+  Cycle loader_cycles = 0;
+};
+
+class GuestOs : public cpu::OsClient {
+ public:
+  GuestOs(Machine& machine, OsConfig config = {});
+
+  // ---- process lifecycle ----
+  /// Load a program: place segments, register ICM checked instructions,
+  /// optionally randomize the layout via the MLR module, create thread 0.
+  void load(const isa::Program& program);
+
+  /// Run until the process exits, every thread is dead, or run_limit hits.
+  void run();
+  /// Advance one machine cycle plus scheduler work (for tests).
+  void step();
+
+  bool finished() const;
+  int exit_code() const { return exit_code_; }
+  const std::string& output() const { return output_; }
+
+  // ---- module convenience (host-side enable, as the loader would) ----
+  void enable_module(isa::ModuleId id);
+  void disable_module(isa::ModuleId id);
+
+  // ---- introspection ----
+  Machine& machine() { return *machine_; }
+  SimNetwork& network() { return network_; }
+  const OsStats& stats() const { return stats_; }
+  const CheckpointStore& checkpoints() const { return checkpoints_; }
+  ThreadState thread_state(ThreadId tid) const;
+  u32 live_thread_count() const;
+  const std::vector<RecoveryReport>& recoveries() const { return recovery_reports_; }
+  /// Execution slices in chronological order (recorded when enabled).
+  const std::vector<RunSlice>& run_slices() const { return run_slices_; }
+  void set_record_slices(bool record) { record_slices_ = record; }
+  Addr stack_base() const { return stack_base_; }
+  Addr heap_base() const { return heap_base_; }
+  Addr shlib_base() const { return shlib_base_; }
+
+  /// Crash a thread from the host side (fault injection).
+  void inject_crash(ThreadId tid);
+
+  /// Current location of the registered GOT (moves on re-randomization).
+  Addr got_location() const { return got_addr_; }
+
+  // ---- cpu::OsClient ----
+  SyscallResult on_syscall(Cycle now) override;
+  bool on_check_error(Cycle now, Addr pc, isa::ModuleId module) override;
+  void on_illegal(Cycle now, Addr pc) override;
+
+ private:
+  struct Thread {
+    ThreadId id = 0;
+    cpu::ThreadContext ctx;
+    ThreadState state = ThreadState::kReady;
+    Cycle wake_at = 0;        // kBlockedIo
+    ThreadId join_target = kNoThread;
+    Addr stack_top = 0;
+  };
+
+  void scheduler_tick(Cycle now);
+  void make_ready(ThreadId tid);
+  void block_current(ThreadState state);
+  std::optional<ThreadId> pick_next();
+  void begin_switch(ThreadId next, Cycle now);
+  void finish_process(int code);
+  void handle_crash(ThreadId tid, Cycle now);
+  RecoveryReport recover(ThreadId faulty, Cycle now);
+  Cycle save_page(u32 page, ThreadId writer, Cycle now);
+  void wake_joiners(ThreadId dead);
+  Cycle rerandomize_now(Cycle now);
+  void note_slice_start(Cycle now);
+  void note_slice_end(Cycle now);
+
+  Machine* machine_;
+  OsConfig config_;
+  Xorshift64 rng_;
+  SimNetwork network_;
+  CheckpointStore checkpoints_;
+
+  std::vector<Thread> threads_;
+  std::deque<ThreadId> ready_;
+  ThreadId current_ = kNoThread;
+  Cycle quantum_start_ = 0;
+
+  // two-phase context switch (drain happened; waiting out the switch cost)
+  std::optional<ThreadId> switching_to_;
+  Cycle switch_done_at_ = 0;
+  // host-injected crash of the currently running thread, applied once drained
+  std::optional<ThreadId> pending_crash_;
+
+  // runtime re-randomization state
+  Addr got_addr_ = 0;
+  u32 got_size_ = 0;
+  Addr plt_addr_ = 0;
+  u32 plt_size_ = 0;
+  std::vector<Addr> ptr_slots_;  // compiler-recorded pointer locations
+  Cycle next_rerandomize_ = 0;
+  bool rerandomize_pending_ = false;
+
+  bool process_exited_ = false;
+  int exit_code_ = 0;
+  std::string output_;
+
+  Addr brk_ = 0;
+  Addr stack_base_ = isa::kDefaultStackTop;
+  Addr heap_base_ = 0;
+  Addr shlib_base_ = 0x6000'0000;
+
+  std::map<Addr, u32> check_error_counts_;
+  std::vector<RecoveryReport> recovery_reports_;
+  bool record_slices_ = false;
+  std::vector<RunSlice> run_slices_;
+  Cycle slice_started_ = 0;
+  OsStats stats_;
+};
+
+}  // namespace rse::os

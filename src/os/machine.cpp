@@ -1,0 +1,38 @@
+#include "os/machine.hpp"
+
+namespace rse::os {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      bus_(config.framework_present ? config.bus_with_rse : config.bus_baseline),
+      pipeline_port_(bus_, mem::BusSource::kPipeline) {
+  il2_ = std::make_unique<mem::Cache>(config.il2, pipeline_port_);
+  dl2_ = std::make_unique<mem::Cache>(config.dl2, pipeline_port_);
+  il1_ = std::make_unique<mem::Cache>(config.il1, *il2_);
+  dl1_ = std::make_unique<mem::Cache>(config.dl1, *dl2_);
+
+  if (config.framework_present) {
+    framework_ = std::make_unique<engine::Framework>(memory_, bus_, config.core.ruu_size);
+    framework_->set_selfcheck_config(config.selfcheck);
+    auto icm = std::make_unique<modules::IcmModule>(*framework_, config.icm);
+    auto mlr = std::make_unique<modules::MlrModule>(*framework_, config.mlr);
+    auto ddt = std::make_unique<modules::DdtModule>(*framework_, config.ddt);
+    auto ahbm = std::make_unique<modules::AhbmModule>(*framework_, config.ahbm);
+    auto cfc = std::make_unique<modules::CfcModule>(*framework_, config.cfc);
+    icm_ = icm.get();
+    mlr_ = mlr.get();
+    ddt_ = ddt.get();
+    ahbm_ = ahbm.get();
+    cfc_ = cfc.get();
+    framework_->add_module(std::move(icm));
+    framework_->add_module(std::move(mlr));
+    framework_->add_module(std::move(ddt));
+    framework_->add_module(std::move(ahbm));
+    framework_->add_module(std::move(cfc));
+  }
+
+  core_ = std::make_unique<cpu::Core>(config.core, memory_, *il1_, *dl1_);
+  if (framework_) core_->attach_framework(framework_.get());
+}
+
+}  // namespace rse::os

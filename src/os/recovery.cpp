@@ -1,0 +1,56 @@
+#include "os/recovery.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rse::os {
+
+RecoveryPlan run_recovery(const modules::DdtModule& ddt, const CheckpointStore& checkpoints,
+                          mem::MainMemory& memory, ThreadId faulty) {
+  RecoveryPlan plan;
+  plan.faulty = faulty;
+  plan.killed = ddt.dependent_closure(faulty);
+
+  auto is_killed = [&plan](ThreadId t) {
+    return std::find(plan.killed.begin(), plan.killed.end(), t) != plan.killed.end();
+  };
+
+  // Pages written by a killed thread whose snapshot history was
+  // garbage-collected cannot be reconstructed: terminate everything
+  // ("insufficient information", section 4.2.2).
+  for (const u32 page : checkpoints.dropped_pages()) {
+    if (is_killed(ddt.page_owners(page).write_owner)) {
+      plan.total_loss = true;
+      return plan;
+    }
+  }
+
+  // For every page, find the first checkpoint after the last healthy-writer
+  // takeover: its snapshot is the newest content not authored by a killed
+  // thread.  (A page whose latest takeover was by a healthy thread keeps its
+  // current content — the healthy writer owns the final state.)
+  std::map<u32, std::vector<const PageCheckpoint*>> by_page;
+  for (const PageCheckpoint& cp : checkpoints.log()) by_page[cp.page].push_back(&cp);
+  for (auto& [page, records] : by_page) {
+    std::size_t first_killed_run = records.size();
+    for (std::size_t i = records.size(); i-- > 0;) {
+      if (is_killed(records[i]->new_writer)) {
+        first_killed_run = i;
+      } else {
+        break;
+      }
+    }
+    if (first_killed_run == records.size()) continue;  // no trailing killed writer
+    if (checkpoints.page_history_dropped(page)) {
+      // The snapshot chain was garbage-collected: the state cannot be
+      // reconstructed consistently — the whole process must die.
+      plan.total_loss = true;
+      return plan;
+    }
+    memory.restore_page(page, records[first_killed_run]->data);
+    ++plan.pages_restored;
+  }
+  return plan;
+}
+
+}  // namespace rse::os

@@ -1,0 +1,31 @@
+// The thread-recovery algorithm of paper section 4.2: given a faulty thread,
+// use the DDT's dependency matrix to find every thread that (transitively)
+// consumed its data, and undo the killed threads' memory updates from the
+// SavePage checkpoints so the surviving threads can continue without
+// rollback.  Factored out of the guest OS so the Figure 8 scenario can be
+// tested in isolation.
+#pragma once
+
+#include <vector>
+
+#include "mem/main_memory.hpp"
+#include "modules/ddt/ddt.hpp"
+#include "os/checkpoint.hpp"
+
+namespace rse::os {
+
+struct RecoveryPlan {
+  ThreadId faulty = kNoThread;
+  std::vector<ThreadId> killed;  // dependent closure, including the faulty thread
+  u32 pages_restored = 0;
+  bool total_loss = false;  // needed checkpoint history was garbage-collected
+};
+
+/// Compute and apply recovery: restores pages in `memory` and returns the
+/// plan.  Does NOT touch thread states or the DDT (the caller terminates the
+/// killed threads and calls ddt.forget_threads / checkpoints.clear after
+/// inspecting the plan).
+RecoveryPlan run_recovery(const modules::DdtModule& ddt, const CheckpointStore& checkpoints,
+                          mem::MainMemory& memory, ThreadId faulty);
+
+}  // namespace rse::os

@@ -1,0 +1,58 @@
+// Minimal CSV writer for benchmark series (plot-ready exports).  Benches
+// write a .csv next to their stdout tables when the RSE_BENCH_CSV_DIR
+// environment variable names a directory.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rse::report {
+
+class CsvWriter {
+ public:
+  CsvWriter(std::string path, std::vector<std::string> header) : path_(std::move(path)) {
+    rows_.push_back(std::move(header));
+  }
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Write the file; returns false on I/O failure.
+  bool flush() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        out << escape(r[c]) << (c + 1 < r.size() ? "," : "");
+      }
+      out << '\n';
+    }
+    return static_cast<bool>(out);
+  }
+
+  static std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Directory for bench CSV exports, if the user asked for them.
+inline std::optional<std::string> csv_export_dir() {
+  const char* dir = std::getenv("RSE_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+}  // namespace rse::report

@@ -1,0 +1,74 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// paper-style tables on stdout.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rse::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto line = [&] {
+      os << '+';
+      for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+        os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << cell << " |";
+      }
+      os << '\n';
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& r : rows_) emit(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+inline std::string fmt_millions(double value, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value / 1e6;
+  return os.str();
+}
+
+inline std::string fmt_pct(double fraction, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+inline std::string fmt_fixed(double value, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace rse::report

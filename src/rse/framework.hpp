@@ -1,0 +1,172 @@
+// The Reliability and Security Engine framework (paper section 3).
+//
+// The framework owns the input interface (latched pipeline taps), the
+// Instruction Output Queue, the Memory Access Unit, the module
+// enable/disable unit, and the self-checking watchdog.  The simulated core
+// calls the on_* methods as instructions move through the pipeline; the
+// machine ticks the framework once per cycle after the core.  Events pushed
+// by the core in cycle N become visible to modules in cycle N+1 (the input
+// latch of Table 3).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "mem/bus.hpp"
+#include "mem/main_memory.hpp"
+#include "rse/frame_types.hpp"
+#include "rse/input_queues.hpp"
+#include "rse/ioq.hpp"
+#include "rse/mau.hpp"
+#include "rse/module.hpp"
+
+namespace rse::engine {
+
+/// Framework-level CHECK operations (module# = kFramework).
+inline constexpr u8 kFrameOpEnableModule = 1;   // imm12 = module id
+inline constexpr u8 kFrameOpDisableModule = 2;  // imm12 = module id
+
+/// Why the self-checking logic decoupled the framework (Table 2).
+enum class SelfCheckVerdict : u8 {
+  kOk,
+  kNoProgress,       // CHECK never completed within the watchdog timeout
+  kFalseAlarmStorm,  // too many check=1 transitions within the window
+  kStuckAt1,         // output bit of a free IOQ entry stuck at 1
+};
+
+struct SelfCheckConfig {
+  bool enabled = true;
+  // Long enough for the slowest legitimate blocking CHECK (an MLR GOT copy
+  // moves two 4 KB buffers over the bus, ~3k cycles); tests shrink it.
+  Cycle watchdog_timeout = 50'000;
+  u32 alarm_threshold = 8;  // check 0->1 transitions per window
+};
+
+struct FrameworkStats {
+  u64 dispatches_seen = 0;
+  u64 chk_instructions = 0;
+  u64 commits_seen = 0;
+  u64 squashes_seen = 0;
+  u64 errors_reported = 0;       // check=1 results delivered to the pipeline
+  u64 module_enables = 0;
+  u64 module_disables = 0;
+  u64 selfcheck_trips = 0;
+};
+
+class Framework {
+ public:
+  /// `ruu_entries` sizes every queue (one entry per re-order buffer slot).
+  Framework(mem::MainMemory& memory, mem::BusArbiter& bus, u32 ruu_entries);
+
+  // ---- construction-time wiring ----
+  void add_module(std::unique_ptr<Module> module);
+  Module* module(isa::ModuleId id) const;
+  Mau& mau() { return mau_; }
+  Ioq& ioq() { return ioq_; }
+  InputQueues& queues() { return queues_; }
+  mem::MainMemory& memory() { return *memory_; }
+
+  /// Observer invoked when the self-checking logic decouples the framework.
+  void set_selfcheck_observer(std::function<void(SelfCheckVerdict, Cycle)> observer) {
+    selfcheck_observer_ = std::move(observer);
+  }
+  void set_selfcheck_config(SelfCheckConfig config) { selfcheck_ = config; }
+
+  // ---- pipeline-facing interface ----
+  void on_dispatch(const DispatchInfo& info, Cycle now);
+  void on_execute(const ExecuteInfo& info, Cycle now);
+  void on_mem_load(const MemoryInfo& info, Cycle now);
+
+  /// Commit notification.  For stores, called before the value reaches
+  /// memory; the returned stall is charged to the commit stage (SavePage).
+  Cycle on_commit(const CommitInfo& info, Cycle now);
+
+  void on_squash(const InstrTag& tag, Cycle now);
+
+  /// The commit unit observed check=1 for this slot and is about to flush
+  /// the pipeline.  Feeds the watchdog's per-entry error-transition counter
+  /// (section 3.4): too many error indications within the window — whether
+  /// from a module that always alarms or from a stuck-at-1 check bit —
+  /// declare the framework erroneous and decouple it.
+  void on_check_error(u32 slot, Cycle now);
+
+  /// The check bits the commit unit observes for a slot (constant (1,0) once
+  /// the framework has decoupled itself into safe mode).
+  Ioq::CheckBits check_bits(u32 slot) const;
+
+  // ---- module-facing interface ----
+  /// Write a module's check result to the IOQ, applying any injected module
+  /// fault mode and the safe-mode override.
+  void module_write_ioq(Module& module, const InstrTag& tag, bool check_valid, bool check,
+                        Cycle now);
+
+  // ---- per-cycle advance ----
+  void tick(Cycle now);
+
+  // ---- safe mode / self-check ----
+  bool safe_mode() const { return safe_mode_; }
+  SelfCheckVerdict verdict() const { return verdict_; }
+  /// Re-couple the framework after a safe-mode trip (used by tests/OS).
+  void recouple();
+
+  const FrameworkStats& stats() const { return stats_; }
+
+  /// Reset transient state between guest runs (modules, queues, IOQ).
+  void reset();
+
+ private:
+  struct DispatchEvent {
+    DispatchInfo info;
+  };
+  struct ExecuteEvent {
+    ExecuteInfo info;
+  };
+  struct MemoryEvent {
+    MemoryInfo info;
+  };
+  struct CommitEvent {
+    CommitInfo info;
+  };
+  struct SquashEvent {
+    InstrTag tag;
+  };
+  using Event =
+      std::variant<DispatchEvent, ExecuteEvent, MemoryEvent, CommitEvent, SquashEvent>;
+
+  void deliver(const Event& event, Cycle now);
+  void handle_frame_chk(const isa::Instr& instr, Cycle now);
+  void run_selfcheck(Cycle now);
+  void trip_selfcheck(SelfCheckVerdict verdict, Cycle now);
+
+  mem::MainMemory* memory_;
+  InputQueues queues_;
+  Ioq ioq_;
+  Mau mau_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::array<Module*, isa::kNumModuleIds> by_id_{};
+
+  struct PendingEvent {
+    Event event;
+    Cycle visible_from;
+  };
+  std::deque<PendingEvent> pending_;
+
+  // self-checking state
+  SelfCheckConfig selfcheck_;
+  bool safe_mode_ = false;
+  SelfCheckVerdict verdict_ = SelfCheckVerdict::kOk;
+  std::function<void(SelfCheckVerdict, Cycle)> selfcheck_observer_;
+  std::vector<u32> alarm_counts_;       // per-slot check 0->1 transitions in window
+  Cycle alarm_window_start_ = 0;
+  std::vector<Cycle> free_high_since_;  // per-slot: first cycle a free entry read as 1
+
+  FrameworkStats stats_;
+};
+
+}  // namespace rse::engine

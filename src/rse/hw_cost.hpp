@@ -1,0 +1,62 @@
+// Hardware-cost estimator reproducing the paper's overhead arithmetic:
+// footnote 4 of section 3.1 (input queues / MUXes) and the MLR hardware
+// inventory of section 5.3.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rse::engine {
+
+struct QueueCost {
+  u32 flip_flops = 0;
+  u32 mux_gates = 0;
+};
+
+struct HwCostConfig {
+  u32 input_queues = 5;        // Fetch_Out, Regfile_Data, Execute_Out, Memory_Out, Commit_Out
+  u32 entries_per_queue = 16;  // == re-order buffer size
+  u32 bits_per_entry = 32;     // 32-bit processor
+  // MUX fan-in per input queue, as in Figure 1: two queues are fed by 4-to-1
+  // MUXes, two by 2-to-1, one by 3-to-1.
+  u32 mux4_inputs = 2;
+  u32 mux2_inputs = 2;
+  u32 mux3_inputs = 1;
+};
+
+/// Gate count of a single 1-bit MUX with feedback loop (footnote 4).
+constexpr u32 mux_gate_count(u32 fan_in) {
+  switch (fan_in) {
+    case 2: return 4;
+    case 3: return 5;
+    case 4: return 6;
+    default: return 4 + 2 * (fan_in > 2 ? fan_in - 2 : 0);  // linear extrapolation
+  }
+}
+
+/// Flip-flop and gate cost of the framework's input interface.  With the
+/// paper's parameters (5 queues x 16 entries x 32 bits) this evaluates to
+/// 2560 flip-flops and 12,800 gates.
+constexpr QueueCost input_interface_cost(const HwCostConfig& c) {
+  QueueCost cost;
+  cost.flip_flops = c.input_queues * c.entries_per_queue * c.bits_per_entry;
+  const u32 per_bit = c.mux4_inputs * mux_gate_count(4) + c.mux2_inputs * mux_gate_count(2) +
+                      c.mux3_inputs * mux_gate_count(3);
+  cost.mux_gates = per_bit * c.bits_per_entry * c.entries_per_queue;
+  return cost;
+}
+
+struct MlrHwCost {
+  // Position-independent randomization datapath (Figure 3B).
+  u32 pi_registers = 24;  // word-length registers
+  u32 pi_adders = 4;
+  u32 header_block_bytes = 4096;
+  // Position-dependent (GOT/PLT) datapath.
+  u32 got_buffer_bytes = 4096;
+  u32 plt_buffer_bytes = 4096;
+  u32 pd_adders = 5;  // 4 rewrite PLT entries in parallel + 1 address
+  u32 pd_registers = 2;
+};
+
+constexpr MlrHwCost mlr_hw_cost() { return MlrHwCost{}; }
+
+}  // namespace rse::engine

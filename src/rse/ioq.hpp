@@ -1,0 +1,132 @@
+// Instruction Output Queue (paper section 3.2, Table 1).
+//
+// One entry per RUU slot, allocated when the instruction is forwarded to the
+// framework (i.e. at dispatch).  The (checkValid, check) bit pair tells the
+// commit stage what to do:
+//
+//   checkValid=0 check=0  free, or CHECK still executing -> commit may stall
+//   checkValid=1 check=0  non-CHECK instruction, or CHECK passed -> commit
+//   checkValid=1 check=1  CHECK detected an error -> flush the pipeline
+//
+// The queue also hosts the stuck-at fault-injection hooks used by the
+// self-checking experiments of Table 2.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "rse/frame_types.hpp"
+
+namespace rse::engine {
+
+/// Stuck-at fault injected on one IOQ entry's output bits (Table 2, row 4).
+enum class IoqStuckFault : u8 {
+  kNone,
+  kCheckValidStuck0,
+  kCheckValidStuck1,
+  kCheckStuck0,
+  kCheckStuck1,
+};
+
+class Ioq {
+ public:
+  struct Entry {
+    bool allocated = false;
+    bool pending_check = false;  // a module owes this entry a result
+    bool check_valid = false;
+    bool check = false;
+    InstrTag tag;
+    isa::ModuleId module = isa::ModuleId::kFramework;
+    // transition bookkeeping for the self-checking watchdog
+    Cycle allocated_at = 0;
+    Cycle last_valid_set = 0;
+  };
+
+  explicit Ioq(u32 entries) : entries_(entries) {}
+
+  u32 size() const { return static_cast<u32>(entries_.size()); }
+
+  /// Allocate the entry for a dispatched instruction.  CHECK instructions
+  /// addressed to a live module start at (checkValid=0, check=0); everything
+  /// else — including CHECKs to disabled modules, whose path the
+  /// enable/disable unit desensitizes to a constant (1,0) — starts at (1,0)
+  /// so the pipeline commits it as usual.
+  void allocate(const InstrTag& tag, bool pending_check, isa::ModuleId module, Cycle now) {
+    Entry& e = entries_[tag.slot];
+    e.allocated = true;
+    e.pending_check = pending_check;
+    e.tag = tag;
+    e.module = module;
+    e.check_valid = !pending_check;
+    e.check = false;
+    e.allocated_at = now;
+    e.last_valid_set = now;
+  }
+
+  /// Module writes its result.  In safe (decoupled) mode the framework
+  /// overrides the module output with the constant (1, 0) pair.
+  void module_write(const InstrTag& tag, bool check_valid, bool check, Cycle now, bool safe_mode) {
+    Entry& e = entries_[tag.slot];
+    if (!e.allocated || e.tag.seq != tag.seq) return;  // already freed/squashed
+    if (safe_mode) {
+      check_valid = true;
+      check = false;
+    }
+    e.check_valid = check_valid;
+    e.check = check;
+    if (check_valid) e.last_valid_set = now;
+  }
+
+  void free(const InstrTag& tag) {
+    Entry& e = entries_[tag.slot];
+    if (e.allocated && e.tag.seq == tag.seq) e = Entry{};
+  }
+
+  void free_all() {
+    for (Entry& e : entries_) e = Entry{};
+  }
+
+  /// The (checkValid, check) pair as seen by the commit unit, i.e. after any
+  /// injected stuck-at fault on the output bits.
+  struct CheckBits {
+    bool check_valid;
+    bool check;
+  };
+  CheckBits observed(u32 slot) const {
+    const Entry& e = entries_[slot];
+    CheckBits bits{e.check_valid, e.check};
+    switch (fault_) {
+      case IoqStuckFault::kNone: break;
+      case IoqStuckFault::kCheckValidStuck0:
+        if (slot == fault_slot_) bits.check_valid = false;
+        break;
+      case IoqStuckFault::kCheckValidStuck1:
+        if (slot == fault_slot_) bits.check_valid = true;
+        break;
+      case IoqStuckFault::kCheckStuck0:
+        if (slot == fault_slot_) bits.check = false;
+        break;
+      case IoqStuckFault::kCheckStuck1:
+        if (slot == fault_slot_) bits.check = true;
+        break;
+    }
+    return bits;
+  }
+
+  const Entry& entry(u32 slot) const { return entries_[slot]; }
+
+  void inject_stuck_fault(u32 slot, IoqStuckFault fault) {
+    fault_slot_ = slot;
+    fault_ = fault;
+  }
+  IoqStuckFault injected_fault() const { return fault_; }
+  u32 injected_fault_slot() const { return fault_slot_; }
+
+ private:
+  std::vector<Entry> entries_;
+  IoqStuckFault fault_ = IoqStuckFault::kNone;
+  u32 fault_slot_ = 0;
+};
+
+}  // namespace rse::engine

@@ -1,0 +1,90 @@
+// Memory Access Unit (paper section 3.2): performs memory requests on behalf
+// of all RSE modules so that each module does not need its own bus interface
+// unit.  A request carries an address, access type, byte count, and a pointer
+// to a module-owned buffer.  Requests queue and are serviced in cyclic order,
+// one bus transfer at a time; the bus arbiter gives the main pipeline
+// priority.
+#pragma once
+
+#include <functional>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "mem/bus.hpp"
+#include "mem/main_memory.hpp"
+
+namespace rse::engine {
+
+struct MauStats {
+  u64 requests = 0;
+  u64 bytes_transferred = 0;
+  u64 rejected_full = 0;
+};
+
+class Mau {
+ public:
+  /// Called when the transfer finishes (data already moved to/from `buffer`).
+  using Callback = std::function<void(Cycle done_at)>;
+
+  Mau(mem::MainMemory& memory, mem::BusArbiter& bus, u32 queue_depth = 16)
+      : memory_(&memory), bus_(&bus), queue_(queue_depth) {}
+
+  /// Queue a request.  `buffer` must stay alive until the callback runs.
+  /// Returns false (and drops the request) if the request queue is full.
+  bool submit(isa::ModuleId module, Addr addr, u32 bytes, bool is_write, u8* buffer,
+              Callback on_done) {
+    if (queue_.full()) {
+      ++stats_.rejected_full;
+      return false;
+    }
+    queue_.push(Request{module, addr, bytes, is_write, buffer, std::move(on_done)});
+    ++stats_.requests;
+    stats_.bytes_transferred += bytes;
+    return true;
+  }
+
+  bool idle() const { return !active_ && queue_.empty(); }
+
+  /// Advance one cycle: finish a completed transfer, then start the next.
+  void tick(Cycle now) {
+    if (active_ && now >= done_at_) {
+      // The data movement is functional; the cycles were spent on the bus.
+      if (active_request_.is_write) {
+        memory_->write_block(active_request_.addr, active_request_.buffer, active_request_.bytes);
+      } else {
+        memory_->read_block(active_request_.addr, active_request_.buffer, active_request_.bytes);
+      }
+      auto cb = std::move(active_request_.on_done);
+      active_ = false;
+      if (cb) cb(now);
+    }
+    if (!active_ && !queue_.empty()) {
+      active_request_ = queue_.pop();
+      done_at_ = bus_->request(now, active_request_.bytes, mem::BusSource::kMau);
+      active_ = true;
+    }
+  }
+
+  const MauStats& stats() const { return stats_; }
+
+ private:
+  struct Request {
+    isa::ModuleId module = isa::ModuleId::kFramework;
+    Addr addr = 0;
+    u32 bytes = 0;
+    bool is_write = false;
+    u8* buffer = nullptr;
+    Callback on_done;
+  };
+
+  mem::MainMemory* memory_;
+  mem::BusArbiter* bus_;
+  RingBuffer<Request> queue_;
+  Request active_request_{};
+  bool active_ = false;
+  Cycle done_at_ = 0;
+  MauStats stats_;
+};
+
+}  // namespace rse::engine

@@ -1,0 +1,193 @@
+// Fixed-point K-Means clustering in guest assembly (4-dimensional patterns,
+// Euclidean distance, fixed iteration count) — the paper's kMeans benchmark.
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse::workloads {
+
+std::string kmeans_source(const KMeansParams& p) {
+  Xorshift64 rng(p.seed);
+  std::ostringstream s;
+  const u32 dims = 4;
+
+  s << ".data\n.align 4\n";
+  s << "patterns:\n";
+  for (u32 i = 0; i < p.patterns; ++i) {
+    s << "  .word ";
+    for (u32 j = 0; j < dims; ++j) {
+      s << rng.next_below(1024) << (j + 1 < dims ? ", " : "\n");
+    }
+  }
+  s << "centroids: .space " << p.clusters * dims * 4 << "\n";
+  s << "sums:      .space " << p.clusters * dims * 4 << "\n";
+  s << "counts:    .space " << p.clusters * 4 << "\n";
+  s << "assign:    .space " << p.patterns * 4 << "\n";
+
+  s << R"(.text
+main:
+  la s0, patterns
+  la s1, centroids
+  la s2, sums
+  la s3, counts
+)";
+  // Initialize centroids with the first k patterns.
+  s << "  li t0, 0\n";
+  s << "init_cent:\n";
+  s << "  li t1, " << p.clusters * dims * 4 << "\n";
+  s << R"(  bge t0, t1, init_done
+  add t2, s0, t0
+  lw t3, 0(t2)
+  add t2, s1, t0
+  sw t3, 0(t2)
+  addi t0, t0, 4
+  b init_cent
+init_done:
+  li s6, 0              # iteration counter
+iter_loop:
+)";
+  s << "  li t0, " << p.iters << "\n";
+  s << R"(  bge s6, t0, report
+  # zero sums and counts
+  li t0, 0
+)";
+  s << "zero_sums:\n  li t1, " << p.clusters * dims * 4 << "\n";
+  s << R"(  bge t0, t1, zero_counts
+  add t2, s2, t0
+  sw r0, 0(t2)
+  addi t0, t0, 4
+  b zero_sums
+zero_counts:
+  li t0, 0
+)";
+  s << "zc_loop:\n  li t1, " << p.clusters * 4 << "\n";
+  s << R"(  bge t0, t1, assign_phase
+  add t2, s3, t0
+  sw r0, 0(t2)
+  addi t0, t0, 4
+  b zc_loop
+
+assign_phase:
+  li s7, 0              # pattern index i
+pattern_loop:
+)";
+  s << "  li t0, " << p.patterns << "\n";
+  s << R"(  bge s7, t0, update_phase
+  sll t1, s7, 4         # i * 16 bytes (4 dims)
+  add s4, s0, t1        # &patterns[i]
+  li s5, 0x7FFFFFFF     # best distance  (note: li expands to lui+ori)
+  li t8, 0              # best cluster
+  li t9, 0              # cluster c
+cluster_loop:
+)";
+  s << "  li t0, " << p.clusters << "\n";
+  s << R"(  bge t9, t0, assign_store
+  sll t1, t9, 4
+  add t2, s1, t1        # &centroids[c]
+  # unrolled 4-dim squared distance
+  lw t3, 0(s4)
+  lw t4, 0(t2)
+  sub t3, t3, t4
+  mul t5, t3, t3
+  lw t3, 4(s4)
+  lw t4, 4(t2)
+  sub t3, t3, t4
+  mul t3, t3, t3
+  add t5, t5, t3
+  lw t3, 8(s4)
+  lw t4, 8(t2)
+  sub t3, t3, t4
+  mul t3, t3, t3
+  add t5, t5, t3
+  lw t3, 12(s4)
+  lw t4, 12(t2)
+  sub t3, t3, t4
+  mul t3, t3, t3
+  add t5, t5, t3
+  bge t5, s5, next_cluster
+  move s5, t5
+  move t8, t9
+next_cluster:
+  addi t9, t9, 1
+  b cluster_loop
+assign_store:
+  sll t1, s7, 2
+  la t2, assign
+  add t2, t2, t1
+  sw t8, 0(t2)
+  # sums[best] += pattern; counts[best]++
+  sll t1, t8, 4
+  add t2, s2, t1        # &sums[best]
+  lw t3, 0(s4)
+  lw t4, 0(t2)
+  add t4, t4, t3
+  sw t4, 0(t2)
+  lw t3, 4(s4)
+  lw t4, 4(t2)
+  add t4, t4, t3
+  sw t4, 4(t2)
+  lw t3, 8(s4)
+  lw t4, 8(t2)
+  add t4, t4, t3
+  sw t4, 8(t2)
+  lw t3, 12(s4)
+  lw t4, 12(t2)
+  add t4, t4, t3
+  sw t4, 12(t2)
+  sll t1, t8, 2
+  add t2, s3, t1
+  lw t3, 0(t2)
+  addi t3, t3, 1
+  sw t3, 0(t2)
+  addi s7, s7, 1
+  b pattern_loop
+
+update_phase:
+  li t9, 0              # cluster c
+update_loop:
+)";
+  s << "  li t0, " << p.clusters << "\n";
+  s << R"(  bge t9, t0, next_iter
+  sll t1, t9, 2
+  add t2, s3, t1
+  lw t3, 0(t2)          # count
+  beq t3, r0, skip_update
+  sll t1, t9, 4
+  add t2, s2, t1        # &sums[c]
+  add t4, s1, t1        # &centroids[c]
+  lw t5, 0(t2)
+  div t5, t5, t3
+  sw t5, 0(t4)
+  lw t5, 4(t2)
+  div t5, t5, t3
+  sw t5, 4(t4)
+  lw t5, 8(t2)
+  div t5, t5, t3
+  sw t5, 8(t4)
+  lw t5, 12(t2)
+  div t5, t5, t3
+  sw t5, 12(t4)
+skip_update:
+  addi t9, t9, 1
+  b update_loop
+next_iter:
+  addi s6, s6, 1
+  b iter_loop
+
+report:
+  # print the first centroid's first coordinate as a checksum
+  lw a0, 0(s1)
+  li v0, 2
+  syscall
+  li a0, 10
+  li v0, 3
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+  return s.str();
+}
+
+}  // namespace rse::workloads

@@ -1,0 +1,149 @@
+// Multithreaded network server in guest assembly (the Figure 9 workload):
+// a pool of worker threads accepts requests, alternates compute phases with
+// blocking backend I/O, and updates shared pages (job table, response cache,
+// statistics) that create the inter-thread dependencies the DDT tracks.
+// Each worker also has a private scratch page so thread-local traffic does
+// not alias shared pages.
+#include <sstream>
+
+#include "workloads/workloads.hpp"
+
+namespace rse::workloads {
+
+std::string server_source(const ServerParams& p) {
+  std::ostringstream s;
+
+  s << ".data\n";
+  s << ".align 12\njobs:    .space 4096\n";   // shared job-table + stats page
+  s << ".align 12\ncache:   .space " << 8 * 4096 << "\n";  // 8 shared cache pages
+  s << ".align 12\nscratch: .space " << (p.threads + 1) * 4096 << "\n";  // private pages
+  s << "tids: .space " << p.threads * 4 << "\n";
+
+  s << ".text\nmain:\n";
+  if (p.enable_ddt) {
+    s << "  chk frame, 1, nblk, r0, 3    # enable the DDT module\n";
+  }
+  s << "  li s0, 0\n";
+  s << "spawn_loop:\n";
+  s << "  li t0, " << p.threads << "\n";
+  s << R"(  bge s0, t0, join_init
+  la a0, worker
+  move a1, s0
+  li v0, 6
+  syscall               # thread_create(worker, id) -> tid
+  sll t1, s0, 2
+  la t2, tids
+  add t2, t2, t1
+  sw v0, 0(t2)
+  addi s0, s0, 1
+  b spawn_loop
+join_init:
+  li s0, 0
+join_loop:
+)";
+  s << "  li t0, " << p.threads << "\n";
+  s << R"(  bge s0, t0, all_done
+  sll t1, s0, 2
+  la t2, tids
+  add t2, t2, t1
+  lw a0, 0(t2)
+  li v0, 9
+  syscall               # join tid
+  addi s0, s0, 1
+  b join_loop
+all_done:
+  la t0, jobs
+  lw a0, 2048(t0)
+  li v0, 2
+  syscall               # print requests handled
+  li a0, 10
+  li v0, 3
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+
+worker:
+  move s7, a0           # worker id
+  # private scratch page for this worker
+  la s2, scratch
+  sll t0, s7, 12
+  add s2, s2, t0
+  # per-worker LCG state
+  li t0, 2654435761
+  mul s3, s7, t0
+  addi s3, s3, 12345
+work_loop:
+  li v0, 10
+  syscall               # accept -> v0 (request id or -1)
+  li t0, -1
+  beq v0, t0, work_done
+  move s6, v0           # request id
+  # record the job in the shared job table (page write -> ownership change)
+  la t1, jobs
+  andi t2, s6, 127
+  sll t2, t2, 4
+  add t1, t1, t2
+  sw s6, 0(t1)
+  sw s7, 4(t1)
+  li s4, 0              # I/O phase counter
+phase_loop:
+)";
+  s << "  li t0, " << p.io_phases << "\n";
+  s << R"(  bge s4, t0, respond
+  li s5, 0
+compute_loop:
+)";
+  s << "  li t0, " << p.compute_iters << "\n";
+  s << R"(  bge s5, t0, compute_done
+  li t3, 1664525
+  mul s3, s3, t3
+  li t3, 1013904223
+  add s3, s3, t3
+  srl t3, s3, 8
+  andi t3, t3, 1023
+  sll t3, t3, 2
+  add t3, s2, t3        # private scratch word
+  lw t4, 0(t3)
+  add t4, t4, s3
+  sw t4, 0(t3)
+  addi s5, s5, 1
+  b compute_loop
+compute_done:
+  li v0, 11
+  syscall               # blocking backend I/O
+  addi s4, s4, 1
+  b phase_loop
+respond:
+  # consult and update a randomly selected shared response-cache page
+  # (read -> dependency, write -> SavePage when another worker owned it);
+  # randomizing the page makes sharing instances grow with the pool size,
+  # as in the paper's Figure 9
+  la t1, cache
+  srl t2, s3, 13
+  andi t2, t2, 7
+  sll t2, t2, 12        # one of 8 cache pages
+  add t1, t1, t2
+  andi t2, s6, 63
+  sll t2, t2, 6
+  add t1, t1, t2
+  lw t3, 0(t1)
+  add t3, t3, s6
+  sw t3, 0(t1)
+  # bump the shared handled-requests counter (lives on the job page)
+  la t1, jobs
+  lw t3, 2048(t1)
+  addi t3, t3, 1
+  sw t3, 2048(t1)
+  move a0, s6
+  li v0, 12
+  syscall               # reply
+  b work_loop
+work_done:
+  li v0, 7
+  syscall               # thread_exit
+)";
+  return s.str();
+}
+
+}  // namespace rse::workloads

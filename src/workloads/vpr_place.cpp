@@ -1,0 +1,174 @@
+// Simulated-annealing placement kernel in guest assembly — the structural
+// analog of SPEC2000 vpr's placement phase: random displacement moves on a
+// grid, half-perimeter-style cost deltas, temperature-dependent acceptance.
+// The move-evaluation body is replicated into 32 variants reached through a
+// jump table indexed by net id (the way a compiler lowers vpr's switches),
+// giving realistic instruction-cache footprint and indirect-branch
+// behaviour.  The net array is sized beyond the L2 capacity so the kernel
+// generates real main-memory traffic (which is what the RSE arbiter
+// penalizes).  Grid, cell and net counts are powers of two so random
+// indices come from masking (no divider pressure).
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse::workloads {
+
+std::string vpr_place_source(const PlaceParams& p) {
+  Xorshift64 rng(p.seed);
+  std::ostringstream s;
+  const u32 variants = 32;
+  const u32 net_mask = p.nets - 1;
+  const u32 grid_mask = p.grid - 1;
+
+  s << ".data\n.align 4\n";
+  s << "xs:\n";
+  for (u32 i = 0; i < p.cells; ++i) s << "  .word " << (rng.next() & grid_mask) << "\n";
+  s << "ys:\n";
+  for (u32 i = 0; i < p.cells; ++i) s << "  .word " << (rng.next() & grid_mask) << "\n";
+  s << "nets:\n";
+  for (u32 i = 0; i < p.nets; ++i) {
+    const u64 a = rng.next_below(p.cells);
+    u64 b = rng.next_below(p.cells);
+    if (b == a) b = (b + 1) % p.cells;
+    s << "  .word " << a << ", " << b << "\n";
+  }
+  s << "jumptable:\n";
+  for (u32 v = 0; v < variants; ++v) s << "  .word var_" << v << "\n";
+  s << "accepted: .word 0\n";
+
+  // Register plan:
+  //   s0=&xs s1=&ys s2=&nets s3=lcg state s4=temperature s5=move counter
+  //   s6=temp-level counter s7=accepted count fp=&jumptable
+  s << ".text\nmain:\n";
+  s << "  la s0, xs\n  la s1, ys\n  la s2, nets\n  la fp, jumptable\n";
+  s << "  li s3, " << (rng.next() & 0x7FFFFFFF) << "\n";
+  s << "  li s4, 512\n";  // initial temperature (acceptance threshold /1024)
+  s << "  li s6, 0\n  li s7, 0\n";
+  s << "temp_loop:\n";
+  s << "  li t0, " << p.temps << "\n";
+  s << "  bge s6, t0, done\n";
+  s << "  li s5, 0\n";
+  s << "move_loop:\n";
+  s << "  li t0, " << p.moves_per_temp << "\n";
+  s << "  bge s5, t0, temp_next\n";
+  // rand: s3 = s3*1664525 + 1013904223
+  s << R"(  li t0, 1664525
+  mul s3, s3, t0
+  li t0, 1013904223
+  add s3, s3, t0
+  srl t0, s3, 8
+)";
+  s << "  li t1, " << net_mask << "\n";
+  s << "  and t0, t0, t1          # net index\n";
+  // dispatch through the jump table (net index low bits pick the variant)
+  s << "  andi t2, t0, " << (variants - 1) << "\n";
+  s << R"(  sll t2, t2, 2
+  add t2, fp, t2
+  lw t2, 0(t2)
+  jr t2
+)";
+
+  for (u32 v = 0; v < variants; ++v) {
+    s << "var_" << v << ":\n";
+    s << R"(  sll t1, t0, 3
+  add t1, s2, t1        # &nets[idx]
+  lw t4, 0(t1)          # cell a
+  lw t5, 4(t1)          # cell b
+  sll t6, t4, 2
+  add t6, s0, t6
+  lw t6, 0(t6)          # xa
+  sll t7, t4, 2
+  add t7, s1, t7
+  lw t7, 0(t7)          # ya
+  sll t8, t5, 2
+  add t8, s0, t8
+  lw t8, 0(t8)          # xb
+  sll t9, t5, 2
+  add t9, s1, t9
+  lw t9, 0(t9)          # yb
+  # old cost = |xa-xb| + |ya-yb|
+  sub t1, t6, t8
+)";
+    s << "  bge t1, r0, pos_x_" << v << "\n";
+    s << "  sub t1, r0, t1\n";
+    s << "pos_x_" << v << ":\n";
+    s << "  sub t2, t7, t9\n";
+    s << "  bge t2, r0, pos_y_" << v << "\n";
+    s << "  sub t2, r0, t2\n";
+    s << "pos_y_" << v << ":\n";
+    s << R"(  add t3, t1, t2        # old cost
+  # propose new location for cell a
+  li t1, 1664525
+  mul s3, s3, t1
+  li t1, 1013904223
+  add s3, s3, t1
+  srl t1, s3, 10
+)";
+    s << "  andi t1, t1, " << grid_mask << "   # nx\n";
+    s << "  srl t2, s3, 20\n";
+    s << "  andi t2, t2, " << grid_mask << "   # ny\n";
+    s << "  sub v0, t1, t8\n";
+    s << "  bge v0, r0, pos_nx_" << v << "\n";
+    s << "  sub v0, r0, v0\n";
+    s << "pos_nx_" << v << ":\n";
+    s << "  sub v1, t2, t9\n";
+    s << "  bge v1, r0, pos_ny_" << v << "\n";
+    s << "  sub v1, r0, v1\n";
+    s << "pos_ny_" << v << ":\n";
+    s << R"(  add v0, v0, v1        # new cost
+  sub v0, v0, t3        # delta
+)";
+    s << "  blt v0, r0, accept_" << v << "\n";
+    // metropolis-style acceptance: small uphill moves pass while hot
+    s << R"(  li t3, 1664525
+  mul s3, s3, t3
+  li t3, 1013904223
+  add s3, s3, t3
+  srl t3, s3, 12
+  andi t3, t3, 1023
+)";
+    s << "  bge t3, s4, move_next\n";
+    s << "  li t3, 4\n";
+    s << "  bge v0, t3, move_next   # reject large uphill moves\n";
+    s << "accept_" << v << ":\n";
+    s << R"(  sll t3, t4, 2
+  add t3, s0, t3
+  sw t1, 0(t3)          # xs[a] = nx
+  sll t3, t4, 2
+  add t3, s1, t3
+  sw t2, 0(t3)          # ys[a] = ny
+  addi s7, s7, 1
+  b move_next
+)";
+  }
+
+  s << R"(move_next:
+  addi s5, s5, 1
+  b move_loop
+temp_next:
+  # T = T * 3 / 4
+  li t0, 3
+  mul s4, s4, t0
+  srl s4, s4, 2
+  addi s6, s6, 1
+  b temp_loop
+done:
+  la t0, accepted
+  sw s7, 0(t0)
+  move a0, s7
+  li v0, 2
+  syscall
+  li a0, 10
+  li v0, 3
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+  return s.str();
+}
+
+}  // namespace rse::workloads

@@ -1,0 +1,164 @@
+// Lee-style maze router in guest assembly — the structural analog of vpr's
+// routing phase: per-net breadth-first wavefront expansion over a blocked
+// grid with an in-memory work queue.
+#include <set>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse::workloads {
+
+std::string vpr_route_source(const RouteParams& p) {
+  Xorshift64 rng(p.seed);
+  std::ostringstream s;
+  // Use a power-of-two grid so cell indices are shift/mask combinations.
+  u32 grid = 32;
+  while (grid < p.grid && grid < 128) grid *= 2;
+  const u32 cells = grid * grid;
+  const u32 mask = grid - 1;
+  const u32 shift = log2_pow2(grid);
+
+  // Generate obstacles and net terminals (terminals never on obstacles).
+  std::set<u32> blocked;
+  while (blocked.size() < p.obstacles) blocked.insert(static_cast<u32>(rng.next_below(cells)));
+  auto free_cell = [&] {
+    while (true) {
+      const u32 c = static_cast<u32>(rng.next_below(cells));
+      if (blocked.count(c) == 0) return c;
+    }
+  };
+
+  s << ".data\n.align 4\n";
+  s << "grid:\n";
+  for (u32 c = 0; c < cells; ++c) s << "  .word " << (blocked.count(c) ? -1 : 0) << "\n";
+  s << "nets:\n";
+  for (u32 n = 0; n < p.nets; ++n) {
+    s << "  .word " << free_cell() << ", " << free_cell() << "\n";
+  }
+  s << "dist:  .space " << cells * 4 << "\n";
+  s << "queue: .space " << cells * 4 << "\n";
+  s << "total: .word 0\n";
+
+  // Registers: s0=&grid s1=&dist s2=&queue s3=&nets s4=net index
+  //            s5=dst cell s6=queue head s7=queue tail
+  s << ".text\nmain:\n";
+  s << "  la s0, grid\n  la s1, dist\n  la s2, queue\n  la s3, nets\n";
+  s << "  li s4, 0\n";
+  s << "net_loop:\n";
+  s << "  li t0, " << p.nets << "\n";
+  s << R"(  bge s4, t0, done
+  # clear the distance grid
+  li t0, 0
+clear_loop:
+)";
+  s << "  li t1, " << cells * 4 << "\n";
+  s << R"(  bge t0, t1, clear_done
+  add t2, s1, t0
+  sw r0, 0(t2)
+  addi t0, t0, 4
+  b clear_loop
+clear_done:
+  sll t0, s4, 3
+  add t0, s3, t0
+  lw t1, 0(t0)          # src cell
+  lw s5, 4(t0)          # dst cell
+  # seed the wavefront
+  sll t2, t1, 2
+  add t2, s1, t2
+  li t3, 1
+  sw t3, 0(t2)          # dist[src] = 1
+  sw t1, 0(s2)          # queue[0] = src
+  li s6, 0              # head
+  li s7, 1              # tail
+bfs_loop:
+  bge s6, s7, net_next  # queue empty: unroutable, skip
+  sll t0, s6, 2
+  add t0, s2, t0
+  lw t1, 0(t0)          # cur cell
+  addi s6, s6, 1
+  beq t1, s5, net_found
+  sll t2, t1, 2
+  add t2, s1, t2
+  lw t3, 0(t2)          # d = dist[cur]
+  addi t3, t3, 1        # d+1 for neighbors
+)";
+  s << "  andi t4, t1, " << mask << "    # x\n";
+  s << "  srl t5, t1, " << shift << "    # y\n";
+
+  struct Neighbor {
+    const char* name;
+    const char* guard;  // emitted bounds check
+  };
+  // For each neighbor: bounds check, blocked check, unvisited check, enqueue.
+  auto emit_neighbor = [&](const char* tag, const std::string& bounds,
+                           const std::string& cell_expr) {
+    s << bounds;
+    s << cell_expr;  // computes neighbor cell index into t6
+    s << R"(  sll t7, t6, 2
+  add t7, s0, t7
+  lw t8, 0(t7)
+)";
+    s << "  bne t8, r0, skip_" << tag << "   # blocked\n";
+    s << R"(  sll t7, t6, 2
+  add t7, s1, t7
+  lw t8, 0(t7)
+)";
+    s << "  bne t8, r0, skip_" << tag << "   # already visited\n";
+    s << R"(  sw t3, 0(t7)
+  sll t7, s7, 2
+  add t7, s2, t7
+  sw t6, 0(t7)
+  addi s7, s7, 1
+)";
+    s << "skip_" << tag << ":\n";
+  };
+
+  emit_neighbor("left", "  beq t4, r0, skip_left\n", "  addi t6, t1, -1\n");
+  {
+    std::ostringstream bounds;
+    bounds << "  li t9, " << mask << "\n  beq t4, t9, skip_right\n";
+    emit_neighbor("right", bounds.str(), "  addi t6, t1, 1\n");
+  }
+  {
+    std::ostringstream cell;
+    cell << "  addi t6, t1, -" << grid << "\n";
+    emit_neighbor("up", "  beq t5, r0, skip_up\n", cell.str());
+  }
+  {
+    std::ostringstream bounds, cell;
+    bounds << "  li t9, " << mask << "\n  beq t5, t9, skip_down\n";
+    cell << "  addi t6, t1, " << grid << "\n";
+    emit_neighbor("down", bounds.str(), cell.str());
+  }
+
+  s << R"(  b bfs_loop
+net_found:
+  # accumulate the path length (wavefront number at the sink)
+  sll t2, s5, 2
+  add t2, s1, t2
+  lw t3, 0(t2)
+  la t4, total
+  lw t5, 0(t4)
+  add t5, t5, t3
+  sw t5, 0(t4)
+net_next:
+  addi s4, s4, 1
+  b net_loop
+done:
+  la t0, total
+  lw a0, 0(t0)
+  li v0, 2
+  syscall
+  li a0, 10
+  li v0, 3
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+  return s.str();
+}
+
+}  // namespace rse::workloads

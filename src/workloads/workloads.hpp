@@ -1,0 +1,73 @@
+// Guest workload generators.  Each function emits assembly source for the
+// simulated machine; callers assemble it (isa::assemble) and load it through
+// the guest OS.  These are the reproduction's stand-ins for the paper's
+// benchmarks (SPEC2000 vpr place/route, kMeans, a multithreaded network
+// server, and the TRR-vs-MLR randomization programs of Table 5) — see
+// DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rse::workloads {
+
+// ---- kMeans (paper section 5.1: 3 iterations, 200 patterns, 16 clusters) --
+struct KMeansParams {
+  u32 patterns = 200;
+  u32 clusters = 16;
+  u32 iters = 3;
+  u64 seed = 1;
+};
+std::string kmeans_source(const KMeansParams& params = {});
+
+// ---- vpr Placement analog: simulated-annealing cell placement ------------
+struct PlaceParams {
+  u32 cells = 4096;   // cells on the grid (32 KB of coordinates)
+  u32 grid = 64;      // grid side (power of two)
+  u32 nets = 16384;   // two-point nets, 128 KB: exceeds the 128 KB dl2
+  u32 temps = 30;     // annealing temperature levels
+  u32 moves_per_temp = 2500;
+  u64 seed = 2;
+};
+std::string vpr_place_source(const PlaceParams& params = {});
+
+// ---- vpr Routing analog: Lee-style maze router ----------------------------
+struct RouteParams {
+  u32 grid = 64;        // routing grid side (rounded up to a power of two)
+  u32 nets = 20;        // source/sink pairs to route
+  u32 obstacles = 600;  // blocked cells
+  u64 seed = 3;
+};
+std::string vpr_route_source(const RouteParams& params = {});
+
+// ---- multithreaded network server (Figure 9) ------------------------------
+struct ServerParams {
+  u32 threads = 4;           // worker pool size
+  u32 compute_iters = 900;   // per-phase compute loop trips (~10 instr each)
+  u32 io_phases = 3;         // kNetIo waits per request
+  bool enable_ddt = false;   // emit the DDT-enable CHECK at startup
+};
+std::string server_source(const ServerParams& params = {});
+
+// ---- Table 5 programs: software TRR vs hardware MLR GOT/PLT randomization -
+struct MlrProgParams {
+  u32 got_entries = 128;  // 4-byte GOT entries; PLT has one 8-byte entry each
+};
+/// Pure-software randomization (the TRR baseline): copy the GOT and rewrite
+/// every PLT entry in guest code loops.
+std::string trr_software_source(const MlrProgParams& params);
+/// Hardware version: the same task driven by MLR CHECK instructions.
+std::string mlr_rse_source(const MlrProgParams& params);
+
+// ---- compiler instrumentation pass (CHECK insertion) ----------------------
+struct InstrumentOptions {
+  bool check_control = true;  // CHK before every branch/jump (the Table 4 setup)
+  bool check_mem = false;     // CHK before loads/stores as well
+  bool add_icm_enable = true; // enable the ICM at program entry
+};
+/// Insert ICM CHECK instructions into assembly source at compile time.
+std::string instrument_checks(const std::string& source,
+                              const InstrumentOptions& options = {});
+
+}  // namespace rse::workloads

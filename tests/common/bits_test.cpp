@@ -1,0 +1,57 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse {
+namespace {
+
+TEST(Bits, ExtractBasic) {
+  EXPECT_EQ(bits(0xDEADBEEF, 0, 8), 0xEFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 8, 8), 0xBEu);
+  EXPECT_EQ(bits(0xDEADBEEF, 28, 4), 0xDu);
+  EXPECT_EQ(bits(0xFFFFFFFF, 0, 32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, InsertBasic) {
+  EXPECT_EQ(insert_bits(0, 0, 8, 0xAB), 0xABu);
+  EXPECT_EQ(insert_bits(0, 24, 8, 0xAB), 0xAB000000u);
+  EXPECT_EQ(insert_bits(0xFFFFFFFF, 8, 8, 0), 0xFFFF00FFu);
+  // Field wider than count is masked.
+  EXPECT_EQ(insert_bits(0, 0, 4, 0xFF), 0xFu);
+}
+
+TEST(Bits, InsertThenExtractRoundTrips) {
+  for (unsigned lsb = 0; lsb <= 24; lsb += 3) {
+    for (unsigned count = 1; count + lsb <= 32; count += 5) {
+      const u32 field = 0x5A5A5A5Au & ((count == 32 ? ~0u : (1u << count) - 1));
+      const u32 word = insert_bits(0x13572468, lsb, count, field);
+      EXPECT_EQ(bits(word, lsb, count), field) << "lsb=" << lsb << " count=" << count;
+    }
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF, 32), -1);
+}
+
+TEST(Bits, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(4096), 12u);
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(4097, 4096), 8192u);
+}
+
+}  // namespace
+}  // namespace rse

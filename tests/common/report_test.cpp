@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace rse::report {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsAllRows) {
+  Table table({"Name", "Value"});
+  table.row({"short", "1"});
+  table.row({"a much longer cell", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("a much longer cell"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+  // 1 header + 3 separators + 2 data rows = 6 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table table({"A", "B", "C"});
+  table.row({"only"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Format, Millions) {
+  EXPECT_EQ(fmt_millions(32'910'000), "32.91");
+  EXPECT_EQ(fmt_millions(260'000), "0.26");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_pct(0.0347), "3.47%");
+  EXPECT_EQ(fmt_pct(0.0347, 0), "3%");
+  EXPECT_EQ(fmt_pct(-0.015), "-1.50%");
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/rse_csv_test.csv";
+  CsvWriter csv(path, {"x", "y"});
+  csv.row({"1", "2"});
+  csv.row({"3", "4,5"});
+  ASSERT_TRUE(csv.flush());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"4,5\"");
+}
+
+TEST(Csv, ExportDirComesFromEnvironment) {
+  ::unsetenv("RSE_BENCH_CSV_DIR");
+  EXPECT_FALSE(csv_export_dir().has_value());
+  ::setenv("RSE_BENCH_CSV_DIR", "/tmp", 1);
+  ASSERT_TRUE(csv_export_dir().has_value());
+  EXPECT_EQ(*csv_export_dir(), "/tmp");
+  ::unsetenv("RSE_BENCH_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace rse::report

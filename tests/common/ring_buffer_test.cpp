@@ -1,0 +1,73 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  rb.push(4);
+  rb.push(5);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_EQ(rb.pop(), 5);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAround) {
+  RingBuffer<int> rb(3);
+  for (int round = 0; round < 10; ++round) {
+    rb.push(round);
+    rb.push(round + 100);
+    EXPECT_EQ(rb.pop(), round);
+    EXPECT_EQ(rb.pop(), round + 100);
+  }
+}
+
+TEST(RingBuffer, FullDetection) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_FALSE(rb.full());
+  rb.push(2);
+  EXPECT_TRUE(rb.full());
+}
+
+TEST(RingBuffer, IndexedAccess) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(11);
+  rb.push(12);
+  EXPECT_EQ(rb.at(0), 10);
+  EXPECT_EQ(rb.at(1), 11);
+  EXPECT_EQ(rb.at(2), 12);
+  rb.at(1) = 42;
+  rb.pop();
+  EXPECT_EQ(rb.front(), 42);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(7);
+  EXPECT_EQ(rb.front(), 7);
+}
+
+}  // namespace
+}  // namespace rse

@@ -1,0 +1,58 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rse {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xorshift64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xorshift64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Xorshift64 rng(0);
+  EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Xorshift64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, IntervalInclusive) {
+  Xorshift64 rng(9);
+  std::set<i64> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 2000 draws
+}
+
+TEST(Rng, UnitIntervalInRange) {
+  Xorshift64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rse

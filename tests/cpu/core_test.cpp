@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+using testing::run_for_output;
+
+// Guest programs communicate results through print syscalls; these tests
+// validate the functional correctness of the pipeline (in-order semantics
+// despite out-of-order timing) and basic timing sanity.
+
+TEST(Core, ArithmeticSemantics) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li t0, 6
+  li t1, 7
+  mul t2, t0, t1
+  move a0, t2
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "42");
+}
+
+TEST(Core, SignedArithmetic) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li t0, -15
+  li t1, 4
+  div t2, t0, t1       # -3 (truncating)
+  rem t3, t0, t1       # -3
+  add a0, t2, t3       # -6
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "-6");
+}
+
+TEST(Core, ShiftsAndLogic) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li t0, 0xF0
+  srl t1, t0, 4        # 0x0F
+  sll t2, t1, 2        # 0x3C
+  xor t3, t2, t1       # 0x33
+  andi t4, t3, 0x0F    # 0x03
+  ori a0, t4, 0x40     # 0x43 = 67
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "67");
+}
+
+TEST(Core, LoadStoreRoundTrip) {
+  const std::string out = run_for_output(R"(
+.data
+buf: .space 64
+.text
+main:
+  la s0, buf
+  li t0, 1234
+  sw t0, 8(s0)
+  lw a0, 8(s0)
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "1234");
+}
+
+TEST(Core, ByteAndHalfAccesses) {
+  const std::string out = run_for_output(R"(
+.data
+buf: .space 16
+.text
+main:
+  la s0, buf
+  li t0, -2
+  sb t0, 0(s0)
+  lb t1, 0(s0)         # sign-extended -2
+  lbu t2, 0(s0)        # zero-extended 254
+  add a0, t1, t2       # 252
+  li v0, 2
+  syscall
+  li t0, -3
+  sh t0, 4(s0)
+  lh t1, 4(s0)
+  lhu t2, 4(s0)
+  beq t1, t0, half_ok
+  li a0, 999
+  li v0, 2
+  syscall
+half_ok:
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "252");
+}
+
+TEST(Core, StoreToLoadForwardingIsCorrect) {
+  // A store immediately followed by a dependent load of the same address.
+  const std::string out = run_for_output(R"(
+.data
+buf: .space 8
+.text
+main:
+  la s0, buf
+  li t0, 77
+  sw t0, 0(s0)
+  lw t1, 0(s0)
+  addi a0, t1, 1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "78");
+}
+
+TEST(Core, PartialStoreForwardsByByte) {
+  const std::string out = run_for_output(R"(
+.data
+buf: .word 0x04030201
+.text
+main:
+  la s0, buf
+  li t0, 0xAA
+  sb t0, 1(s0)        # word becomes 0x0403AA01
+  lw t1, 0(s0)
+  srl t1, t1, 8
+  andi a0, t1, 0xFF    # 0xAA = 170
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "170");
+}
+
+TEST(Core, LoopSumsCorrectly) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li t0, 0     # i
+  li t1, 0     # sum
+loop:
+  li t2, 100
+  bge t0, t2, done
+  add t1, t1, t0
+  addi t0, t0, 1
+  b loop
+done:
+  move a0, t1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "4950");
+}
+
+TEST(Core, FunctionCallAndReturn) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li a0, 5
+  jal square
+  move a0, v0
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+square:
+  mul v0, a0, a0
+  jr ra
+)");
+  EXPECT_EQ(out, "25");
+}
+
+TEST(Core, NestedCallsThroughStack) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li a0, 4
+  jal fact
+  move a0, v0
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+fact:
+  li t0, 2
+  blt a0, t0, base
+  addi sp, sp, -8
+  sw ra, 0(sp)
+  sw a0, 4(sp)
+  addi a0, a0, -1
+  jal fact
+  lw a0, 4(sp)
+  lw ra, 0(sp)
+  addi sp, sp, 8
+  mul v0, v0, a0
+  jr ra
+base:
+  li v0, 1
+  jr ra
+)");
+  EXPECT_EQ(out, "24");
+}
+
+TEST(Core, MispredictedBranchesDoNotCorruptState) {
+  // A data-dependent alternating branch defeats the bimodal predictor, so
+  // wrong-path instructions are fetched and squashed constantly; the final
+  // architectural result must still be exact.
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li t0, 0     # i
+  li t1, 0     # acc
+loop:
+  li t2, 200
+  bge t0, t2, done
+  andi t3, t0, 1
+  beq t3, r0, even
+  addi t1, t1, 3
+  b next
+even:
+  addi t1, t1, 1
+next:
+  addi t0, t0, 1
+  b loop
+done:
+  move a0, t1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "400");  // 100*1 + 100*3
+}
+
+TEST(Core, SquashedWrongPathStoresNeverLand) {
+  SimRunner runner;
+  runner.load_source(R"(
+.data
+victim: .word 5
+.text
+main:
+  li t0, 1
+  beq t0, r0, poison   # never taken, but may be predicted taken
+  b finish
+poison:
+  la t1, victim
+  li t2, 666
+  sw t2, 0(t1)
+finish:
+  lw a0, victim
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "5");
+}
+
+TEST(Core, MispredictsAreCountedOnAlternatingBranch) {
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li t0, 0
+loop:
+  li t2, 64
+  bge t0, t2, done
+  andi t3, t0, 1
+  beq t3, r0, skip
+  nop
+skip:
+  addi t0, t0, 1
+  b loop
+done:
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_GT(runner.core_stats().mispredicts, 10u);
+  EXPECT_GT(runner.core_stats().squashed, 10u);
+}
+
+TEST(Core, TimingIsDeterministic) {
+  const std::string source = R"(
+.text
+main:
+  li t0, 0
+loop:
+  li t2, 500
+  bge t0, t2, done
+  addi t0, t0, 1
+  b loop
+done:
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+  SimRunner a, b;
+  a.load_source(source);
+  a.run();
+  b.load_source(source);
+  b.run();
+  EXPECT_EQ(a.cycles(), b.cycles());
+  EXPECT_EQ(a.core_stats().instructions, b.core_stats().instructions);
+}
+
+TEST(Core, IpcIsPlausible) {
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li t0, 0
+loop:
+  li t2, 2000
+  bge t0, t2, done
+  add t3, t0, t0
+  add t4, t3, t0
+  add t5, t4, t3
+  addi t0, t0, 1
+  b loop
+done:
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  const double ipc = static_cast<double>(runner.core_stats().instructions) /
+                     static_cast<double>(runner.core_stats().run_cycles);
+  EXPECT_GT(ipc, 0.4);  // superscalar core must beat scalar-in-order-miss rates
+  EXPECT_LT(ipc, 4.01);
+}
+
+TEST(Core, ExitCodePropagates) {
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li a0, 17
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 17);
+}
+
+TEST(Core, LuiOriBuildsFullWord) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  lui t0, 0x1234
+  ori t0, t0, 0x5678
+  srl a0, t0, 16       # 0x1234 = 4660
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "4660");
+}
+
+TEST(Core, SltVariants) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li t0, -1
+  li t1, 1
+  slt t2, t0, t1       # signed: 1
+  sltu t3, t0, t1      # unsigned: 0 (0xFFFFFFFF > 1)
+  slti t4, t0, 0       # 1
+  sltiu t5, t1, 2      # 1
+  add a0, t2, t3
+  add a0, a0, t4
+  add a0, a0, t5       # 3
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "3");
+}
+
+TEST(Core, CommitTraceObservesRetirementOrder) {
+  SimRunner runner;
+  std::vector<Addr> pcs;
+  runner.load_source(R"(
+.text
+main:
+  li t0, 1
+  li t1, 2
+  add t2, t0, t1
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.machine().core().set_commit_trace(
+      [&pcs](Cycle, Addr pc, const isa::Instr&, ThreadId) { pcs.push_back(pc); });
+  runner.run();
+  ASSERT_EQ(pcs.size(), 6u);
+  for (std::size_t i = 1; i < pcs.size(); ++i) EXPECT_EQ(pcs[i], pcs[i - 1] + 4);
+}
+
+}  // namespace
+}  // namespace rse

@@ -1,0 +1,230 @@
+// White-box timing behaviour of the out-of-order core: superscalar
+// throughput, dependency serialization, functional-unit structural limits,
+// misprediction penalties, and blocking-CHECK commit gating.
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+/// Cycles consumed by the core for a snippet run to completion.
+Cycle cycles_for(const std::string& body, os::MachineConfig config = {}) {
+  SimRunner runner(config);
+  runner.load_source(".text\nmain:\n" + body + "  li a0, 0\n  li v0, 1\n  syscall\n");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  return runner.core_stats().run_cycles;
+}
+
+/// Warm per-iteration cost of `body`: run it in a loop twice and 18 times
+/// and difference the cycle counts, cancelling cold-cache effects.
+Cycle warm_cycles_per_iteration(const std::string& body, os::MachineConfig config = {}) {
+  auto looped = [&](int iters) {
+    std::string s = "  li s7, 0\nouter:\n";
+    s += body;
+    s += "  addi s7, s7, 1\n  li s6, " + std::to_string(iters) + "\n";
+    s += "  blt s7, s6, outer\n";
+    return cycles_for(s, config);
+  };
+  const Cycle cold = looped(2);
+  const Cycle warm = looped(18);
+  return (warm - cold) / 16;
+}
+
+std::string repeat(const std::string& line, int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) out += line;
+  return out;
+}
+
+TEST(PipelineTiming, IndependentAluStreamSustainsSuperscalarIpc) {
+  // 400 independent adds on a 4-wide machine: warm IPC must be well above 2.
+  const std::string body = repeat("  add t0, t1, t2\n  add t3, t4, t5\n", 200);
+  const Cycle per_iter = warm_cycles_per_iteration(body);
+  const double ipc = 400.0 / static_cast<double>(per_iter);
+  EXPECT_GT(ipc, 2.0);
+}
+
+TEST(PipelineTiming, DependentChainSerializesToOnePerCycle) {
+  // A 400-deep add chain can never beat 1 instruction per cycle (warm).
+  const std::string body = repeat("  add t0, t0, t1\n", 400);
+  const Cycle chain = warm_cycles_per_iteration(body);
+  EXPECT_GE(chain, 400u);
+  // And the independent version of the same instruction count is much faster.
+  const std::string indep = repeat("  add t2, t0, t1\n  add t3, t0, t1\n", 200);
+  EXPECT_LT(warm_cycles_per_iteration(indep), chain / 2);
+}
+
+TEST(PipelineTiming, MulLatencyShowsOnDependentChain) {
+  const Cycle add_chain = warm_cycles_per_iteration(repeat("  add t0, t0, t1\n", 100));
+  const Cycle mul_chain = warm_cycles_per_iteration(repeat("  mul t0, t0, t1\n", 100));
+  // mul latency (3) vs add latency (1) on a fully serialized chain.
+  EXPECT_GT(mul_chain, add_chain * 2);
+}
+
+TEST(PipelineTiming, UnpipelinedDividerIsAStructuralBottleneck) {
+  // Independent divides still serialize on the single unpipelined divider.
+  const std::string divs = repeat("  div t2, t0, t1\n  div t3, t0, t1\n", 25);
+  const Cycle div_cycles = cycles_for("  li t0, 100\n  li t1, 3\n" + divs);
+  EXPECT_GT(div_cycles, 50u * 20u);  // 50 divides x 20-cycle occupancy
+}
+
+TEST(PipelineTiming, PredictableLoopBranchesAreCheap) {
+  // A hot loop branch trains the bimodal predictor: the loop runs near the
+  // dependent-chain bound, not at the mispredict-penalty bound.
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li t0, 0
+loop:
+  li t2, 1000
+  addi t0, t0, 1
+  blt t0, t2, loop
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_LT(runner.core_stats().mispredicts, 10u);
+  EXPECT_LT(runner.core_stats().run_cycles, 4000u);  // ~3 cycles/iteration
+}
+
+TEST(PipelineTiming, MispredictionCostsSquashedWork) {
+  // Alternating branch: ~50% mispredicts; each one squashes wrong-path work.
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li t0, 0
+loop:
+  li t2, 500
+  andi t3, t0, 1
+  beq t3, r0, even
+  nop
+even:
+  addi t0, t0, 1
+  blt t0, t2, loop
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_GT(runner.core_stats().mispredicts, 100u);
+  EXPECT_GT(runner.core_stats().squashed, runner.core_stats().mispredicts);
+}
+
+TEST(PipelineTiming, LoadUseLatencyVisibleOnDependentLoads) {
+  // Pointer-chase (dependent loads) vs independent loads from one address.
+  const std::string prologue = R"(
+.data
+.align 4
+cell: .word cell
+.text
+main:
+  la t0, cell
+)";
+  SimRunner chase;
+  chase.load_source(prologue + repeat("  lw t0, 0(t0)\n", 200) +
+                    "  li a0, 0\n  li v0, 1\n  syscall\n");
+  chase.run();
+  SimRunner indep;
+  indep.load_source(prologue + repeat("  lw t1, 0(t0)\n", 200) +
+                    "  li a0, 0\n  li v0, 1\n  syscall\n");
+  indep.run();
+  EXPECT_GT(chase.core_stats().run_cycles, indep.core_stats().run_cycles);
+}
+
+TEST(PipelineTiming, IcacheMissesStallFetch) {
+  os::MachineConfig tiny_icache;
+  tiny_icache.il1 = mem::CacheConfig{"il1", 128, 1, 32, 1};  // 4 blocks
+  // A looped body larger than the tiny cache misses every block, every
+  // iteration; the normal 8 KB il1 holds it after the first pass.
+  const std::string body = repeat("  add t0, t1, t2\n", 400);
+  const Cycle small = warm_cycles_per_iteration(body, tiny_icache);
+  const Cycle normal = warm_cycles_per_iteration(body);
+  EXPECT_GT(small, 2 * normal);
+  SimRunner runner(tiny_icache);
+  runner.load_source(".text\nmain:\n" + body + "  li a0, 0\n  li v0, 1\n  syscall\n");
+  runner.run();
+  EXPECT_GT(runner.core_stats().fetch_stall_cycles, 100u);
+}
+
+TEST(PipelineTiming, BlockingChkToSilentModuleStallsUntilWatchdog) {
+  // An enabled module that never answers holds the blocking CHECK at commit
+  // until the watchdog decouples the framework — measurable stall.
+  os::MachineConfig config;
+  config.framework_present = true;
+  config.selfcheck.watchdog_timeout = 500;
+  SimRunner runner(config);
+  runner.load_source(R"(
+.text
+main:
+  chk frame, 1, nblk, r0, 1
+  chk icm, 0, blk, r0, 0
+  add t0, t1, t2
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.machine().icm()->inject_fault(engine::ModuleFaultMode::kNoProgress);
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_GT(runner.core_stats().chk_commit_stall_cycles, 400u);
+}
+
+TEST(PipelineTiming, NonBlockingChkDoesNotStallCommit) {
+  os::MachineConfig config;
+  config.framework_present = true;
+  SimRunner runner(config);
+  runner.load_source(R"(
+.text
+main:
+  chk frame, 1, nblk, r0, 4
+  chk ahbm, 3, nblk, t0, 0
+  chk ahbm, 4, nblk, t0, 0
+  add t0, t1, t2
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.core_stats().chk_commit_stall_cycles, 0u);
+}
+
+TEST(PipelineTiming, SerializingMlrChkDrainsThePipeline) {
+  // Blocking MLR CHECKs serialize dispatch, so the run is far slower than
+  // the same count of non-blocking CHECKs.
+  os::MachineConfig config;
+  config.framework_present = true;
+  const std::string blocking = "  chk frame, 1, nblk, r0, 2\n" +
+                               repeat("  chk mlr, 3, nblk, t0, 0\n", 10) +
+                               repeat("  add t1, t2, t3\n", 10);
+  const Cycle nonblocking_cycles = cycles_for(blocking, config);
+  const std::string serializing = "  chk frame, 1, nblk, r0, 2\n  la t0, main\n  li t1, 28\n" +
+                                  std::string("  chk mlr, 3, nblk, t0, 0\n"
+                                              "  chk mlr, 4, nblk, t1, 0\n"
+                                              "  chk mlr, 5, blk, t0, 0\n") +
+                                  repeat("  add t1, t2, t3\n", 10);
+  const Cycle blocking_cycles = cycles_for(serializing, config);
+  EXPECT_GT(blocking_cycles, nonblocking_cycles);
+}
+
+TEST(PipelineTiming, RuuSizeBoundsInFlightWork) {
+  // Halving the RUU on a long independent stream costs throughput when
+  // long-latency ops are in flight.
+  const std::string body = "  li t9, 7\n  li t8, 3\n" +
+                           repeat("  mul t0, t9, t8\n  add t1, t9, t8\n  add t2, t9, t8\n", 100);
+  os::MachineConfig small;
+  small.core.ruu_size = 4;
+  small.core.lsq_size = 2;
+  const Cycle small_cycles = warm_cycles_per_iteration(body, small);
+  const Cycle normal_cycles = warm_cycles_per_iteration(body);
+  EXPECT_GT(small_cycles, normal_cycles);
+}
+
+}  // namespace
+}  // namespace rse

@@ -1,0 +1,78 @@
+#include "cpu/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse::cpu {
+namespace {
+
+TEST(Predictor, StartsWeaklyTaken) {
+  BranchPredictor bp(PredictorConfig{});
+  EXPECT_TRUE(bp.predict_taken(0x400000));
+}
+
+TEST(Predictor, LearnsNotTaken) {
+  BranchPredictor bp(PredictorConfig{});
+  const Addr pc = 0x400010;
+  bp.update_cond(pc, false, false);
+  bp.update_cond(pc, false, false);
+  EXPECT_FALSE(bp.predict_taken(pc));
+}
+
+TEST(Predictor, TwoBitHysteresis) {
+  BranchPredictor bp(PredictorConfig{});
+  const Addr pc = 0x400020;
+  bp.update_cond(pc, true, false);  // strongly taken
+  bp.update_cond(pc, false, false); // back to weakly taken
+  EXPECT_TRUE(bp.predict_taken(pc));
+  bp.update_cond(pc, false, false);
+  EXPECT_FALSE(bp.predict_taken(pc));
+}
+
+TEST(Predictor, BtbStoresTargets) {
+  BranchPredictor bp(PredictorConfig{});
+  EXPECT_EQ(bp.predict_indirect(0x400100), 0u);
+  bp.update_indirect(0x400100, 0x400800, true);
+  EXPECT_EQ(bp.predict_indirect(0x400100), 0x400800u);
+}
+
+TEST(Predictor, BtbTagRejectsAliases) {
+  PredictorConfig config;
+  config.btb_entries = 16;
+  BranchPredictor bp(config);
+  bp.update_indirect(0x400100, 0x400800, false);
+  // Same index (stride 16 words), different PC: must not return the target.
+  EXPECT_EQ(bp.predict_indirect(0x400100 + 16 * 4), 0u);
+}
+
+TEST(Predictor, RasLifoOrder) {
+  BranchPredictor bp(PredictorConfig{});
+  bp.ras_push(0x1000);
+  bp.ras_push(0x2000);
+  EXPECT_EQ(bp.ras_pop(), 0x2000u);
+  EXPECT_EQ(bp.ras_pop(), 0x1000u);
+  EXPECT_EQ(bp.ras_pop(), 0u);  // empty
+}
+
+TEST(Predictor, RasOverflowDropsOldest) {
+  PredictorConfig config;
+  config.ras_entries = 2;
+  BranchPredictor bp(config);
+  bp.ras_push(1);
+  bp.ras_push(2);
+  bp.ras_push(3);
+  EXPECT_EQ(bp.ras_pop(), 3u);
+  EXPECT_EQ(bp.ras_pop(), 2u);
+  EXPECT_EQ(bp.ras_pop(), 0u);
+}
+
+TEST(Predictor, MispredictStats) {
+  BranchPredictor bp(PredictorConfig{});
+  bp.predict_taken(0x400000);
+  bp.update_cond(0x400000, false, true);
+  bp.update_indirect(0x400004, 0x1234, true);
+  EXPECT_EQ(bp.stats().cond_mispredicts, 1u);
+  EXPECT_EQ(bp.stats().indirect_mispredicts, 1u);
+}
+
+}  // namespace
+}  // namespace rse::cpu

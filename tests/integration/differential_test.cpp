@@ -1,0 +1,157 @@
+// Differential testing: the out-of-order core must retire exactly the same
+// architectural state as the in-order golden interpreter for randomly
+// generated programs — with and without the RSE framework, under ICM
+// instrumentation, and across pipeline-stressing configurations.
+#include <gtest/gtest.h>
+
+#include "../support/random_program.hpp"
+#include "../support/sim_runner.hpp"
+#include "isa/interpreter.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse {
+namespace {
+
+using testing::RandomProgramOptions;
+using testing::generate_random_program;
+using testing::SimRunner;
+
+/// Final arena content (working-register dump included) after running
+/// `source` on the golden interpreter.
+std::vector<u8> golden_arena(const std::string& source, u64* instructions = nullptr) {
+  const isa::Program program = isa::assemble(source);
+  mem::MainMemory memory;
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    memory.write_u32(program.text_base + static_cast<Addr>(i * 4), program.text[i]);
+  }
+  if (!program.data.empty()) {
+    memory.write_block(program.data_base, program.data.data(),
+                       static_cast<u32>(program.data.size()));
+  }
+  isa::Interpreter interp(memory);
+  interp.set_pc(program.entry);
+  bool exited = false;
+  interp.set_syscall_handler([&exited](isa::Interpreter& i) {
+    if (i.reg(isa::kV0) == 1) {
+      exited = true;
+      return false;
+    }
+    return true;  // other syscalls: no-op in the golden model
+  });
+  interp.run();
+  EXPECT_TRUE(exited) << "golden model did not reach sys_exit";
+  if (instructions != nullptr) *instructions = interp.instructions_executed();
+  const Addr arena = program.symbol("arena");
+  std::vector<u8> out((64 + testing::kDumpOffsetWords + 16) * 4);
+  memory.read_block(arena, out.data(), static_cast<u32>(out.size()));
+  return out;
+}
+
+std::vector<u8> machine_arena(const std::string& source, const os::MachineConfig& config) {
+  SimRunner runner(config);
+  runner.load_source(source);
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  const Addr arena = runner.program().symbol("arena");
+  std::vector<u8> out((64 + testing::kDumpOffsetWords + 16) * 4);
+  runner.machine().memory().read_block(arena, out.data(), static_cast<u32>(out.size()));
+  return out;
+}
+
+class DifferentialAlu : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialAlu, MatchesGoldenModel) {
+  RandomProgramOptions options;
+  options.with_memory = false;
+  options.with_loops = false;
+  const std::string source = generate_random_program(GetParam(), options);
+  EXPECT_EQ(machine_arena(source, os::MachineConfig{}), golden_arena(source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialAlu, ::testing::Range<u64>(1, 41));
+
+class DifferentialMemory : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialMemory, MatchesGoldenModel) {
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  const std::string source = generate_random_program(GetParam(), options);
+  EXPECT_EQ(machine_arena(source, os::MachineConfig{}), golden_arena(source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialMemory, ::testing::Range<u64>(100, 140));
+
+class DifferentialCalls : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialCalls, MatchesGoldenModel) {
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.with_calls = true;
+  const std::string source = generate_random_program(GetParam(), options);
+  EXPECT_EQ(machine_arena(source, os::MachineConfig{}), golden_arena(source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialCalls, ::testing::Range<u64>(200, 225));
+
+class DifferentialWithRse : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialWithRse, InstrumentedRunMatchesGoldenModel) {
+  // The ICM-instrumented program on the RSE machine retires the same state:
+  // CHECK instructions are architecturally transparent.
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  const std::string source = generate_random_program(GetParam(), options);
+  const std::string instrumented = workloads::instrument_checks(source);
+  os::MachineConfig config;
+  config.framework_present = true;
+  EXPECT_EQ(machine_arena(instrumented, config), golden_arena(source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialWithRse, ::testing::Range<u64>(300, 325));
+
+class DifferentialTinyPipeline : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialTinyPipeline, StressedStructuresMatchGoldenModel) {
+  // A deliberately starved pipeline (tiny RUU/LSQ/caches) exercises every
+  // stall path; architectural results must be unchanged.
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.blocks = 8;
+  const std::string source = generate_random_program(GetParam(), options);
+  os::MachineConfig config;
+  config.core.ruu_size = 4;
+  config.core.lsq_size = 2;
+  config.core.fetch_buffer_size = 2;
+  config.core.fetch_width = 2;
+  config.core.issue_width = 2;
+  config.core.commit_width = 2;
+  config.core.int_alus = 1;
+  config.core.mem_ports = 1;
+  config.il1 = mem::CacheConfig{"il1", 256, 1, 32, 1};
+  config.dl1 = mem::CacheConfig{"dl1", 256, 1, 32, 1};
+  EXPECT_EQ(machine_arena(source, config), golden_arena(source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTinyPipeline, ::testing::Range<u64>(400, 425));
+
+TEST(Differential, CommittedInstructionCountMatchesGoldenModel) {
+  // Squashes must never be counted: the committed-instruction statistic
+  // equals the golden model's executed count exactly.
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  const std::string source = generate_random_program(777, options);
+  u64 golden_count = 0;
+  golden_arena(source, &golden_count);
+  SimRunner runner;
+  runner.load_source(source);
+  runner.run();
+  EXPECT_EQ(runner.core_stats().instructions, golden_count);
+}
+
+}  // namespace
+}  // namespace rse

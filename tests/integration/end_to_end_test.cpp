@@ -1,0 +1,176 @@
+// Full-system scenarios: DDT-protected multithreaded server surviving a
+// thread crash, MLR-randomized loading, framework overhead sanity.
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+os::MachineConfig rse_machine() {
+  os::MachineConfig config;
+  config.framework_present = true;
+  return config;
+}
+
+os::NetworkConfig small_net(u32 requests = 16) {
+  os::NetworkConfig net;
+  net.total_requests = requests;
+  net.interarrival = 300;
+  net.io_latency_mean = 4000;
+  return net;
+}
+
+TEST(EndToEnd, ServerWithDdtTracksDependenciesAndSavesPages) {
+  workloads::ServerParams params;
+  params.threads = 4;
+  params.compute_iters = 60;
+  params.enable_ddt = true;
+  SimRunner runner(rse_machine());
+  runner.os().network().configure(small_net(20));
+  runner.load_source(workloads::server_source(params));
+  runner.run();
+  ASSERT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  const auto& ddt = runner.machine().ddt()->stats();
+  EXPECT_GT(ddt.tracked_stores, 0u);
+  EXPECT_GT(ddt.save_page_exceptions, 0u);
+  EXPECT_GT(ddt.dependencies_logged, 0u);
+  EXPECT_EQ(runner.os().stats().pages_saved, ddt.save_page_exceptions);
+  EXPECT_GT(runner.core_stats().module_stall_cycles, 0u);
+}
+
+TEST(EndToEnd, SavedPagesGrowWithThreadCount) {
+  auto pages_for_threads = [](u32 threads) {
+    workloads::ServerParams params;
+    params.threads = threads;
+    params.compute_iters = 60;
+    params.enable_ddt = true;
+    SimRunner runner(rse_machine());
+    runner.os().network().configure(small_net(24));
+    runner.load_source(workloads::server_source(params));
+    runner.run();
+    EXPECT_EQ(runner.os().exit_code(), 0);
+    return runner.os().stats().pages_saved;
+  };
+  const u64 one = pages_for_threads(1);
+  const u64 six = pages_for_threads(6);
+  EXPECT_LE(one, 4u);  // single-thread: (almost) no ownership changes
+  EXPECT_GT(six, one + 4);
+}
+
+TEST(EndToEnd, CrashedWorkerIsRecoveredAndSurvivorsFinish) {
+  // A 3-worker DDT-protected server where one worker crashes mid-run: the
+  // recovery kills the dependent closure and the survivors complete the
+  // remaining requests.
+  workloads::ServerParams params;
+  params.threads = 3;
+  params.compute_iters = 40;
+  params.enable_ddt = true;
+  SimRunner runner(rse_machine());
+  runner.os().network().configure(small_net(18));
+  runner.load_source(workloads::server_source(params));
+  // Let the server warm up, then crash worker thread 2 (tid 2: main=0).
+  for (int i = 0; i < 200000 && runner.os().stats().pages_saved < 2; ++i) runner.os().step();
+  ASSERT_FALSE(runner.os().finished());
+  runner.os().inject_crash(2);
+  runner.run();
+  ASSERT_TRUE(runner.os().finished());
+  ASSERT_EQ(runner.os().recoveries().size(), 1u);
+  const os::RecoveryReport& report = runner.os().recoveries()[0];
+  EXPECT_EQ(report.faulty, 2u);
+  EXPECT_FALSE(report.total_loss);
+  // The faulty thread died; at least one other thread survived the cut.
+  EXPECT_EQ(runner.os().thread_state(2), os::ThreadState::kKilled);
+  EXPECT_FALSE(report.survivors.empty());
+}
+
+TEST(EndToEnd, CrashWithoutDdtKillsWholeServer) {
+  workloads::ServerParams params;
+  params.threads = 3;
+  params.compute_iters = 40;
+  params.enable_ddt = false;  // kill-all policy applies
+  SimRunner runner(rse_machine());
+  runner.os().network().configure(small_net(18));
+  runner.load_source(workloads::server_source(params));
+  for (int i = 0; i < 100000 && runner.os().live_thread_count() < 4; ++i) runner.os().step();
+  runner.os().inject_crash(2);
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);
+  EXPECT_EQ(runner.os().live_thread_count(), 0u);
+}
+
+TEST(EndToEnd, FrameworkPresenceAddsSmallOverhead) {
+  // Table 4's framework experiment in miniature: same program, bus timing
+  // 18/2 vs 19/3 -> low-single-digit % more cycles.
+  workloads::KMeansParams params;
+  params.patterns = 60;
+  params.clusters = 8;
+  params.iters = 2;
+  SimRunner baseline;
+  baseline.load_source(workloads::kmeans_source(params));
+  baseline.run();
+  SimRunner framework(rse_machine());
+  framework.load_source(workloads::kmeans_source(params));
+  framework.run();
+  EXPECT_EQ(baseline.os().output(), framework.os().output());
+  EXPECT_GE(framework.cycles(), baseline.cycles());
+  const double overhead =
+      static_cast<double>(framework.cycles() - baseline.cycles()) /
+      static_cast<double>(baseline.cycles());
+  EXPECT_LT(overhead, 0.15);
+}
+
+TEST(EndToEnd, MlrRandomizedLayoutFoilsFixedAddressAttack) {
+  // An "attacker" program that jumps to a hardcoded stack address (where an
+  // unrandomized run would have planted a return value).  With MLR the
+  // address is wrong -> the thread crashes instead of executing the payload.
+  const char* attack = R"(
+.text
+main:
+  # write a code pointer at the *default* stack top region, then jump to a
+  # hardcoded address derived from the fixed layout assumption
+  li t0, 0x7FFEFF00
+  jr t0             # fixed-layout assumption: lands in unmapped zeros
+)";
+  os::OsConfig os_config;
+  os_config.randomize_layout = true;
+  SimRunner runner(rse_machine(), os_config);
+  runner.load_source(attack);
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);  // crash, not hijack
+  EXPECT_EQ(runner.os().stats().crashes, 1u);
+}
+
+TEST(EndToEnd, FullServerRunWithAllFourModulesEnabled) {
+  workloads::ServerParams params;
+  params.threads = 3;
+  params.compute_iters = 40;
+  params.enable_ddt = true;
+  os::OsConfig os_config;
+  os_config.randomize_layout = true;
+  SimRunner runner(rse_machine(), os_config);
+  runner.os().network().configure(small_net(10));
+  runner.os().enable_module(isa::ModuleId::kIcm);
+  runner.os().enable_module(isa::ModuleId::kAhbm);
+  runner.load_source(
+      workloads::instrument_checks(workloads::server_source(params),
+                                   workloads::InstrumentOptions{.check_control = true,
+                                                                .check_mem = false,
+                                                                .add_icm_enable = true}));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  EXPECT_GT(runner.machine().icm()->stats().checks_completed, 100u);
+  EXPECT_EQ(runner.machine().icm()->stats().mismatches, 0u);
+  EXPECT_GT(runner.machine().ddt()->stats().tracked_stores, 0u);
+  EXPECT_FALSE(runner.machine().framework()->safe_mode());
+}
+
+}  // namespace
+}  // namespace rse

@@ -1,0 +1,155 @@
+// Parameterized sweeps over the workload generators: every configuration
+// must assemble, run to a clean exit, and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../support/sim_runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+class KMeansSweep : public ::testing::TestWithParam<std::tuple<u32, u32, u32>> {};
+
+TEST_P(KMeansSweep, RunsClean) {
+  const auto [patterns, clusters, iters] = GetParam();
+  workloads::KMeansParams params;
+  params.patterns = patterns;
+  params.clusters = clusters;
+  params.iters = iters;
+  SimRunner runner;
+  runner.load_source(workloads::kmeans_source(params));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  // Work scales with patterns * clusters * iters.
+  EXPECT_GT(runner.core_stats().instructions, u64{patterns} * clusters * iters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, KMeansSweep,
+                         ::testing::Values(std::tuple{20u, 2u, 1u}, std::tuple{50u, 4u, 2u},
+                                           std::tuple{100u, 8u, 1u}, std::tuple{40u, 16u, 3u}));
+
+class PlaceSweep : public ::testing::TestWithParam<std::tuple<u32, u32, u32>> {};
+
+TEST_P(PlaceSweep, RunsClean) {
+  const auto [nets, temps, moves] = GetParam();
+  workloads::PlaceParams params;
+  params.cells = 128;
+  params.grid = 16;
+  params.nets = nets;
+  params.temps = temps;
+  params.moves_per_temp = moves;
+  SimRunner runner;
+  runner.load_source(workloads::vpr_place_source(params));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PlaceSweep,
+                         ::testing::Values(std::tuple{64u, 2u, 50u}, std::tuple{256u, 3u, 100u},
+                                           std::tuple{1024u, 2u, 200u}));
+
+class RouteSweep : public ::testing::TestWithParam<std::tuple<u32, u32, u32>> {};
+
+TEST_P(RouteSweep, RunsClean) {
+  const auto [grid, nets, obstacles] = GetParam();
+  workloads::RouteParams params;
+  params.grid = grid;
+  params.nets = nets;
+  params.obstacles = obstacles;
+  SimRunner runner;
+  runner.load_source(workloads::vpr_route_source(params));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, RouteSweep,
+                         ::testing::Values(std::tuple{16u, 3u, 20u}, std::tuple{32u, 5u, 150u},
+                                           std::tuple{32u, 8u, 0u}));
+
+class ServerSweep : public ::testing::TestWithParam<std::tuple<u32, u32, bool>> {};
+
+TEST_P(ServerSweep, HandlesEveryRequest) {
+  const auto [threads, io_phases, ddt] = GetParam();
+  workloads::ServerParams params;
+  params.threads = threads;
+  params.io_phases = io_phases;
+  params.compute_iters = 40;
+  params.enable_ddt = ddt;
+  os::MachineConfig config;
+  config.framework_present = true;
+  SimRunner runner(config);
+  runner.os().network().configure([] {
+    os::NetworkConfig net;
+    net.total_requests = 10;
+    net.interarrival = 400;
+    net.io_latency_mean = 1500;
+    return net;
+  }());
+  runner.load_source(workloads::server_source(params));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  EXPECT_TRUE(runner.os().network().all_completed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ServerSweep,
+                         ::testing::Values(std::tuple{1u, 1u, false}, std::tuple{2u, 2u, true},
+                                           std::tuple{6u, 3u, true},
+                                           std::tuple{10u, 1u, false}));
+
+class MlrSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(MlrSweep, BothVersionsAgreeOnMemoryState) {
+  const workloads::MlrProgParams params{GetParam()};
+  os::MachineConfig config;
+  config.framework_present = true;
+  SimRunner software(config), hardware(config);
+  software.load_source(workloads::trr_software_source(params));
+  software.run();
+  hardware.load_source(workloads::mlr_rse_source(params));
+  hardware.run();
+  ASSERT_EQ(software.os().exit_code(), 0);
+  ASSERT_EQ(hardware.os().exit_code(), 0);
+  const Addr got_new = software.program().symbol("got_new");
+  const Addr plt = software.program().symbol("plt");
+  for (u32 i = 0; i < params.got_entries; ++i) {
+    EXPECT_EQ(software.machine().memory().read_u32(got_new + i * 4),
+              hardware.machine().memory().read_u32(got_new + i * 4));
+    EXPECT_EQ(software.machine().memory().read_u32(plt + i * 4),
+              hardware.machine().memory().read_u32(plt + i * 4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MlrSweep, ::testing::Values(16u, 64u, 200u, 1000u));
+
+class RandomProgramDeterminism : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomProgramDeterminism, CycleExactAcrossRuns) {
+  workloads::KMeansParams params;
+  params.patterns = 30;
+  params.clusters = 4;
+  params.iters = 1;
+  params.seed = GetParam();
+  const std::string source = workloads::kmeans_source(params);
+  SimRunner a, b;
+  a.load_source(source);
+  a.run();
+  b.load_source(source);
+  b.run();
+  EXPECT_EQ(a.cycles(), b.cycles());
+  EXPECT_EQ(a.os().output(), b.os().output());
+  EXPECT_EQ(a.core_stats().mispredicts, b.core_stats().mispredicts);
+  EXPECT_EQ(a.machine().il1().stats().misses, b.machine().il1().stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramDeterminism, ::testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace rse

@@ -1,0 +1,183 @@
+// The paper's workloads assemble, run to completion, and behave as the
+// experiments require (determinism, instrumentation effects).
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+workloads::KMeansParams tiny_kmeans() {
+  workloads::KMeansParams p;
+  p.patterns = 40;
+  p.clusters = 4;
+  p.iters = 2;
+  return p;
+}
+
+workloads::PlaceParams tiny_place() {
+  workloads::PlaceParams p;
+  p.temps = 3;
+  p.moves_per_temp = 100;
+  return p;
+}
+
+workloads::RouteParams tiny_route() {
+  workloads::RouteParams p;
+  p.nets = 4;
+  return p;
+}
+
+TEST(Workloads, KMeansRunsToCompletion) {
+  SimRunner runner;
+  runner.load_source(workloads::kmeans_source(tiny_kmeans()));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  EXPECT_FALSE(runner.os().output().empty());
+}
+
+TEST(Workloads, KMeansIsDeterministic) {
+  SimRunner a, b;
+  a.load_source(workloads::kmeans_source(tiny_kmeans()));
+  a.run();
+  b.load_source(workloads::kmeans_source(tiny_kmeans()));
+  b.run();
+  EXPECT_EQ(a.os().output(), b.os().output());
+  EXPECT_EQ(a.cycles(), b.cycles());
+}
+
+TEST(Workloads, PlaceRunsAndAcceptsMoves) {
+  SimRunner runner;
+  runner.load_source(workloads::vpr_place_source(tiny_place()));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  // annealing must accept at least some moves
+  EXPECT_NE(runner.os().output(), "0\n");
+}
+
+TEST(Workloads, RouteFindsPaths) {
+  SimRunner runner;
+  runner.load_source(workloads::vpr_route_source(tiny_route()));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  const int total = std::stoi(runner.os().output());
+  EXPECT_GT(total, 0);  // wavefront numbers accumulated
+}
+
+TEST(Workloads, ServerHandlesAllRequests) {
+  workloads::ServerParams params;
+  params.threads = 3;
+  params.compute_iters = 50;
+  SimRunner runner;
+  runner.os().network().configure([] {
+    os::NetworkConfig net;
+    net.total_requests = 12;
+    net.interarrival = 500;
+    net.io_latency_mean = 2000;
+    return net;
+  }());
+  runner.load_source(workloads::server_source(params));
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  EXPECT_EQ(runner.os().output(), "12\n");
+  EXPECT_TRUE(runner.os().network().all_completed());
+}
+
+TEST(Workloads, ServerMoreThreadsNotSlower) {
+  auto run_with_threads = [](u32 threads) {
+    workloads::ServerParams params;
+    params.threads = threads;
+    params.compute_iters = 60;
+    params.io_phases = 3;
+    SimRunner runner;
+    runner.os().network().configure([] {
+      os::NetworkConfig net;
+      net.total_requests = 16;
+      net.interarrival = 200;
+      net.io_latency_mean = 6000;
+      return net;
+    }());
+    runner.load_source(workloads::server_source(params));
+    runner.run();
+    EXPECT_EQ(runner.os().exit_code(), 0);
+    return runner.cycles();
+  };
+  const Cycle one = run_with_threads(1);
+  const Cycle four = run_with_threads(4);
+  EXPECT_LT(four, one);  // I/O overlap helps (Figure 9's left side)
+}
+
+TEST(Workloads, InstrumentationInsertsChecksBeforeControlFlow) {
+  const std::string plain = workloads::kmeans_source(tiny_kmeans());
+  const std::string instrumented = workloads::instrument_checks(plain);
+  // Count chk occurrences: one per branch/jump plus the enable.
+  auto count = [](const std::string& s, const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_GT(count(instrumented, "chk icm"), 10u);
+  EXPECT_EQ(count(instrumented, "chk frame"), 1u);
+  // Both versions must assemble.
+  EXPECT_NO_THROW(isa::assemble(plain));
+  EXPECT_NO_THROW(isa::assemble(instrumented));
+}
+
+TEST(Workloads, InstrumentedProgramProducesSameResult) {
+  os::MachineConfig config;
+  config.framework_present = true;
+  SimRunner plain(config), checked(config);
+  plain.load_source(workloads::kmeans_source(tiny_kmeans()));
+  plain.run();
+  checked.load_source(workloads::instrument_checks(workloads::kmeans_source(tiny_kmeans())));
+  checked.run();
+  EXPECT_EQ(plain.os().output(), checked.os().output());
+  // The ICM actually checked things.
+  EXPECT_GT(checked.machine().icm()->stats().checks_completed, 100u);
+  EXPECT_EQ(checked.machine().icm()->stats().mismatches, 0u);
+}
+
+TEST(Workloads, CheckInstructionsIncreaseICacheAccesses) {
+  // The Table 4 cache-overhead methodology: instrumented code on the
+  // baseline machine (CHECKs behave as NOPs) raises il1 accesses.
+  SimRunner plain, checked;
+  plain.load_source(workloads::kmeans_source(tiny_kmeans()));
+  plain.run();
+  checked.load_source(workloads::instrument_checks(workloads::kmeans_source(tiny_kmeans())));
+  checked.run();
+  EXPECT_EQ(plain.os().output(), checked.os().output());
+  EXPECT_GT(checked.machine().il1().stats().accesses, plain.machine().il1().stats().accesses);
+}
+
+TEST(Workloads, MlrProgramsScaleWithGotEntries) {
+  auto cycles_for = [](u32 entries, bool hardware) {
+    os::MachineConfig config;
+    config.framework_present = true;
+    SimRunner runner(config);
+    workloads::MlrProgParams params{entries};
+    runner.load_source(hardware ? workloads::mlr_rse_source(params)
+                                : workloads::trr_software_source(params));
+    runner.run();
+    EXPECT_EQ(runner.os().exit_code(), 0);
+    return runner.cycles();
+  };
+  // Software cost grows roughly linearly; hardware stays cheaper.
+  const Cycle sw128 = cycles_for(128, false);
+  const Cycle sw512 = cycles_for(512, false);
+  EXPECT_GT(sw512, sw128 * 2);
+  EXPECT_LT(cycles_for(128, true), sw128);
+  EXPECT_LT(cycles_for(512, true), sw512);
+}
+
+}  // namespace
+}  // namespace rse

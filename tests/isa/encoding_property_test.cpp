@@ -1,0 +1,107 @@
+// Property tests on the binary encoding: decode(encode(decode(w))) is a
+// fixed point for every word whose decode is valid, and the assembler's
+// output disassembles to text that carries the same semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/instruction.hpp"
+
+namespace rse::isa {
+namespace {
+
+bool same_decoded(const Instr& a, const Instr& b) {
+  if (a.op != b.op) return false;
+  if (a.op == Op::kChk) {
+    return a.chk_module == b.chk_module && a.chk_blocking == b.chk_blocking &&
+           a.chk_op == b.chk_op && a.rs == b.rs && a.chk_imm == b.chk_imm;
+  }
+  if (a.op == Op::kJ || a.op == Op::kJal) return a.target == b.target;
+  return a.rd == b.rd && a.rs == b.rs && a.rt == b.rt && a.shamt == b.shamt && a.imm == b.imm;
+}
+
+class EncodingFixedPoint : public ::testing::TestWithParam<u64> {};
+
+TEST_P(EncodingFixedPoint, DecodeEncodeDecodeIsStable) {
+  Xorshift64 rng(GetParam());
+  int valid = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Word raw = static_cast<Word>(rng.next());
+    const Instr first = decode(raw);
+    if (first.op == Op::kInvalid) continue;
+    ++valid;
+    const Word re = encode(first);
+    const Instr second = decode(re);
+    ASSERT_TRUE(same_decoded(first, second))
+        << "raw=0x" << std::hex << raw << " re=0x" << re << " (" << disassemble(first)
+        << " vs " << disassemble(second) << ")";
+    // Encoding a second time must be byte-identical (canonical form).
+    EXPECT_EQ(encode(second), re);
+  }
+  EXPECT_GT(valid, 1000);  // the opcode space is reasonably dense
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingFixedPoint, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EncodingProperty, SourceRegsAndDestNeverExceedRegisterFile) {
+  Xorshift64 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const Instr in = decode(static_cast<Word>(rng.next()));
+    if (in.op == Op::kInvalid) continue;
+    if (const auto dest = in.dest_reg()) {
+      EXPECT_LT(*dest, kNumRegs);
+    }
+    const auto sources = in.source_regs();
+    ASSERT_LE(sources.count, 2);
+    for (u8 s = 0; s < sources.count; ++s) EXPECT_LT(sources.regs[s], kNumRegs);
+  }
+}
+
+TEST(EncodingProperty, DestRegNeverR0) {
+  Xorshift64 rng(88);
+  for (int i = 0; i < 20000; ++i) {
+    const Instr in = decode(static_cast<Word>(rng.next()));
+    if (in.op == Op::kInvalid) continue;
+    if (const auto dest = in.dest_reg()) {
+      EXPECT_NE(*dest, 0);
+    }
+  }
+}
+
+TEST(EncodingProperty, NopClassOnlyForCanonicalNop) {
+  // Only sll r0, rX, 0 encodings (and invalid words) classify as kNop.
+  Xorshift64 rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const Instr in = decode(static_cast<Word>(rng.next()));
+    if (in.op == Op::kInvalid) continue;
+    if (in.op_class() == OpClass::kNop) {
+      EXPECT_EQ(in.op, Op::kSll);
+      EXPECT_EQ(in.rd, 0);
+    }
+  }
+}
+
+TEST(AssemblerProperty, AssembledTextAlwaysDecodesValid) {
+  // Everything the assembler emits must decode to a known instruction.
+  const Program p = assemble(R"(
+.data
+buf: .word 1, 2, 3
+.text
+main:
+  la s0, buf
+  li t0, 0x7FFFFFFF
+  lw t1, 0(s0)
+  sw t1, 4(s0)
+  chk icm, 0, blk, r0, 0
+  beq t0, t1, main
+  jal main
+  jr ra
+  syscall
+)");
+  for (const Word raw : p.text) {
+    EXPECT_NE(decode(raw).op, Op::kInvalid) << "word 0x" << std::hex << raw;
+  }
+}
+
+}  // namespace
+}  // namespace rse::isa

@@ -1,0 +1,151 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse::isa {
+namespace {
+
+Instr make_r(Op op, u8 rd, u8 rs, u8 rt, u8 shamt = 0) {
+  Instr in;
+  in.op = op;
+  in.rd = rd;
+  in.rs = rs;
+  in.rt = rt;
+  in.shamt = shamt;
+  return in;
+}
+
+Instr make_i(Op op, u8 rt, u8 rs, i32 imm) {
+  Instr in;
+  in.op = op;
+  in.rt = rt;
+  in.rs = rs;
+  in.imm = imm;
+  return in;
+}
+
+TEST(Instruction, NopEncodesToZero) {
+  const Instr nop = decode(kNopEncoding);
+  EXPECT_EQ(nop.op, Op::kSll);
+  EXPECT_EQ(nop.op_class(), OpClass::kNop);
+}
+
+TEST(Instruction, InvalidOpcodeDecodesInvalid) {
+  // opcode 0x3F is unassigned
+  EXPECT_EQ(decode(0xFC000000u).op, Op::kInvalid);
+}
+
+// Round-trip every R-type op through encode/decode.
+class RTypeRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(RTypeRoundTrip, EncodeDecode) {
+  const Instr in = make_r(GetParam(), 3, 7, 12, GetParam() == Op::kSll ? 5 : 0);
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.rd, in.rd);
+  EXPECT_EQ(out.rs, in.rs);
+  EXPECT_EQ(out.rt, in.rt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRType, RTypeRoundTrip,
+                         ::testing::Values(Op::kSll, Op::kSrl, Op::kSra, Op::kSllv, Op::kSrlv,
+                                           Op::kSrav, Op::kAdd, Op::kSub, Op::kAnd, Op::kOr,
+                                           Op::kXor, Op::kNor, Op::kSlt, Op::kSltu, Op::kMul,
+                                           Op::kMulh, Op::kDiv, Op::kRem, Op::kJr, Op::kJalr,
+                                           Op::kSyscall));
+
+class ITypeRoundTrip : public ::testing::TestWithParam<std::tuple<Op, i32>> {};
+
+TEST_P(ITypeRoundTrip, EncodeDecode) {
+  const auto [op, imm] = GetParam();
+  const Instr in = make_i(op, 9, 4, imm);
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.rt, in.rt);
+  EXPECT_EQ(out.rs, in.rs);
+  EXPECT_EQ(out.imm, imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIType, ITypeRoundTrip,
+    ::testing::Combine(::testing::Values(Op::kAddi, Op::kAndi, Op::kOri, Op::kXori, Op::kSlti,
+                                         Op::kSltiu, Op::kLui, Op::kLw, Op::kLb, Op::kLbu,
+                                         Op::kLh, Op::kLhu, Op::kSw, Op::kSb, Op::kSh, Op::kBeq,
+                                         Op::kBne, Op::kBlt, Op::kBge, Op::kBltu, Op::kBgeu),
+                       ::testing::Values(0, 1, -1, 32767, -32768)));
+
+TEST(Instruction, JumpRoundTrip) {
+  Instr in;
+  in.op = Op::kJal;
+  in.target = 0x012345u;
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(out.op, Op::kJal);
+  EXPECT_EQ(out.target, 0x012345u);
+}
+
+TEST(Instruction, ChkRoundTrip) {
+  Instr in;
+  in.op = Op::kChk;
+  in.chk_module = ModuleId::kDdt;
+  in.chk_blocking = true;
+  in.chk_op = 19;
+  in.rs = 21;
+  in.chk_imm = 0xABC;
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(out.op, Op::kChk);
+  EXPECT_EQ(out.chk_module, ModuleId::kDdt);
+  EXPECT_TRUE(out.chk_blocking);
+  EXPECT_EQ(out.chk_op, 19);
+  EXPECT_EQ(out.rs, 21);
+  EXPECT_EQ(out.chk_imm, 0xABC);
+}
+
+TEST(Instruction, OpClasses) {
+  EXPECT_EQ(make_r(Op::kAdd, 1, 2, 3).op_class(), OpClass::kIntAlu);
+  EXPECT_EQ(make_r(Op::kMul, 1, 2, 3).op_class(), OpClass::kIntMul);
+  EXPECT_EQ(make_i(Op::kLw, 1, 2, 0).op_class(), OpClass::kLoad);
+  EXPECT_EQ(make_i(Op::kSw, 1, 2, 0).op_class(), OpClass::kStore);
+  EXPECT_EQ(make_i(Op::kBeq, 1, 2, 0).op_class(), OpClass::kBranch);
+  EXPECT_EQ(make_r(Op::kJr, 0, 31, 0).op_class(), OpClass::kJump);
+  EXPECT_EQ(make_r(Op::kSyscall, 0, 0, 0).op_class(), OpClass::kSyscall);
+}
+
+TEST(Instruction, DestRegisters) {
+  EXPECT_EQ(make_r(Op::kAdd, 5, 1, 2).dest_reg(), std::optional<u8>(5));
+  EXPECT_EQ(make_r(Op::kAdd, 0, 1, 2).dest_reg(), std::nullopt);  // r0 never written
+  EXPECT_EQ(make_i(Op::kLw, 7, 2, 0).dest_reg(), std::optional<u8>(7));
+  EXPECT_EQ(make_i(Op::kSw, 7, 2, 0).dest_reg(), std::nullopt);
+  Instr jal;
+  jal.op = Op::kJal;
+  EXPECT_EQ(jal.dest_reg(), std::optional<u8>(kRa));
+}
+
+TEST(Instruction, SourceRegisters) {
+  const auto add_sources = make_r(Op::kAdd, 5, 1, 2).source_regs();
+  EXPECT_EQ(add_sources.count, 2);
+  EXPECT_EQ(add_sources.regs[0], 1);
+  EXPECT_EQ(add_sources.regs[1], 2);
+
+  const auto lw_sources = make_i(Op::kLw, 7, 3, 4).source_regs();
+  EXPECT_EQ(lw_sources.count, 1);
+  EXPECT_EQ(lw_sources.regs[0], 3);
+
+  const auto sw_sources = make_i(Op::kSw, 7, 3, 4).source_regs();
+  EXPECT_EQ(sw_sources.count, 2);
+
+  Instr chk;
+  chk.op = Op::kChk;
+  chk.rs = 9;
+  const auto chk_sources = chk.source_regs();
+  EXPECT_EQ(chk_sources.count, 1);
+  EXPECT_EQ(chk_sources.regs[0], 9);
+}
+
+TEST(Instruction, DisassembleSamples) {
+  EXPECT_EQ(disassemble(decode(kNopEncoding)), "nop");
+  EXPECT_EQ(disassemble(make_r(Op::kAdd, 3, 1, 2)), "add r3, r1, r2");
+  EXPECT_EQ(disassemble(make_i(Op::kLw, 4, 29, 8)), "lw r4, 8(r29)");
+}
+
+}  // namespace
+}  // namespace rse::isa

@@ -1,0 +1,61 @@
+#include "mem/bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse::mem {
+namespace {
+
+TEST(BusTiming, SingleChunk) {
+  const BusTiming t{18, 2, 8};
+  EXPECT_EQ(t.transfer_cycles(1), 18u);
+  EXPECT_EQ(t.transfer_cycles(8), 18u);
+}
+
+TEST(BusTiming, MultiChunkPipelined) {
+  const BusTiming t{18, 2, 8};
+  EXPECT_EQ(t.transfer_cycles(9), 20u);    // 2 chunks
+  EXPECT_EQ(t.transfer_cycles(32), 24u);   // 4 chunks: 18 + 3*2
+  EXPECT_EQ(t.transfer_cycles(64), 32u);   // 8 chunks: 18 + 7*2
+}
+
+TEST(BusTiming, RsePenaltyMatchesPaper) {
+  // Section 5.2: with the arbiter, 18/2 becomes 19/3.
+  const BusTiming rse{19, 3, 8};
+  EXPECT_EQ(rse.transfer_cycles(8), 19u);
+  EXPECT_EQ(rse.transfer_cycles(64), 19u + 7 * 3);
+}
+
+TEST(BusArbiter, IdleBusStartsImmediately) {
+  BusArbiter arb(BusTiming{18, 2, 8});
+  EXPECT_EQ(arb.request(100, 8, BusSource::kPipeline), 118u);
+}
+
+TEST(BusArbiter, BusyBusSerializes) {
+  BusArbiter arb(BusTiming{18, 2, 8});
+  const Cycle first = arb.request(0, 8, BusSource::kPipeline);
+  EXPECT_EQ(first, 18u);
+  // Second request issued at cycle 5 waits until the bus frees.
+  const Cycle second = arb.request(5, 8, BusSource::kMau);
+  EXPECT_EQ(second, 36u);
+  EXPECT_EQ(arb.stats().mau_wait_cycles, 13u);
+}
+
+TEST(BusArbiter, StatsPerSource) {
+  BusArbiter arb(BusTiming{18, 2, 8});
+  arb.request(0, 8, BusSource::kPipeline);
+  arb.request(0, 8, BusSource::kPipeline);
+  arb.request(0, 16, BusSource::kMau);
+  EXPECT_EQ(arb.stats().pipeline_transfers, 2u);
+  EXPECT_EQ(arb.stats().mau_transfers, 1u);
+  EXPECT_GT(arb.stats().busy_cycles, 0u);
+}
+
+TEST(BusArbiter, FreesAfterTransfer) {
+  BusArbiter arb(BusTiming{18, 2, 8});
+  arb.request(0, 8, BusSource::kPipeline);
+  // After busy_until, a new request starts immediately.
+  EXPECT_EQ(arb.request(50, 8, BusSource::kPipeline), 68u);
+}
+
+}  // namespace
+}  // namespace rse::mem

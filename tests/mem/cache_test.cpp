@@ -1,0 +1,136 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rse::mem {
+namespace {
+
+/// Next level with a fixed latency, recording accesses.
+class FakeLevel : public MemLevel {
+ public:
+  explicit FakeLevel(Cycle latency) : latency_(latency) {}
+  Cycle access(Cycle now, Addr addr, u32 bytes, bool write) override {
+    accesses.push_back({addr, bytes, write});
+    return now + latency_;
+  }
+  struct Access {
+    Addr addr;
+    u32 bytes;
+    bool write;
+  };
+  std::vector<Access> accesses;
+
+ private:
+  Cycle latency_;
+};
+
+CacheConfig small_config() {
+  // 4 sets x 1 way x 16-byte blocks = 64 bytes.
+  return CacheConfig{"test", 64, 1, 16, 1};
+}
+
+TEST(Cache, MissThenHit) {
+  FakeLevel next(10);
+  Cache cache(small_config(), next);
+  const Cycle miss_done = cache.access(0, 0x100, 4, false);
+  EXPECT_EQ(miss_done, 11u);  // 1 tag check + 10 fill
+  EXPECT_EQ(cache.stats().misses, 1u);
+  const Cycle hit_done = cache.access(20, 0x104, 4, false);  // same block
+  EXPECT_EQ(hit_done, 21u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, FillsWholeBlocks) {
+  FakeLevel next(10);
+  Cache cache(small_config(), next);
+  cache.access(0, 0x107, 1, false);
+  ASSERT_EQ(next.accesses.size(), 1u);
+  EXPECT_EQ(next.accesses[0].addr, 0x100u);
+  EXPECT_EQ(next.accesses[0].bytes, 16u);
+  EXPECT_FALSE(next.accesses[0].write);
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  FakeLevel next(10);
+  Cache cache(small_config(), next);
+  cache.access(0, 0x100, 4, true);   // dirty block in set 0
+  cache.access(20, 0x140, 4, false); // same set (64-byte stride), evicts
+  ASSERT_EQ(next.accesses.size(), 3u);
+  EXPECT_TRUE(next.accesses[1].write);        // writeback of 0x100 block
+  EXPECT_EQ(next.accesses[1].addr, 0x100u);
+  EXPECT_FALSE(next.accesses[2].write);       // refill of 0x140 block
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionSkipsWriteback) {
+  FakeLevel next(10);
+  Cache cache(small_config(), next);
+  cache.access(0, 0x100, 4, false);
+  cache.access(20, 0x140, 4, false);
+  EXPECT_EQ(next.accesses.size(), 2u);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, LruReplacementInSet) {
+  // 2-way cache: 2 sets x 2 ways x 16B = 64B.
+  FakeLevel next(10);
+  Cache cache(CacheConfig{"lru", 64, 2, 16, 1}, next);
+  cache.access(0, 0x000, 4, false);   // set 0, way A
+  cache.access(10, 0x020, 4, false);  // set 0, way B (stride 32 = 2 sets*16)
+  cache.access(20, 0x000, 4, false);  // touch A -> B is LRU
+  cache.access(30, 0x040, 4, false);  // evicts B
+  cache.access(40, 0x000, 4, false);  // A still resident
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.access(50, 0x020, 4, false);  // B was evicted -> miss
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(Cache, MissRateComputation) {
+  FakeLevel next(10);
+  Cache cache(small_config(), next);
+  cache.access(0, 0x100, 4, false);
+  cache.access(10, 0x100, 4, false);
+  cache.access(20, 0x100, 4, false);
+  cache.access(30, 0x100, 4, false);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  FakeLevel next(10);
+  Cache cache(small_config(), next);
+  cache.access(0, 0x100, 4, false);
+  cache.flush();
+  cache.access(10, 0x100, 4, false);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  FakeLevel next(1);
+  EXPECT_THROW(Cache(CacheConfig{"bad", 100, 1, 16, 1}, next), ConfigError);
+  EXPECT_THROW(Cache(CacheConfig{"bad", 64, 0, 16, 1}, next), ConfigError);
+  EXPECT_THROW(Cache(CacheConfig{"bad", 64, 1, 12, 1}, next), ConfigError);
+}
+
+TEST(Cache, PaperGeometriesConstruct) {
+  FakeLevel next(1);
+  EXPECT_NO_THROW(Cache(CacheConfig{"il1", 8 * 1024, 1, 32, 1}, next));
+  EXPECT_NO_THROW(Cache(CacheConfig{"il2", 64 * 1024, 2, 64, 6}, next));
+  EXPECT_NO_THROW(Cache(CacheConfig{"dl2", 128 * 1024, 2, 64, 6}, next));
+}
+
+TEST(Cache, HierarchyLatencyComposes) {
+  // L1(1) -> L2(6) -> memory(fake 30): L1 miss + L2 miss.
+  FakeLevel memory(30);
+  Cache l2(CacheConfig{"l2", 128, 2, 16, 6}, memory);
+  Cache l1(CacheConfig{"l1", 64, 1, 16, 1}, l2);
+  const Cycle done = l1.access(0, 0x100, 4, false);
+  // 1 (L1 tag) + 6 (L2 tag) + 30 (memory) = 37
+  EXPECT_EQ(done, 37u);
+  // Second access: L1 hit.
+  EXPECT_EQ(l1.access(40, 0x104, 4, false), 41u);
+}
+
+}  // namespace
+}  // namespace rse::mem

@@ -1,0 +1,81 @@
+#include "mem/main_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse::mem {
+namespace {
+
+TEST(MainMemory, ZeroInitialized) {
+  MainMemory m;
+  EXPECT_EQ(m.read_u8(0), 0);
+  EXPECT_EQ(m.read_u32(0x12345678), 0u);
+}
+
+TEST(MainMemory, ByteHalfWordRoundTrip) {
+  MainMemory m;
+  m.write_u8(100, 0xAB);
+  m.write_u16(102, 0xBEEF);
+  m.write_u32(104, 0xDEADBEEF);
+  EXPECT_EQ(m.read_u8(100), 0xAB);
+  EXPECT_EQ(m.read_u16(102), 0xBEEF);
+  EXPECT_EQ(m.read_u32(104), 0xDEADBEEFu);
+}
+
+TEST(MainMemory, LittleEndianLayout) {
+  MainMemory m;
+  m.write_u32(0, 0x04030201);
+  EXPECT_EQ(m.read_u8(0), 1);
+  EXPECT_EQ(m.read_u8(1), 2);
+  EXPECT_EQ(m.read_u8(2), 3);
+  EXPECT_EQ(m.read_u8(3), 4);
+  EXPECT_EQ(m.read_u16(1), 0x0302);
+}
+
+TEST(MainMemory, CrossPageWord) {
+  MainMemory m;
+  const Addr boundary = kPageBytes - 2;
+  m.write_u32(boundary, 0xCAFEBABE);
+  EXPECT_EQ(m.read_u32(boundary), 0xCAFEBABEu);
+  EXPECT_EQ(m.pages_touched(), 2u);
+}
+
+TEST(MainMemory, BlockTransferAcrossPages) {
+  MainMemory m;
+  std::vector<u8> data(kPageBytes + 100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 7);
+  m.write_block(kPageBytes - 50, data.data(), static_cast<u32>(data.size()));
+  std::vector<u8> readback(data.size());
+  m.read_block(kPageBytes - 50, readback.data(), static_cast<u32>(readback.size()));
+  EXPECT_EQ(readback, data);
+}
+
+TEST(MainMemory, ReadBlockOfUntouchedMemoryIsZero) {
+  MainMemory m;
+  u8 buf[16] = {1, 2, 3};
+  m.read_block(0x40000000, buf, sizeof(buf));
+  for (u8 b : buf) EXPECT_EQ(b, 0);
+}
+
+TEST(MainMemory, PageSnapshotRestore) {
+  MainMemory m;
+  m.write_u32(0x5000, 111);
+  m.write_u32(0x5004, 222);
+  const u32 page = page_of(0x5000);
+  const std::vector<u8> snap = m.snapshot_page(page);
+  m.write_u32(0x5000, 999);
+  m.write_u32(0x5FFC, 888);
+  m.restore_page(page, snap);
+  EXPECT_EQ(m.read_u32(0x5000), 111u);
+  EXPECT_EQ(m.read_u32(0x5004), 222u);
+  EXPECT_EQ(m.read_u32(0x5FFC), 0u);
+}
+
+TEST(MainMemory, PageHelpers) {
+  EXPECT_EQ(page_of(0), 0u);
+  EXPECT_EQ(page_of(4095), 0u);
+  EXPECT_EQ(page_of(4096), 1u);
+  EXPECT_EQ(page_base(3), 3u * 4096);
+}
+
+}  // namespace
+}  // namespace rse::mem

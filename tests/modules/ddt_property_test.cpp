@@ -1,0 +1,171 @@
+// Property test: the DDT's PST/DDM must agree with an independent reference
+// tracker for arbitrary random access interleavings (the Figure 5 state
+// machine expressed as naive bookkeeping).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "mem/bus.hpp"
+#include "mem/main_memory.hpp"
+#include "modules/ddt/ddt.hpp"
+#include "rse/framework.hpp"
+
+namespace rse::modules {
+namespace {
+
+/// Naive reference implementation of the page-ownership/dependency rules.
+class ReferenceTracker {
+ public:
+  void read(ThreadId t, u32 page) {
+    auto& owners = pages_[page];
+    if (owners.read == kNoThread) {
+      owners.read = t;
+      if (owners.write == kNoThread) owners.write = t;
+      return;
+    }
+    if (owners.read != t) {
+      owners.read = t;
+      if (owners.write != kNoThread && owners.write != t) {
+        deps_.insert({owners.write, t});
+      }
+    }
+  }
+
+  /// Returns true if this write requires a SavePage.
+  bool write(ThreadId t, u32 page) {
+    auto& owners = pages_[page];
+    if (owners.write == kNoThread) {
+      owners.write = t;
+      owners.read = t;
+      return false;
+    }
+    if (owners.write != t) {
+      owners.write = t;
+      owners.read = t;
+      return true;
+    }
+    return false;
+  }
+
+  bool depends(ThreadId producer, ThreadId consumer) const {
+    return deps_.count({producer, consumer}) != 0;
+  }
+  std::size_t dep_count() const { return deps_.size(); }
+
+  struct Owners {
+    ThreadId read = kNoThread;
+    ThreadId write = kNoThread;
+  };
+  std::map<u32, Owners> pages_;
+  std::set<std::pair<ThreadId, ThreadId>> deps_;
+};
+
+class DdtAgainstReference : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DdtAgainstReference, RandomInterleavingsAgree) {
+  mem::MainMemory memory;
+  mem::BusArbiter bus{mem::BusTiming{19, 3, 8}};
+  engine::Framework fw{memory, bus, 16};
+  DdtModule ddt(fw);
+  ddt.set_enabled(true);
+  u64 save_pages_seen = 0;
+  ddt.set_save_page_handler([&](u32, ThreadId, Cycle) {
+    ++save_pages_seen;
+    return Cycle{0};
+  });
+
+  ReferenceTracker reference;
+  Xorshift64 rng(GetParam());
+  u64 reference_saves = 0;
+  const u32 threads = 2 + static_cast<u32>(rng.next_below(7));
+  const u32 pages = 1 + static_cast<u32>(rng.next_below(6));
+
+  Cycle now = 0;
+  for (int op = 0; op < 800; ++op) {
+    const ThreadId t = static_cast<ThreadId>(rng.next_below(threads));
+    const u32 page = 16 + static_cast<u32>(rng.next_below(pages));
+    const Addr addr = (page << 12) | static_cast<Addr>(rng.next_below(1024) * 4);
+    engine::CommitInfo info;
+    info.thread = t;
+    info.eff_addr = addr;
+    now += 3;  // avoid the (disabled) lag window affecting anything
+    if (rng.next_below(2) == 0) {
+      info.instr.op = isa::Op::kLw;
+      ddt.on_commit(info, now);
+      reference.read(t, page);
+    } else {
+      info.instr.op = isa::Op::kSw;
+      ddt.on_store_commit(info, now);
+      if (reference.write(t, page)) ++reference_saves;
+    }
+  }
+
+  // Ownership agreement for every page touched.
+  for (const auto& [page, owners] : reference.pages_) {
+    const DdtModule::PageOwners actual = ddt.page_owners(page);
+    EXPECT_EQ(actual.read_owner, owners.read) << "page " << page;
+    EXPECT_EQ(actual.write_owner, owners.write) << "page " << page;
+  }
+  // Dependency matrix agreement for every pair.
+  for (ThreadId p = 0; p < threads; ++p) {
+    for (ThreadId c = 0; c < threads; ++c) {
+      EXPECT_EQ(ddt.depends(p, c), reference.depends(p, c)) << p << "->" << c;
+    }
+  }
+  EXPECT_EQ(ddt.stats().dependencies_logged, reference.dep_count());
+  EXPECT_EQ(save_pages_seen, reference_saves);
+  EXPECT_EQ(ddt.stats().save_page_exceptions, reference_saves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DdtAgainstReference, ::testing::Range<u64>(1, 26));
+
+TEST(DdtAgainstReference, ClosureMatchesReferenceReachability) {
+  mem::MainMemory memory;
+  mem::BusArbiter bus{mem::BusTiming{19, 3, 8}};
+  engine::Framework fw{memory, bus, 16};
+  DdtModule ddt(fw);
+  ddt.set_enabled(true);
+  ddt.set_save_page_handler([](u32, ThreadId, Cycle) { return Cycle{0}; });
+  ReferenceTracker reference;
+  Xorshift64 rng(99);
+  Cycle now = 0;
+  for (int op = 0; op < 500; ++op) {
+    const ThreadId t = static_cast<ThreadId>(rng.next_below(8));
+    const u32 page = 16 + static_cast<u32>(rng.next_below(4));
+    engine::CommitInfo info;
+    info.thread = t;
+    info.eff_addr = page << 12;
+    now += 3;
+    if (rng.next_below(2) == 0) {
+      info.instr.op = isa::Op::kLw;
+      ddt.on_commit(info, now);
+      reference.read(t, page);
+    } else {
+      info.instr.op = isa::Op::kSw;
+      ddt.on_store_commit(info, now);
+      reference.write(t, page);
+    }
+  }
+  // Reference reachability: BFS over the dependency edge set.
+  for (ThreadId faulty = 0; faulty < 8; ++faulty) {
+    std::set<ThreadId> reach{faulty};
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [producer, consumer] : reference.deps_) {
+        if (reach.count(producer) && !reach.count(consumer)) {
+          reach.insert(consumer);
+          changed = true;
+        }
+      }
+    }
+    const auto closure = ddt.dependent_closure(faulty);
+    EXPECT_EQ(std::set<ThreadId>(closure.begin(), closure.end()), reach)
+        << "faulty " << faulty;
+  }
+}
+
+}  // namespace
+}  // namespace rse::modules

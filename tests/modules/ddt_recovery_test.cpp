@@ -1,0 +1,156 @@
+// The Figure 8 recovery scenario and the recovery algorithm of section 4.2:
+// five threads, page-mediated dependencies t2->t1->t0 plus the t0<->t1 edge
+// via page p3; when t2 crashes, t0/t1/t2 die and t3/t4 survive with killed
+// threads' memory updates undone.
+#include <gtest/gtest.h>
+
+#include "mem/bus.hpp"
+#include "mem/main_memory.hpp"
+#include "modules/ddt/ddt.hpp"
+#include "os/checkpoint.hpp"
+#include "os/recovery.hpp"
+#include "rse/framework.hpp"
+
+namespace rse::os {
+namespace {
+
+struct RecoveryFixture : ::testing::Test {
+  mem::MainMemory memory;
+  mem::BusArbiter bus{mem::BusTiming{19, 3, 8}};
+  engine::Framework fw{memory, bus, 16};
+  modules::DdtModule ddt{fw};
+  CheckpointStore checkpoints;
+  Cycle clock = 0;
+
+  void SetUp() override {
+    ddt.set_enabled(true);
+    // The OS SavePage handler: snapshot the page before the store lands.
+    ddt.set_save_page_handler([this](u32 page, ThreadId writer, Cycle now) {
+      checkpoints.add(page, writer, now, memory.snapshot_page(page));
+      return Cycle{0};
+    });
+  }
+
+  void store(ThreadId t, Addr addr, Word value) {
+    engine::CommitInfo info;
+    info.instr.op = isa::Op::kSw;
+    info.thread = t;
+    info.eff_addr = addr;
+    ddt.on_store_commit(info, ++clock);  // SavePage fires pre-store...
+    memory.write_u32(addr, value);       // ...then the store lands
+  }
+
+  void load(ThreadId t, Addr addr) {
+    engine::CommitInfo info;
+    info.instr.op = isa::Op::kLw;
+    info.thread = t;
+    info.eff_addr = addr;
+    ddt.on_commit(info, ++clock);
+  }
+};
+
+constexpr Addr kP1 = 0x0001'0000;  // page p1
+constexpr Addr kP2 = 0x0002'0000;  // page p2
+constexpr Addr kP3 = 0x0003'0000;  // page p3
+
+TEST_F(RecoveryFixture, Figure8DependenciesAndKillSet) {
+  // Figure 8: t2 writes p1; t1 reads p1 (t2->t1) and writes p2;
+  // t0 reads p2 (t1->t0), writes p3; t1 reads p3 (t0->t1).
+  store(2, kP1, 21);
+  load(1, kP1);
+  store(1, kP2, 11);
+  load(0, kP2);
+  store(0, kP3, 1);
+  load(1, kP3);
+
+  EXPECT_TRUE(ddt.depends(2, 1));
+  EXPECT_TRUE(ddt.depends(1, 0));
+  EXPECT_TRUE(ddt.depends(0, 1));
+
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, /*faulty=*/2);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{0, 1, 2}));
+  EXPECT_FALSE(plan.total_loss);
+}
+
+TEST_F(RecoveryFixture, Figure8TimingVariantKillsEveryone) {
+  // "it is possible that t3 and t4 read page p3 before t2 crashes, in which
+  // case all threads are dependent on t2 and should be killed."
+  store(2, kP1, 21);
+  load(1, kP1);
+  store(1, kP2, 11);
+  load(0, kP2);
+  store(0, kP3, 1);
+  load(3, kP3);
+  load(4, kP3);
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, 2);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(RecoveryFixture, KilledThreadsUpdatesAreUndone) {
+  // Healthy t3 authors page content; killed t2 later overwrites it.
+  store(3, kP1, 333);
+  store(2, kP1 + 4, 222);  // SavePage: snapshot holds t3's state
+  EXPECT_EQ(memory.read_u32(kP1 + 4), 222u);
+
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, 2);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{2}));
+  EXPECT_EQ(plan.pages_restored, 1u);
+  EXPECT_EQ(memory.read_u32(kP1), 333u);     // healthy data kept
+  EXPECT_EQ(memory.read_u32(kP1 + 4), 0u);   // killed thread's write undone
+}
+
+TEST_F(RecoveryFixture, ChainOfKilledWritersRestoresOldestKilledSnapshot) {
+  store(3, kP2, 7);       // healthy base state
+  store(2, kP2, 100);     // killed writer #1 (snapshot S1: value 7)
+  load(1, kP2);           // t1 depends on t2 -> killed too
+  store(1, kP2, 200);     // killed writer #2 (snapshot S2: value 100)
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, 2);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{1, 2}));
+  EXPECT_EQ(memory.read_u32(kP2), 7u);  // back to the healthy state (S1)
+}
+
+TEST_F(RecoveryFixture, HealthyWriterAfterKilledWriterKeepsCurrentContent) {
+  store(2, kP3, 50);   // killed thread writes first
+  store(3, kP3, 60);   // healthy thread takes over (write-after-write: no dep)
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, 2);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{2}));
+  EXPECT_EQ(plan.pages_restored, 0u);
+  EXPECT_EQ(memory.read_u32(kP3), 60u);  // healthy final state preserved
+}
+
+TEST_F(RecoveryFixture, SurvivorsPagesUntouched) {
+  store(4, kP1, 44);
+  store(2, kP2, 22);
+  load(1, kP2);
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, 2);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{1, 2}));
+  EXPECT_EQ(memory.read_u32(kP1), 44u);
+}
+
+TEST_F(RecoveryFixture, DroppedHistoryForcesTotalLoss) {
+  // Garbage collection dropped a snapshot the recovery needs: insufficient
+  // information -> the whole process must be terminated (section 4.2.2).
+  CheckpointStore small(mem::kPageBytes);  // room for exactly one snapshot
+  ddt.set_save_page_handler([&](u32 page, ThreadId writer, Cycle now) {
+    small.add(page, writer, now, memory.snapshot_page(page));
+    return Cycle{0};
+  });
+  store(3, kP1, 1);
+  store(2, kP1, 2);      // snapshot A (will be dropped)
+  store(3, kP2, 3);
+  store(2, kP2 + 8, 4);  // snapshot B evicts A
+  EXPECT_EQ(small.dropped_count(), 1u);
+  const RecoveryPlan plan = run_recovery(ddt, small, memory, 2);
+  EXPECT_TRUE(plan.total_loss);
+}
+
+TEST_F(RecoveryFixture, RecoveryOfIndependentThreadTouchesNothing) {
+  store(2, kP1, 21);
+  store(3, kP2, 31);
+  const RecoveryPlan plan = run_recovery(ddt, checkpoints, memory, 4);
+  EXPECT_EQ(plan.killed, (std::vector<ThreadId>{4}));
+  EXPECT_EQ(plan.pages_restored, 0u);
+}
+
+}  // namespace
+}  // namespace rse::os

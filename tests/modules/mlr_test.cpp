@@ -1,0 +1,184 @@
+// Memory Layout Randomization module: position-independent base
+// randomization, hardware GOT copy and PLT rewrite, and the comparison with
+// the software TRR baseline (Table 5's subject).
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse {
+namespace {
+
+os::MachineConfig rse_machine() {
+  os::MachineConfig config;
+  config.framework_present = true;
+  return config;
+}
+
+TEST(Mlr, RandomizeBasesKeepsAlignmentAndRange) {
+  testing::SimRunner runner(rse_machine());
+  auto* mlr = runner.machine().mlr();
+  const auto bases = mlr->randomize_bases(0x6000'0000, 0x7FFF'0000, 0x1010'0000, 1234);
+  EXPECT_GE(bases.shlib_base, 0x6000'0000u);
+  EXPECT_GE(bases.stack_base, 0x7FFF'0000u);
+  EXPECT_GE(bases.heap_base, 0x1010'0000u);
+  EXPECT_EQ(bases.shlib_base % 16, 0u);
+  EXPECT_EQ(bases.stack_base % 16, 0u);
+  EXPECT_EQ(bases.heap_base % 16, 0u);
+  // within the configured entropy window
+  EXPECT_LT(bases.stack_base - 0x7FFF'0000u, 256u * 4096u);
+}
+
+TEST(Mlr, ConsecutiveRandomizationsDiffer) {
+  testing::SimRunner runner(rse_machine());
+  auto* mlr = runner.machine().mlr();
+  const auto a = mlr->randomize_bases(0x6000'0000, 0x7FFF'0000, 0x1010'0000, 1);
+  const auto b = mlr->randomize_bases(0x6000'0000, 0x7FFF'0000, 0x1010'0000, 2);
+  EXPECT_NE(a.stack_base, b.stack_base);
+}
+
+TEST(Mlr, LoaderRandomizationChangesProcessLayout) {
+  os::MachineConfig machine_config = rse_machine();
+  os::OsConfig os_config;
+  os_config.randomize_layout = true;
+  const char* program = R"(
+.text
+main:
+  move a0, sp
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+  testing::SimRunner a(machine_config, os_config);
+  a.load_source(program);
+  a.run();
+  os::MachineConfig machine_config_b = rse_machine();
+  machine_config_b.mlr.seed = 999;  // different hardware entropy
+  testing::SimRunner b(machine_config_b, os_config);
+  b.load_source(program);
+  b.run();
+  EXPECT_NE(a.os().output(), b.os().output());  // stack base differs
+  EXPECT_NE(a.os().stack_base(), isa::kDefaultStackTop);
+}
+
+TEST(Mlr, PiRandViaCheckInstructionsWritesResults) {
+  testing::SimRunner runner(rse_machine());
+  runner.load_source(R"(
+.data
+.align 4
+hdr:     .word 0x400000, 4096, 2048, 1024, 0x60000000, 0x7FFF0000, 0x10100000
+results: .space 12
+.text
+main:
+  chk frame, 1, nblk, r0, 2    # enable MLR
+  la t0, hdr
+  chk mlr, 3, nblk, t0, 0      # header location
+  li t1, 28
+  chk mlr, 4, nblk, t1, 0      # header size
+  la t2, results
+  chk mlr, 5, blk, t2, 0       # randomize position-independent regions
+  lw a0, results
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  ASSERT_TRUE(runner.os().finished());
+  auto& memory = runner.machine().memory();
+  const Addr results = runner.program().symbol("results");
+  const u32 rand_shlib = memory.read_u32(results);
+  const u32 rand_stack = memory.read_u32(results + 4);
+  const u32 rand_heap = memory.read_u32(results + 8);
+  EXPECT_GE(rand_shlib, 0x6000'0000u);
+  EXPECT_GE(rand_stack, 0x7FFF'0000u);
+  EXPECT_GE(rand_heap, 0x1010'0000u);
+  EXPECT_EQ(runner.machine().mlr()->stats().pi_randomizations, 1u);
+  // Fixed PI-randomization penalty is in the 56-cycle ballpark (section 5.3).
+  const Cycle cost = runner.machine().mlr()->stats().last_op_cycles;
+  EXPECT_GE(cost, 40u);
+  EXPECT_LE(cost, 90u);
+}
+
+TEST(Mlr, HardwareGotCopyMatchesSoftwareResult) {
+  workloads::MlrProgParams params{256};
+  // Software run.
+  testing::SimRunner software(rse_machine());
+  software.load_source(workloads::trr_software_source(params));
+  software.run();
+  ASSERT_EQ(software.os().exit_code(), 0);
+  // Hardware run.
+  testing::SimRunner hardware(rse_machine());
+  hardware.load_source(workloads::mlr_rse_source(params));
+  hardware.run();
+  ASSERT_EQ(hardware.os().exit_code(), 0);
+
+  // Both must produce the identical randomized tables.
+  for (auto* runner : {&software, &hardware}) {
+    auto& memory = runner->machine().memory();
+    const Addr got_old = runner->program().symbol("got_old");
+    const Addr got_new = runner->program().symbol("got_new");
+    const Addr plt = runner->program().symbol("plt");
+    for (u32 i = 0; i < params.got_entries; ++i) {
+      EXPECT_EQ(memory.read_u32(got_new + i * 4), 0x6000'0000u + i * 16)
+          << "entry " << i;
+      EXPECT_EQ(memory.read_u32(plt + i * 4), got_new + i * 4) << "entry " << i;
+      EXPECT_EQ(memory.read_u32(got_old + i * 4), 0x6000'0000u + i * 16);
+    }
+  }
+}
+
+TEST(Mlr, HardwareVersionExecutesFarFewerInstructions) {
+  workloads::MlrProgParams params{512};
+  testing::SimRunner software(rse_machine());
+  software.load_source(workloads::trr_software_source(params));
+  software.run();
+  testing::SimRunner hardware(rse_machine());
+  hardware.load_source(workloads::mlr_rse_source(params));
+  hardware.run();
+  // Table 5: instruction reduction grows with the table size.
+  EXPECT_LT(hardware.core_stats().instructions, software.core_stats().instructions / 2);
+}
+
+TEST(Mlr, HardwareVersionIsFasterInCycles) {
+  workloads::MlrProgParams params{512};
+  testing::SimRunner software(rse_machine());
+  software.load_source(workloads::trr_software_source(params));
+  software.run();
+  testing::SimRunner hardware(rse_machine());
+  hardware.load_source(workloads::mlr_rse_source(params));
+  hardware.run();
+  EXPECT_LT(hardware.cycles(), software.cycles());
+}
+
+TEST(Mlr, OversizedGotFailsTheCheck) {
+  // A GOT larger than the module buffer reports an error (check=1); the OS
+  // retries then contains it.
+  testing::SimRunner runner(rse_machine());
+  runner.load_source(R"(
+.data
+buf: .space 16
+.text
+main:
+  chk frame, 1, nblk, r0, 2
+  la t0, buf
+  chk mlr, 6, nblk, t0, 0
+  li t1, 8192                 # exceeds the 4 KB GOT buffer
+  chk mlr, 7, nblk, t1, 0
+  la t2, buf
+  chk mlr, 8, nblk, t2, 0
+  chk mlr, 9, blk, r0, 0
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);  // retries exhausted -> contained
+}
+
+}  // namespace
+}  // namespace rse

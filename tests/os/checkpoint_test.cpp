@@ -1,0 +1,64 @@
+#include "os/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hpp"
+
+namespace rse::os {
+namespace {
+
+std::vector<u8> page_data(u8 fill) { return std::vector<u8>(mem::kPageBytes, fill); }
+
+TEST(CheckpointStore, RecordsInOrder) {
+  CheckpointStore store;
+  store.add(1, 10, 100, page_data(1));
+  store.add(2, 11, 200, page_data(2));
+  ASSERT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.log()[0].page, 1u);
+  EXPECT_EQ(store.log()[1].page, 2u);
+  EXPECT_EQ(store.log()[0].new_writer, 10u);
+  EXPECT_EQ(store.bytes(), 2 * mem::kPageBytes);
+}
+
+TEST(CheckpointStore, UnboundedByDefault) {
+  CheckpointStore store;
+  for (int i = 0; i < 50; ++i) store.add(i, 0, i, page_data(0));
+  EXPECT_EQ(store.count(), 50u);
+  EXPECT_EQ(store.dropped_count(), 0u);
+}
+
+TEST(CheckpointStore, BudgetEnforcedByDroppingOldest) {
+  CheckpointStore store(2 * mem::kPageBytes);
+  store.add(1, 0, 1, page_data(1));
+  store.add(2, 0, 2, page_data(2));
+  store.add(3, 0, 3, page_data(3));
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.log()[0].page, 2u);  // oldest dropped
+  EXPECT_TRUE(store.page_history_dropped(1));
+  EXPECT_FALSE(store.page_history_dropped(2));
+  EXPECT_EQ(store.dropped_count(), 1u);
+  EXPECT_EQ(store.dropped_pages().size(), 1u);
+}
+
+TEST(CheckpointStore, ClearResetsEverythingButRemembersNothing) {
+  CheckpointStore store(2 * mem::kPageBytes);
+  store.add(1, 0, 1, page_data(1));
+  store.add(2, 0, 2, page_data(2));
+  store.add(3, 0, 3, page_data(3));
+  store.clear();
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_EQ(store.bytes(), 0u);
+  EXPECT_FALSE(store.page_history_dropped(1));  // new epoch
+}
+
+TEST(CheckpointStore, SnapshotContentPreserved) {
+  CheckpointStore store;
+  std::vector<u8> data = page_data(0);
+  data[17] = 0xAB;
+  store.add(5, 3, 99, data);
+  EXPECT_EQ(store.log()[0].data[17], 0xAB);
+  EXPECT_EQ(store.log()[0].at, 99u);
+}
+
+}  // namespace
+}  // namespace rse::os

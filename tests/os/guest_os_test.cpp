@@ -1,0 +1,322 @@
+// Guest OS syscall layer and process lifecycle.
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+using testing::run_for_output;
+
+TEST(GuestOs, PrintSyscalls) {
+  const std::string out = run_for_output(R"(
+.data
+msg: .byte 104, 105, 0     # "hi"
+.text
+main:
+  li a0, -42
+  li v0, 2
+  syscall
+  li a0, 32
+  li v0, 3
+  syscall
+  la a0, msg
+  li v0, 15
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "-42 hi");
+}
+
+TEST(GuestOs, ClockAdvances) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li v0, 4
+  syscall
+  move s0, v0
+  li t0, 0
+spin:
+  li t1, 200
+  addi t0, t0, 1
+  blt t0, t1, spin
+  li v0, 4
+  syscall
+  sltu a0, s0, v0    # 1 if time advanced
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "1");
+}
+
+TEST(GuestOs, SbrkGrowsHeap) {
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li a0, 64
+  li v0, 5
+  syscall
+  move s0, v0        # old break
+  li a0, 64
+  li v0, 5
+  syscall
+  sub a0, v0, s0     # second break - first = 64
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "64");
+}
+
+TEST(GuestOs, RandIsUsable) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li v0, 14
+  syscall
+  move s0, v0
+  li v0, 14
+  syscall
+  xor t0, s0, v0
+  sltu a0, r0, t0     # 1 if two draws differ
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "1");
+}
+
+TEST(GuestOs, ThreadCreateJoinExit) {
+  const std::string out = run_for_output(R"(
+.data
+.align 2
+flag: .word 0
+.text
+main:
+  la a0, child
+  li a1, 7
+  li v0, 6
+  syscall            # create child, arg 7
+  move s0, v0        # tid
+  move a0, s0
+  li v0, 9
+  syscall            # join
+  lw a0, flag
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+child:
+  la t0, flag
+  sw a0, 0(t0)       # flag = arg
+  li v0, 7
+  syscall            # thread_exit
+)");
+  EXPECT_EQ(out, "7");
+}
+
+TEST(GuestOs, JoinOnDeadThreadReturnsImmediately) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  la a0, child
+  li a1, 0
+  li v0, 6
+  syscall
+  move s0, v0
+  move a0, s0
+  li v0, 9
+  syscall            # first join waits
+  move a0, s0
+  li v0, 9
+  syscall            # second join returns immediately
+  li a0, 5
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+child:
+  li v0, 7
+  syscall
+)");
+  EXPECT_EQ(out, "5");
+}
+
+TEST(GuestOs, YieldRotatesThreads) {
+  // Two children append markers; yields force interleaving.
+  const std::string out = run_for_output(R"(
+.text
+main:
+  la a0, child
+  li a1, 65          # 'A'
+  li v0, 6
+  syscall
+  move s0, v0
+  la a0, child
+  li a1, 66          # 'B'
+  li v0, 6
+  syscall
+  move s1, v0
+  move a0, s0
+  li v0, 9
+  syscall
+  move a0, s1
+  li v0, 9
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+child:
+  move s7, a0
+  li s6, 0
+child_loop:
+  li t0, 3
+  bge s6, t0, child_done
+  move a0, s7
+  li v0, 3
+  syscall            # print marker
+  li v0, 8
+  syscall            # yield
+  addi s6, s6, 1
+  b child_loop
+child_done:
+  li v0, 7
+  syscall
+)");
+  // Perfect alternation after both threads start.
+  EXPECT_NE(out.find("AB"), std::string::npos);
+  EXPECT_NE(out.find("BA"), std::string::npos);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(GuestOs, ThreadLimitReturnsError) {
+  os::OsConfig config;
+  config.max_threads = 2;  // main + 1 child
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.load_source(R"(
+.text
+main:
+  la a0, child
+  li a1, 0
+  li v0, 6
+  syscall
+  move s0, v0
+  la a0, child
+  li a1, 0
+  li v0, 6
+  syscall            # exceeds limit -> -1
+  move a0, v0
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+child:
+  li v0, 7
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "-1");
+}
+
+TEST(GuestOs, CrashWithoutDdtKillsEverything) {
+  SimRunner runner;  // no framework at all
+  runner.load_source(R"(
+.text
+main:
+  la a0, child
+  li a1, 0
+  li v0, 6
+  syscall
+  li t0, 0
+spin:
+  addi t0, t0, 1
+  b spin
+child:
+  li v0, 13
+  syscall            # crash
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);
+  EXPECT_EQ(runner.os().live_thread_count(), 0u);
+}
+
+TEST(GuestOs, IllegalInstructionIsAThreadCrash) {
+  SimRunner runner;
+  runner.load_source(R"(
+.data
+bad: .word 0xFC000000      # unassigned opcode
+.text
+main:
+  la t0, bad
+  jr t0                    # jump into data: decodes as illegal
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);
+  EXPECT_EQ(runner.os().stats().crashes, 1u);
+}
+
+TEST(GuestOs, RunLimitStopsRunaways) {
+  os::OsConfig config;
+  config.run_limit = 5000;
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.load_source(R"(
+.text
+main:
+spin:
+  b spin
+)");
+  runner.run();
+  EXPECT_FALSE(runner.os().finished());
+  EXPECT_GE(runner.cycles(), 5000u);
+  EXPECT_LE(runner.cycles(), 5002u);
+}
+
+TEST(GuestOs, OutputAccumulatesAcrossThreads) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li a0, 1
+  li v0, 2
+  syscall
+  la a0, child
+  li a1, 2
+  li v0, 6
+  syscall
+  move a0, v0
+  li v0, 9
+  syscall
+  li a0, 3
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+child:
+  move a0, a0
+  li v0, 2
+  syscall
+  li v0, 7
+  syscall
+)");
+  EXPECT_EQ(out, "123");
+}
+
+}  // namespace
+}  // namespace rse

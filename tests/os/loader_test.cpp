@@ -1,0 +1,123 @@
+// Loader behaviour: segment placement, ICM static parse, execute protection,
+// and MLR-driven layout decisions.
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+constexpr const char* kTinyProgram = R"(
+.data
+greeting: .word 0x1234
+.text
+main:
+  chk icm, 0, blk, r0, 0
+  add t0, t1, t2
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+
+TEST(Loader, PlacesTextAndData) {
+  SimRunner runner;
+  runner.load_source(kTinyProgram);
+  const isa::Program& program = runner.program();
+  auto& memory = runner.machine().memory();
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    EXPECT_EQ(memory.read_u32(program.text_base + static_cast<Addr>(i * 4)), program.text[i]);
+  }
+  EXPECT_EQ(memory.read_u32(program.symbol("greeting")), 0x1234u);
+}
+
+TEST(Loader, HeapStartsPageAlignedAfterData) {
+  SimRunner runner;
+  runner.load_source(kTinyProgram);
+  EXPECT_GE(runner.os().heap_base(), runner.program().data_end());
+  EXPECT_EQ(runner.os().heap_base() % mem::kPageBytes, 0u);
+}
+
+TEST(Loader, MainThreadStackIsAlignedBelowStackBase) {
+  SimRunner runner;
+  runner.load_source(kTinyProgram);
+  runner.run();
+  EXPECT_EQ(runner.os().stack_base(), isa::kDefaultStackTop);  // no MLR
+}
+
+TEST(Loader, RegistersIcmCheckedInstructionsAtLoad) {
+  os::MachineConfig config;
+  config.framework_present = true;
+  SimRunner runner(config);
+  runner.os().enable_module(isa::ModuleId::kIcm);
+  runner.load_source(kTinyProgram);
+  // The instruction after the CHK has a redundant copy in CheckerMemory:
+  // corrupting it in main memory is detected on the very first fetch.
+  const Addr checked = runner.program().symbol("main") + 4;
+  const Word original = runner.machine().memory().read_u32(checked);
+  runner.machine().memory().write_u32(checked, original ^ 0x00010000);
+  runner.run();
+  EXPECT_GE(runner.machine().icm()->stats().mismatches, 1u);
+}
+
+TEST(Loader, ReloadReplacesPreviousProgramState) {
+  os::MachineConfig config;
+  config.framework_present = true;
+  SimRunner runner(config);
+  runner.load_source(kTinyProgram);
+  runner.run();
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  // Load a second program into the same machine/OS: must run cleanly with a
+  // fresh thread table and checker memory.
+  runner.os().load(isa::assemble(R"(
+.text
+main:
+  li a0, 9
+  li v0, 2
+  syscall
+  li a0, 3
+  li v0, 1
+  syscall
+)"));
+  runner.os().run();
+  EXPECT_NE(runner.os().output().find("9"), std::string::npos);
+}
+
+TEST(Loader, ExecuteProtectionCoversDataSegment) {
+  SimRunner runner;
+  runner.load_source(R"(
+.data
+blob: .word 0x01284820   # a valid add encoding, but in the data segment
+.text
+main:
+  la t0, blob
+  jr t0
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);  // data is not executable
+}
+
+TEST(Loader, RandomizedLayoutShiftsAllThreeBases) {
+  os::MachineConfig config;
+  config.framework_present = true;
+  os::OsConfig os_config;
+  os_config.randomize_layout = true;
+  SimRunner runner(config, os_config);
+  runner.load_source(kTinyProgram);
+  EXPECT_GT(runner.os().stack_base(), isa::kDefaultStackTop);
+  EXPECT_GT(runner.os().shlib_base(), 0x6000'0000u);
+  EXPECT_GT(runner.os().heap_base(), runner.program().data_end());
+  EXPECT_GT(runner.os().stats().loader_cycles, 0u);
+}
+
+TEST(Loader, RandomizeWithoutFrameworkThrows) {
+  os::OsConfig os_config;
+  os_config.randomize_layout = true;
+  SimRunner runner(os::MachineConfig{}, os_config);
+  EXPECT_THROW(runner.load_source(kTinyProgram), ConfigError);
+}
+
+}  // namespace
+}  // namespace rse

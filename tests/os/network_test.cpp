@@ -1,0 +1,78 @@
+#include "os/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse::os {
+namespace {
+
+NetworkConfig no_jitter(u32 total, Cycle gap) {
+  NetworkConfig config;
+  config.total_requests = total;
+  config.interarrival = gap;
+  config.jitter_pct = 0;
+  return config;
+}
+
+TEST(Network, ArrivalsSpacedByInterarrival) {
+  SimNetwork net(no_jitter(3, 100));
+  EXPECT_FALSE(net.has_ready(99));
+  EXPECT_TRUE(net.has_ready(100));
+  EXPECT_EQ(net.next_arrival(), 100u);
+}
+
+TEST(Network, AcceptConsumesInOrder) {
+  SimNetwork net(no_jitter(3, 100));
+  EXPECT_EQ(net.accept(50), std::nullopt);
+  EXPECT_EQ(net.accept(100).value(), 0u);
+  EXPECT_EQ(net.accept(100), std::nullopt);  // #1 arrives at 200
+  EXPECT_EQ(net.accept(250).value(), 1u);
+  EXPECT_EQ(net.accept(300).value(), 2u);
+  EXPECT_TRUE(net.exhausted());
+}
+
+TEST(Network, CompletionTracking) {
+  SimNetwork net(no_jitter(2, 10));
+  net.accept(10);
+  net.accept(20);
+  EXPECT_FALSE(net.all_completed());
+  net.complete(0, 100);
+  net.complete(1, 150);
+  EXPECT_TRUE(net.all_completed());
+  EXPECT_EQ(net.stats().last_completion, 150u);
+}
+
+TEST(Network, JitterKeepsArrivalsMonotonic) {
+  NetworkConfig config;
+  config.total_requests = 50;
+  config.interarrival = 100;
+  config.jitter_pct = 40;
+  SimNetwork net(config);
+  Cycle prev = 0;
+  for (u32 i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net.accept(1'000'000).has_value());
+    (void)prev;
+  }
+  EXPECT_TRUE(net.exhausted());
+}
+
+TEST(Network, IoLatencyWithinJitterBand) {
+  NetworkConfig config;
+  config.io_latency_mean = 1000;
+  config.jitter_pct = 40;
+  SimNetwork net(config);
+  for (int i = 0; i < 200; ++i) {
+    const Cycle latency = net.io_latency();
+    EXPECT_GE(latency, 600u);
+    EXPECT_LE(latency, 1400u);
+  }
+}
+
+TEST(Network, DeterministicForSeed) {
+  NetworkConfig config;
+  config.seed = 99;
+  SimNetwork a(config), b(config);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.io_latency(), b.io_latency());
+}
+
+}  // namespace
+}  // namespace rse::os

@@ -1,0 +1,231 @@
+// Runtime re-randomization (paper section 4.1's extension): the process is
+// periodically stopped, the MLR relocates the GOT, the PLT and every
+// compiler-recorded pointer slot are patched, and execution resumes — while
+// calls through the PLT and through cached pointers keep working.
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+// A program exercising both indirection paths across re-randomizations:
+// calls through the PLT and through a compiler-cached pointer listed in the
+// special pointer section.  fn_add adds 2, fn_sub subtracts 1 per loop:
+// counter must end at exactly iterations * 1.
+constexpr const char* kGotProgram = R"(
+.data
+.align 4
+got:     .word fn_add, fn_sub
+plt:     .word got+0, got+4
+cached:  .word got+4
+ptrsec:  .word cached
+counter: .word 0
+.text
+main:
+  la a0, got
+  la a1, plt
+  li a2, 8
+  li v0, 16
+  syscall                 # register GOT/PLT for re-randomization
+  la a0, ptrsec
+  li a1, 1
+  li v0, 17
+  syscall                 # register the compiler-recorded pointer slot
+  li s0, 0
+loop:
+  li t0, 2000
+  bge s0, t0, done
+  lw t1, plt              # &got[0], wherever the GOT currently lives
+  lw t1, 0(t1)
+  jalr t1                 # fn_add: counter += 2
+  lw t1, cached           # the cached pointer the OS keeps fixed up
+  lw t1, 0(t1)
+  jalr t1                 # fn_sub: counter -= 1
+  addi s0, s0, 1
+  b loop
+done:
+  lw a0, counter
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+fn_add:
+  lw t2, counter
+  addi t2, t2, 2
+  sw t2, counter
+  jr ra
+fn_sub:
+  lw t2, counter
+  addi t2, t2, -1
+  sw t2, counter
+  jr ra
+)";
+
+os::MachineConfig rse_machine() {
+  os::MachineConfig config;
+  config.framework_present = true;
+  return config;
+}
+
+TEST(Rerandomize, ProgramSurvivesManyRelocations) {
+  os::OsConfig os_config;
+  os_config.rerandomize_interval = 4000;
+  SimRunner runner(rse_machine(), os_config);
+  runner.load_source(kGotProgram);
+  const Addr original_got = runner.program().symbol("got");
+  runner.run();
+  ASSERT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().output(), "2000");
+  EXPECT_GT(runner.os().stats().rerandomizations, 3u);
+  EXPECT_GT(runner.os().stats().rerandomize_cycles, 0u);
+  EXPECT_NE(runner.os().got_location(), original_got);
+  // The MLR module did the relocations.
+  EXPECT_GE(runner.machine().mlr()->stats().got_copies,
+            runner.os().stats().rerandomizations);
+}
+
+TEST(Rerandomize, SuccessiveLocationsDiffer) {
+  os::OsConfig os_config;
+  os_config.rerandomize_interval = 4000;
+  SimRunner runner(rse_machine(), os_config);
+  runner.load_source(kGotProgram);
+  std::vector<Addr> locations{runner.os().got_location()};
+  u64 seen = 0;
+  while (!runner.os().finished()) {
+    runner.os().step();
+    if (runner.os().stats().rerandomizations > seen) {
+      seen = runner.os().stats().rerandomizations;
+      locations.push_back(runner.os().got_location());
+    }
+  }
+  ASSERT_GT(locations.size(), 3u);
+  for (std::size_t i = 1; i < locations.size(); ++i) {
+    EXPECT_NE(locations[i], locations[i - 1]);
+  }
+}
+
+TEST(Rerandomize, StaleAddressAttackIsFoiled) {
+  // An attacker who learned the GOT's address before a re-randomization and
+  // overwrites it afterwards corrupts dead memory: the live (moved) GOT is
+  // untouched and the program completes correctly.
+  os::OsConfig os_config;
+  os_config.rerandomize_interval = 4000;
+  SimRunner runner(rse_machine(), os_config);
+  runner.load_source(kGotProgram);
+  const Addr leaked_got = runner.program().symbol("got");  // attacker's knowledge
+  while (!runner.os().finished() && runner.os().stats().rerandomizations < 2) {
+    runner.os().step();
+  }
+  ASSERT_FALSE(runner.os().finished());
+  // The attack: clobber both function pointers at the leaked address.
+  runner.machine().memory().write_u32(leaked_got, 0xDEAD0000);
+  runner.machine().memory().write_u32(leaked_got + 4, 0xDEAD0004);
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+  EXPECT_EQ(runner.os().output(), "2000");
+}
+
+TEST(Rerandomize, SameAttackHijacksWithoutRerandomization) {
+  // Control: with re-randomization off, the same overwrite corrupts the
+  // live GOT and the next indirect call crashes the thread.
+  SimRunner runner(rse_machine());  // interval = 0
+  runner.load_source(kGotProgram);
+  const Addr got = runner.program().symbol("got");
+  for (int i = 0; i < 2000; ++i) runner.os().step();
+  ASSERT_FALSE(runner.os().finished());
+  runner.machine().memory().write_u32(got, 0xDEAD0000);
+  runner.machine().memory().write_u32(got + 4, 0xDEAD0004);
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 139);  // jump into unmapped space
+}
+
+TEST(Rerandomize, DisabledByDefault) {
+  SimRunner runner(rse_machine());
+  runner.load_source(kGotProgram);
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "2000");
+  EXPECT_EQ(runner.os().stats().rerandomizations, 0u);
+}
+
+TEST(Rerandomize, SoftwareFallbackWithoutRse) {
+  // No framework: the OS falls back to a TRR-style software relocation.
+  os::OsConfig os_config;
+  os_config.rerandomize_interval = 4000;
+  SimRunner runner(os::MachineConfig{}, os_config);
+  runner.load_source(kGotProgram);
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "2000");
+  EXPECT_GT(runner.os().stats().rerandomizations, 0u);
+}
+
+TEST(Rerandomize, MultithreadedProcessSurvivesRelocations) {
+  // Re-randomization stops the whole process (every thread) and resumes it.
+  os::OsConfig os_config;
+  os_config.rerandomize_interval = 2500;
+  os_config.quantum = 3000;
+  SimRunner runner(rse_machine(), os_config);
+  runner.load_source(R"(
+.data
+.align 4
+got:     .word helper
+plt:     .word got+0
+total:   .word 0
+.text
+main:
+  la a0, got
+  la a1, plt
+  li a2, 4
+  li v0, 16
+  syscall
+  la a0, worker
+  li a1, 0
+  li v0, 6
+  syscall
+  move s1, v0
+  jal work_body
+  move a0, s1
+  li v0, 9
+  syscall
+  lw a0, total
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+worker:
+  jal work_body
+  li v0, 7
+  syscall
+work_body:
+  move s5, ra
+  li s0, 0
+wb_loop:
+  li t0, 800
+  bge s0, t0, wb_done
+  lw t1, plt
+  lw t1, 0(t1)
+  jalr t1
+  addi s0, s0, 1
+  b wb_loop
+wb_done:
+  jr s5
+helper:
+  lw t2, total
+  addi t2, t2, 1
+  sw t2, total
+  jr ra
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().output(), "1600");
+  EXPECT_GT(runner.os().stats().rerandomizations, 1u);
+}
+
+}  // namespace
+}  // namespace rse

@@ -1,0 +1,212 @@
+// Scheduler behaviour: quantum preemption, context-switch cost accounting,
+// blocking I/O overlap.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+
+// Two CPU-bound children that each count to N and store progress; with
+// preemptive round-robin both must finish even though neither yields.
+constexpr const char* kTwoSpinners = R"(
+.data
+.align 2
+done_a: .word 0
+done_b: .word 0
+.text
+main:
+  la a0, worker_a
+  li a1, 0
+  li v0, 6
+  syscall
+  move s0, v0
+  la a0, worker_b
+  li a1, 0
+  li v0, 6
+  syscall
+  move s1, v0
+  move a0, s0
+  li v0, 9
+  syscall
+  move a0, s1
+  li v0, 9
+  syscall
+  lw t0, done_a
+  lw t1, done_b
+  add a0, t0, t1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+worker_a:
+  li t0, 0
+loop_a:
+  li t1, 30000
+  addi t0, t0, 1
+  blt t0, t1, loop_a
+  li t2, 1
+  la t3, done_a
+  sw t2, 0(t3)
+  li v0, 7
+  syscall
+worker_b:
+  li t0, 0
+loop_b:
+  li t1, 30000
+  addi t0, t0, 1
+  blt t0, t1, loop_b
+  li t2, 1
+  la t3, done_b
+  sw t2, 0(t3)
+  li v0, 7
+  syscall
+)";
+
+TEST(Scheduler, PreemptionLetsCpuBoundThreadsShare) {
+  os::OsConfig config;
+  config.quantum = 5000;
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.load_source(kTwoSpinners);
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "2");
+  EXPECT_GT(runner.os().stats().preemptions, 3u);
+  EXPECT_GT(runner.os().stats().context_switches, 4u);
+}
+
+TEST(Scheduler, LargerQuantumMeansFewerSwitches) {
+  os::OsConfig small_quantum;
+  small_quantum.quantum = 2000;
+  SimRunner a(os::MachineConfig{}, small_quantum);
+  a.load_source(kTwoSpinners);
+  a.run();
+
+  os::OsConfig large_quantum;
+  large_quantum.quantum = 50000;
+  SimRunner b(os::MachineConfig{}, large_quantum);
+  b.load_source(kTwoSpinners);
+  b.run();
+
+  EXPECT_GT(a.os().stats().context_switches, b.os().stats().context_switches);
+  EXPECT_EQ(a.os().output(), "2");
+  EXPECT_EQ(b.os().output(), "2");
+}
+
+TEST(Scheduler, ContextSwitchCostSlowsTotalRuntime) {
+  os::OsConfig cheap;
+  cheap.quantum = 2000;
+  cheap.context_switch_cost = 0;
+  SimRunner a(os::MachineConfig{}, cheap);
+  a.load_source(kTwoSpinners);
+  a.run();
+
+  os::OsConfig expensive = cheap;
+  expensive.context_switch_cost = 2000;
+  SimRunner b(os::MachineConfig{}, expensive);
+  b.load_source(kTwoSpinners);
+  b.run();
+
+  EXPECT_LT(a.cycles(), b.cycles());
+}
+
+TEST(Scheduler, IoBlockedThreadDoesNotHoldTheCore) {
+  // One thread sleeps on network I/O while another computes: total time is
+  // close to the compute time, not compute + sleep.
+  os::OsConfig config;
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.os().network().configure([] {
+    os::NetworkConfig net;
+    net.total_requests = 1;
+    net.interarrival = 1;
+    net.io_latency_mean = 50000;
+    net.jitter_pct = 0;
+    return net;
+  }());
+  runner.load_source(R"(
+.data
+.align 2
+done_io: .word 0
+.text
+main:
+  la a0, sleeper
+  li a1, 0
+  li v0, 6
+  syscall
+  move s0, v0
+  li t0, 0
+crunch:
+  li t1, 40000
+  addi t0, t0, 1
+  blt t0, t1, crunch
+  move a0, s0
+  li v0, 9
+  syscall
+  lw a0, done_io
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+sleeper:
+  li v0, 11
+  syscall            # block ~50k cycles of simulated I/O
+  li t0, 1
+  la t1, done_io
+  sw t0, 0(t1)
+  li v0, 7
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "1");
+  // compute ~40k iterations (<100k cycles) overlapping the 50k-cycle sleep.
+  EXPECT_LT(runner.cycles(), 200'000u);
+}
+
+TEST(Scheduler, DrainedSwitchPreservesArchitecturalState) {
+  // Aggressive preemption with dependent arithmetic: any state corruption on
+  // context switches would change the final sum.
+  os::OsConfig config;
+  config.quantum = 500;  // extremely frequent switches
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.load_source(kTwoSpinners);
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "2");
+}
+
+TEST(Scheduler, RunSlicesAreOrderedAndDisjoint) {
+  os::OsConfig config;
+  config.quantum = 3000;
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.os().set_record_slices(true);
+  runner.load_source(kTwoSpinners);
+  runner.run();
+  const std::vector<os::RunSlice>& slices = runner.os().run_slices();
+  ASSERT_GT(slices.size(), 4u);  // several switches happened
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_LT(slices[i].from, slices[i].to);
+    if (i > 0) {
+      // Chronological and non-overlapping (the core runs one thread at a
+      // time; switch cost separates consecutive slices).
+      EXPECT_GE(slices[i].from, slices[i - 1].to);
+    }
+  }
+  // All three threads (main + two workers) got core time.
+  std::set<ThreadId> seen;
+  for (const auto& slice : slices) seen.insert(slice.thread);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Scheduler, SlicesNotRecordedByDefault) {
+  SimRunner runner;
+  runner.load_source(kTwoSpinners);
+  runner.run();
+  EXPECT_TRUE(runner.os().run_slices().empty());
+}
+
+}  // namespace
+}  // namespace rse

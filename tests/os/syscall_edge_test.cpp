@@ -1,0 +1,250 @@
+// Edge cases of the syscall layer and scheduler corner conditions.
+#include <gtest/gtest.h>
+
+#include "../support/sim_runner.hpp"
+
+namespace rse {
+namespace {
+
+using testing::SimRunner;
+using testing::run_for_output;
+
+TEST(SyscallEdge, JoinOnInvalidTidReturnsImmediately) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li a0, 99
+  li v0, 9
+  syscall            # join on a tid that never existed
+  li a0, 1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "1");
+}
+
+TEST(SyscallEdge, JoinSelfWouldDeadlockButRunLimitBounds) {
+  // Joining yourself can never complete; the run limit contains it.
+  os::OsConfig config;
+  config.run_limit = 20000;
+  SimRunner runner(os::MachineConfig{}, config);
+  runner.load_source(R"(
+.text
+main:
+  li a0, 0
+  li v0, 9
+  syscall            # join(self)
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_FALSE(runner.os().finished());
+}
+
+TEST(SyscallEdge, YieldWithNoOtherThreadContinues) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li v0, 8
+  syscall            # yield with an empty ready queue
+  li v0, 8
+  syscall
+  li a0, 7
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "7");
+}
+
+TEST(SyscallEdge, SbrkZeroReturnsCurrentBreak) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li a0, 0
+  li v0, 5
+  syscall
+  move s0, v0
+  li a0, 0
+  li v0, 5
+  syscall
+  sub a0, v0, s0     # two zero-sbrk calls: same break
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "0");
+}
+
+TEST(SyscallEdge, SbrkReturnsAlignedRegions) {
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  li a0, 5
+  li v0, 5
+  syscall
+  li a0, 3
+  li v0, 5
+  syscall
+  andi a0, v0, 15    # second region is 16-byte aligned
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "0");
+}
+
+TEST(SyscallEdge, PrintStrStopsAtNulAndIsBounded) {
+  const std::string out = run_for_output(R"(
+.data
+msg: .byte 111, 107, 0, 120, 120   # "ok\0xx"
+.text
+main:
+  la a0, msg
+  li v0, 15
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "ok");
+}
+
+TEST(SyscallEdge, NetAcceptAfterExhaustionKeepsReturningMinusOne) {
+  SimRunner runner;
+  runner.os().network().configure([] {
+    os::NetworkConfig net;
+    net.total_requests = 1;
+    net.interarrival = 1;
+    return net;
+  }());
+  runner.load_source(R"(
+.text
+main:
+  li v0, 10
+  syscall            # accepts request 0
+  move s0, v0
+  li v0, 10
+  syscall            # exhausted -> -1
+  move s1, v0
+  li v0, 10
+  syscall            # still -1
+  add a0, v0, s1     # -2
+  li v0, 2
+  syscall
+  move a0, s0
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "-20");
+}
+
+TEST(SyscallEdge, NetReplyWithoutAcceptIsHarmless) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li a0, 5
+  li v0, 12
+  syscall            # reply to a request we never accepted
+  li a0, 3
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  EXPECT_EQ(out, "3");
+}
+
+TEST(SyscallEdge, ExitFromChildThreadEndsWholeProcess) {
+  SimRunner runner;
+  runner.load_source(R"(
+.text
+main:
+  la a0, child
+  li a1, 0
+  li v0, 6
+  syscall
+spin:
+  b spin
+child:
+  li a0, 55
+  li v0, 1
+  syscall            # process exit from a worker
+)");
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 55);
+}
+
+TEST(SyscallEdge, ClockIsMonotonicAcrossThreads) {
+  const std::string out = run_for_output(R"(
+.text
+main:
+  li v0, 4
+  syscall
+  move s0, v0
+  la a0, child
+  li a1, 0
+  li v0, 6
+  syscall
+  move a0, v0
+  li v0, 9
+  syscall
+  li v0, 4
+  syscall
+  sltu a0, s0, v0
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+child:
+  li v0, 7
+  syscall
+)");
+  EXPECT_EQ(out, "1");
+}
+
+TEST(SyscallEdge, RegisterPtrTableCapsEntries) {
+  // A hostile count is clamped (only the first 1024 slots are read).
+  SimRunner runner;
+  runner.load_source(R"(
+.data
+table: .word 0
+.text
+main:
+  la a0, table
+  li t0, 0x7FFFFFFF
+  move a1, t0
+  li v0, 17
+  syscall
+  li a0, 1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  runner.run();
+  EXPECT_EQ(runner.os().output(), "1");  // survived, bounded
+}
+
+}  // namespace
+}  // namespace rse

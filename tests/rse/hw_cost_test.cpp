@@ -1,0 +1,51 @@
+// The paper's hardware-overhead arithmetic (section 3.1 footnote 4 and the
+// MLR inventory of section 5.3) reproduced exactly.
+#include "rse/hw_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rse::engine {
+namespace {
+
+TEST(HwCost, PaperInputInterfaceNumbers) {
+  // "approximately 2560 flip-flops and 12,800 gates"
+  const QueueCost cost = input_interface_cost(HwCostConfig{});
+  EXPECT_EQ(cost.flip_flops, 2560u);
+  EXPECT_EQ(cost.mux_gates, 12800u);
+}
+
+TEST(HwCost, MuxGateCounts) {
+  // footnote 4: 2-to-1 = 4 gates, 3-to-1 = 5, 4-to-1 = 6.
+  EXPECT_EQ(mux_gate_count(2), 4u);
+  EXPECT_EQ(mux_gate_count(3), 5u);
+  EXPECT_EQ(mux_gate_count(4), 6u);
+}
+
+TEST(HwCost, ScalesWithRobSize) {
+  HwCostConfig config;
+  config.entries_per_queue = 32;  // double the ROB
+  const QueueCost cost = input_interface_cost(config);
+  EXPECT_EQ(cost.flip_flops, 2 * 2560u);
+  EXPECT_EQ(cost.mux_gates, 2 * 12800u);
+}
+
+TEST(HwCost, ScalesWithWordWidth) {
+  HwCostConfig config;
+  config.bits_per_entry = 64;
+  const QueueCost cost = input_interface_cost(config);
+  EXPECT_EQ(cost.flip_flops, 2 * 2560u);
+}
+
+TEST(HwCost, MlrInventoryMatchesPaper) {
+  const MlrHwCost mlr = mlr_hw_cost();
+  EXPECT_EQ(mlr.pi_registers, 24u);
+  EXPECT_EQ(mlr.pi_adders, 4u);
+  EXPECT_EQ(mlr.header_block_bytes, 4096u);
+  EXPECT_EQ(mlr.got_buffer_bytes, 4096u);
+  EXPECT_EQ(mlr.plt_buffer_bytes, 4096u);
+  EXPECT_EQ(mlr.pd_adders, 5u);
+  EXPECT_EQ(mlr.pd_registers, 2u);
+}
+
+}  // namespace
+}  // namespace rse::engine

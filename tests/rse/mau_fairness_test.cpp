@@ -1,0 +1,100 @@
+// MAU service discipline: requests from multiple modules are served in
+// cyclic (FIFO) order, one bus transfer at a time, and module buffers are
+// only touched when their transfer completes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rse/mau.hpp"
+
+namespace rse::engine {
+namespace {
+
+struct MauFairness : ::testing::Test {
+  mem::MainMemory memory;
+  mem::BusArbiter bus{mem::BusTiming{19, 3, 8}};
+  Mau mau{memory, bus, 16};
+
+  void run_until(Cycle limit) {
+    for (Cycle c = 1; c <= limit; ++c) mau.tick(c);
+  }
+};
+
+TEST_F(MauFairness, InterleavedModulesServedInSubmissionOrder) {
+  std::vector<std::pair<isa::ModuleId, Cycle>> completions;
+  u8 buffer[8] = {};
+  for (int round = 0; round < 3; ++round) {
+    for (isa::ModuleId module : {isa::ModuleId::kIcm, isa::ModuleId::kMlr, isa::ModuleId::kDdt}) {
+      mau.submit(module, 0x1000, 8, false, buffer, [&completions, module](Cycle at) {
+        completions.push_back({module, at});
+      });
+    }
+  }
+  run_until(2000);
+  ASSERT_EQ(completions.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    const isa::ModuleId expected =
+        std::array{isa::ModuleId::kIcm, isa::ModuleId::kMlr, isa::ModuleId::kDdt}[i % 3];
+    EXPECT_EQ(completions[i].first, expected) << "position " << i;
+    if (i > 0) {
+      EXPECT_GT(completions[i].second, completions[i - 1].second);
+    }
+  }
+}
+
+TEST_F(MauFairness, BusOccupancyNeverOverlaps) {
+  // Completion spacing must be at least the per-transfer latency.
+  std::vector<Cycle> completions;
+  u8 buffer[64] = {};
+  for (int i = 0; i < 5; ++i) {
+    mau.submit(isa::ModuleId::kIcm, 0x1000, 64, false, buffer,
+               [&completions](Cycle at) { completions.push_back(at); });
+  }
+  run_until(2000);
+  ASSERT_EQ(completions.size(), 5u);
+  const Cycle latency = bus.timing().transfer_cycles(64);
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_GE(completions[i] - completions[i - 1], latency);
+  }
+}
+
+TEST_F(MauFairness, WriteDataLandsOnlyAtCompletion) {
+  u8 buffer[4] = {0x11, 0x22, 0x33, 0x44};
+  Cycle done = 0;
+  mau.submit(isa::ModuleId::kMlr, 0x2000, 4, true, buffer, [&done](Cycle at) { done = at; });
+  // Before the transfer completes, memory must be untouched.
+  for (Cycle c = 1; c < 19; ++c) {
+    mau.tick(c);
+    EXPECT_EQ(memory.read_u32(0x2000), 0u) << "cycle " << c;
+  }
+  run_until(100);
+  EXPECT_GT(done, 0u);
+  EXPECT_EQ(memory.read_u32(0x2000), 0x44332211u);
+}
+
+TEST_F(MauFairness, QueueDrainsAfterBackpressure) {
+  u8 buffer[4] = {};
+  int completed = 0;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(mau.submit(isa::ModuleId::kDdt, 0x100, 4, false, buffer,
+                           [&completed](Cycle) { ++completed; }));
+  }
+  EXPECT_FALSE(mau.submit(isa::ModuleId::kDdt, 0x100, 4, false, buffer, nullptr));
+  run_until(1000);
+  EXPECT_EQ(completed, 16);
+  EXPECT_TRUE(mau.idle());
+  // Capacity is available again.
+  EXPECT_TRUE(mau.submit(isa::ModuleId::kDdt, 0x100, 4, false, buffer, nullptr));
+}
+
+TEST_F(MauFairness, StatsCountBytesAndRequests) {
+  u8 buffer[16] = {};
+  mau.submit(isa::ModuleId::kIcm, 0x100, 16, false, buffer, nullptr);
+  mau.submit(isa::ModuleId::kIcm, 0x200, 4, true, buffer, nullptr);
+  run_until(200);
+  EXPECT_EQ(mau.stats().requests, 2u);
+  EXPECT_EQ(mau.stats().bytes_transferred, 20u);
+}
+
+}  // namespace
+}  // namespace rse::engine

@@ -1,0 +1,177 @@
+// Table 2 error scenarios of the RSE and the self-checking watchdog of
+// section 3.4: no-progress modules, false-alarm storms, stuck-at output
+// bits, and the safe-mode decoupling that keeps the application running.
+#include <gtest/gtest.h>
+
+#include "rse/framework.hpp"
+
+namespace rse::engine {
+namespace {
+
+class SilentModule : public Module {
+ public:
+  using Module::Module;
+  isa::ModuleId id() const override { return isa::ModuleId::kIcm; }
+  const char* name() const override { return "silent"; }
+};
+
+struct SelfCheckFixture : ::testing::Test {
+  mem::MainMemory memory;
+  mem::BusArbiter bus{mem::BusTiming{19, 3, 8}};
+  Framework fw{memory, bus, 16};
+  SilentModule* module = nullptr;
+  std::vector<SelfCheckVerdict> verdicts;
+
+  void SetUp() override {
+    auto m = std::make_unique<SilentModule>(fw);
+    module = m.get();
+    fw.add_module(std::move(m));
+    module->set_enabled(true);
+    SelfCheckConfig config;
+    config.watchdog_timeout = 100;
+    config.alarm_threshold = 3;
+    fw.set_selfcheck_config(config);
+    fw.set_selfcheck_observer([this](SelfCheckVerdict v, Cycle) { verdicts.push_back(v); });
+  }
+
+  DispatchInfo chk(u32 slot, u64 seq) {
+    DispatchInfo info;
+    info.tag = {slot, seq};
+    info.instr.op = isa::Op::kChk;
+    info.instr.chk_module = isa::ModuleId::kIcm;
+    info.instr.chk_blocking = true;
+    return info;
+  }
+};
+
+TEST_F(SelfCheckFixture, NoProgressModuleTripsWatchdog) {
+  // Table 2 row 1: the module never produces a result; an instruction could
+  // wait forever.  The watchdog detects the missing 0->1 transition.
+  fw.on_dispatch(chk(0, 1), 0);
+  for (Cycle c = 1; c <= 150 && !fw.safe_mode(); ++c) fw.tick(c);
+  EXPECT_TRUE(fw.safe_mode());
+  EXPECT_EQ(fw.verdict(), SelfCheckVerdict::kNoProgress);
+  ASSERT_EQ(verdicts.size(), 1u);
+  // Decoupled: the stuck CHECK is released so the pipeline can commit.
+  EXPECT_TRUE(fw.check_bits(0).check_valid);
+  EXPECT_FALSE(fw.check_bits(0).check);
+}
+
+TEST_F(SelfCheckFixture, HealthyCheckDoesNotTrip) {
+  fw.on_dispatch(chk(0, 1), 0);
+  fw.module_write_ioq(*module, {0, 1}, true, false, 5);
+  CommitInfo info;
+  info.tag = {0, 1};
+  info.instr.op = isa::Op::kChk;
+  info.instr.chk_module = isa::ModuleId::kIcm;
+  fw.on_commit(info, 10);
+  for (Cycle c = 1; c <= 400; ++c) fw.tick(c);
+  EXPECT_FALSE(fw.safe_mode());
+}
+
+TEST_F(SelfCheckFixture, FalseAlarmStormTripsThresholdCounter) {
+  // Table 2 row 2: the module always declares an error; the pipeline would
+  // flush and retry the same CHECK forever.  Each retry lands in the same
+  // IOQ slot; the commit stage observes check=1 there every time, so the
+  // per-entry error-transition counter crosses the threshold within the
+  // watchdog window.
+  for (u64 retry = 1; retry <= 5 && !fw.safe_mode(); ++retry) {
+    fw.on_dispatch(chk(0, retry), 10 * retry);
+    fw.module_write_ioq(*module, {0, retry}, true, true, 10 * retry + 1);
+    fw.on_check_error(0, 10 * retry + 2);      // commit observed the error
+    fw.on_squash({0, retry}, 10 * retry + 2);  // the flush squashes the CHECK
+    fw.tick(10 * retry + 3);
+  }
+  EXPECT_TRUE(fw.safe_mode());
+  EXPECT_EQ(fw.verdict(), SelfCheckVerdict::kFalseAlarmStorm);
+}
+
+TEST_F(SelfCheckFixture, StuckAt1CheckFieldStormAlsoTrips) {
+  // Table 2 row 4 last case: check stuck-at-1 causes repeated flushes at the
+  // same slot; the same commit-side counter catches it even though no module
+  // ever wrote the bit.
+  fw.ioq().inject_stuck_fault(0, IoqStuckFault::kCheckStuck1);
+  for (u64 retry = 1; retry <= 5 && !fw.safe_mode(); ++retry) {
+    fw.on_dispatch(chk(0, retry), 10 * retry);
+    fw.on_check_error(0, 10 * retry + 2);
+    fw.on_squash({0, retry}, 10 * retry + 2);
+    fw.tick(10 * retry + 3);
+  }
+  EXPECT_TRUE(fw.safe_mode());
+  EXPECT_EQ(fw.verdict(), SelfCheckVerdict::kFalseAlarmStorm);
+  // Decoupled output lets the pipeline commit despite the stuck bit.
+  fw.on_dispatch(chk(1, 9), 100);
+  EXPECT_TRUE(fw.check_bits(1).check_valid);
+  EXPECT_FALSE(fw.check_bits(1).check);
+}
+
+TEST_F(SelfCheckFixture, StuckAt1CheckValidOnFreeEntryDetected) {
+  // Table 2 row 4: a free IOQ entry reading 1 means a stuck-at-1 output.
+  fw.ioq().inject_stuck_fault(5, IoqStuckFault::kCheckValidStuck1);
+  for (Cycle c = 1; c <= 200 && !fw.safe_mode(); ++c) fw.tick(c);
+  EXPECT_TRUE(fw.safe_mode());
+  EXPECT_EQ(fw.verdict(), SelfCheckVerdict::kStuckAt1);
+}
+
+TEST_F(SelfCheckFixture, StuckAt1CheckOnFreeEntryDetected) {
+  fw.ioq().inject_stuck_fault(7, IoqStuckFault::kCheckStuck1);
+  for (Cycle c = 1; c <= 200 && !fw.safe_mode(); ++c) fw.tick(c);
+  EXPECT_TRUE(fw.safe_mode());
+  EXPECT_EQ(fw.verdict(), SelfCheckVerdict::kStuckAt1);
+}
+
+TEST_F(SelfCheckFixture, StuckAt0CheckValidLooksLikeNoProgress) {
+  // Table 2: stuck-at-0 of checkValid is equivalent to a module that makes
+  // no progress — and is handled by the same watchdog path.
+  fw.ioq().inject_stuck_fault(0, IoqStuckFault::kCheckValidStuck0);
+  fw.on_dispatch(chk(0, 1), 0);
+  fw.module_write_ioq(*module, {0, 1}, true, false, 2);  // module DID answer
+  for (Cycle c = 1; c <= 200 && !fw.safe_mode(); ++c) fw.tick(c);
+  EXPECT_TRUE(fw.safe_mode());
+  EXPECT_EQ(fw.verdict(), SelfCheckVerdict::kNoProgress);
+}
+
+TEST_F(SelfCheckFixture, SafeModeOverridesAllSubsequentWrites) {
+  fw.on_dispatch(chk(0, 1), 0);
+  for (Cycle c = 1; c <= 150; ++c) fw.tick(c);
+  ASSERT_TRUE(fw.safe_mode());
+  fw.on_dispatch(chk(1, 2), 200);
+  fw.module_write_ioq(*module, {1, 2}, true, true, 201);  // module says error
+  EXPECT_TRUE(fw.check_bits(1).check_valid);
+  EXPECT_FALSE(fw.check_bits(1).check);  // safe mode: always commit
+}
+
+TEST_F(SelfCheckFixture, SafeModeChksToLiveModuleCommitImmediately) {
+  fw.on_dispatch(chk(0, 1), 0);
+  for (Cycle c = 1; c <= 150; ++c) fw.tick(c);
+  ASSERT_TRUE(fw.safe_mode());
+  fw.on_dispatch(chk(2, 3), 200);
+  EXPECT_TRUE(fw.check_bits(2).check_valid);
+}
+
+TEST_F(SelfCheckFixture, RecoupleRestoresChecking) {
+  fw.on_dispatch(chk(0, 1), 0);
+  for (Cycle c = 1; c <= 150; ++c) fw.tick(c);
+  ASSERT_TRUE(fw.safe_mode());
+  CommitInfo info;
+  info.tag = {0, 1};
+  info.instr.op = isa::Op::kChk;
+  info.instr.chk_module = isa::ModuleId::kIcm;
+  fw.on_commit(info, 160);
+  fw.recouple();
+  EXPECT_FALSE(fw.safe_mode());
+  fw.on_dispatch(chk(1, 2), 200);
+  EXPECT_FALSE(fw.check_bits(1).check_valid);  // pending again
+}
+
+TEST_F(SelfCheckFixture, DisabledSelfCheckNeverTrips) {
+  SelfCheckConfig config;
+  config.enabled = false;
+  fw.set_selfcheck_config(config);
+  fw.on_dispatch(chk(0, 1), 0);
+  for (Cycle c = 1; c <= 1000; ++c) fw.tick(c);
+  EXPECT_FALSE(fw.safe_mode());
+}
+
+}  // namespace
+}  // namespace rse::engine

@@ -1,0 +1,119 @@
+// Random guest-program generator for differential testing: structured,
+// always-terminating programs mixing ALU ops, memory traffic on a small
+// arena, forward branches, bounded loops, and calls.  The epilogue dumps the
+// working registers into the arena so two executions can be compared by
+// memory content alone.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rse::testing {
+
+struct RandomProgramOptions {
+  u32 blocks = 12;          // basic blocks
+  u32 ops_per_block = 8;    // ALU/memory ops per block
+  bool with_memory = true;  // loads/stores on the arena
+  bool with_loops = true;   // bounded counted loops
+  bool with_calls = false;  // jal/jr leaf calls
+  u32 arena_words = 64;
+};
+
+/// Address of the register-dump area relative to the arena symbol.
+inline constexpr u32 kDumpOffsetWords = 64;
+
+inline std::string generate_random_program(u64 seed, const RandomProgramOptions& options = {}) {
+  Xorshift64 rng(seed);
+  std::ostringstream s;
+  // Working registers: t0..t7 (r8..r15) and s1..s7 (r17..r23); s0 = &arena.
+  const std::vector<std::string> regs = {"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+                                         "s1", "s2", "s3", "s4", "s5", "s6", "s7"};
+  auto reg = [&] { return regs[rng.next_below(regs.size())]; };
+
+  s << ".data\n.align 4\narena: .space "
+    << (options.arena_words + kDumpOffsetWords + 16) * 4 << "\n";
+  s << ".text\nmain:\n  la s0, arena\n";
+  for (const std::string& r : regs) {
+    s << "  li " << r << ", " << static_cast<i64>(rng.next_in(-40000, 40000)) << "\n";
+  }
+
+  auto emit_op = [&] {
+    switch (rng.next_below(options.with_memory ? 14 : 10)) {
+      case 0: s << "  add " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 1: s << "  sub " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 2: s << "  xor " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 3: s << "  and " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 4: s << "  or " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 5: s << "  mul " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 6:
+        s << "  sll " << reg() << ", " << reg() << ", " << rng.next_below(31) << "\n";
+        break;
+      case 7:
+        s << "  sra " << reg() << ", " << reg() << ", " << rng.next_below(31) << "\n";
+        break;
+      case 8: s << "  slt " << reg() << ", " << reg() << ", " << reg() << "\n"; break;
+      case 9:
+        s << "  addi " << reg() << ", " << reg() << ", "
+          << static_cast<i64>(rng.next_in(-1000, 1000)) << "\n";
+        break;
+      case 10:
+      case 11:
+        s << "  sw " << reg() << ", " << rng.next_below(options.arena_words) * 4 << "(s0)\n";
+        break;
+      case 12:
+        s << "  lw " << reg() << ", " << rng.next_below(options.arena_words) * 4 << "(s0)\n";
+        break;
+      case 13:
+        s << "  lb " << reg() << ", " << rng.next_below(options.arena_words * 4) << "(s0)\n";
+        break;
+    }
+  };
+
+  u32 loop_id = 0;
+  for (u32 block = 0; block < options.blocks; ++block) {
+    s << "block_" << block << ":\n";
+    const bool looped = options.with_loops && rng.next_below(3) == 0;
+    if (looped) {
+      // bounded counted loop around this block's body (uses at/ra-free regs)
+      s << "  li v1, 0\nloop_" << loop_id << ":\n";
+    }
+    for (u32 op = 0; op < options.ops_per_block; ++op) emit_op();
+    if (looped) {
+      s << "  addi v1, v1, 1\n";
+      s << "  li v0, " << (2 + rng.next_below(6)) << "\n";
+      s << "  blt v1, v0, loop_" << loop_id << "\n";
+      ++loop_id;
+    }
+    if (block + 1 < options.blocks && rng.next_below(2) == 0) {
+      // data-dependent forward branch (forward targets keep it terminating)
+      const u32 target = block + 1 + rng.next_below(options.blocks - block - 1) ;
+      const char* kinds[] = {"beq", "bne", "blt", "bge"};
+      s << "  " << kinds[rng.next_below(4)] << " " << reg() << ", " << reg() << ", block_"
+        << (target % options.blocks <= block ? block + 1 : target) << "\n";
+    }
+    if (options.with_calls && rng.next_below(3) == 0) {
+      s << "  jal leaf_" << rng.next_below(3) << "\n";
+    }
+  }
+
+  // Epilogue: dump every working register into the arena, then exit.
+  s << "block_" << options.blocks << ":\n";
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    s << "  sw " << regs[i] << ", " << (kDumpOffsetWords + i) * 4 << "(s0)\n";
+  }
+  s << "  li a0, 0\n  li v0, 1\n  syscall\n";
+
+  if (options.with_calls) {
+    for (int leaf = 0; leaf < 3; ++leaf) {
+      s << "leaf_" << leaf << ":\n";
+      s << "  xor t0, t1, t2\n  addi t3, t3, " << leaf + 1 << "\n  jr ra\n";
+    }
+  }
+  return s.str();
+}
+
+}  // namespace rse::testing

@@ -1,0 +1,174 @@
+// rse-run: run a guest .s program on the simulated machine.
+//
+//   rse_run program.s [options]
+//     --rse                 instantiate the RSE framework (19/3 memory)
+//     --icm --mlr --ddt --ahbm   enable a module (implies --rse)
+//     --instrument          insert ICM CHECKs before control flow
+//     --randomize           MLR layout randomization at load
+//     --rerand <cycles>     runtime GOT re-randomization interval
+//     --limit <cycles>      run limit (default 2e9)
+//     --requests <n> --io <cycles>   simulated network parameters
+//     --stats               print detailed machine statistics
+//     --trace <n>           print the first n committed instructions
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "isa/assembler.hpp"
+#include "os/guest_os.hpp"
+#include "os/machine.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rse;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
+            << "  [--instrument] [--randomize] [--rerand N] [--limit N]\n"
+            << "  [--requests N] [--io N] [--stats] [--trace N]\n";
+  return 2;
+}
+
+void print_stats(os::Machine& machine, os::GuestOs& guest) {
+  const cpu::CoreStats& core = machine.core().stats();
+  std::cout << "--- machine statistics ---\n";
+  std::cout << "cycles:              " << machine.now() << "\n";
+  std::cout << "instructions:        " << core.instructions << " (+" << core.chk_committed
+            << " CHK)\n";
+  std::cout << "IPC:                 "
+            << (core.run_cycles ? static_cast<double>(core.instructions) / core.run_cycles : 0)
+            << "\n";
+  std::cout << "loads/stores:        " << core.loads << "/" << core.stores << "\n";
+  std::cout << "branches (mispred):  " << core.branches << " (" << core.mispredicts << ")\n";
+  std::cout << "squashed:            " << core.squashed << "\n";
+  std::cout << "il1: " << machine.il1().stats().accesses << " accesses, "
+            << machine.il1().stats().miss_rate() * 100 << "% miss\n";
+  std::cout << "dl1: " << machine.dl1().stats().accesses << " accesses, "
+            << machine.dl1().stats().miss_rate() * 100 << "% miss\n";
+  std::cout << "bus: " << machine.bus().stats().pipeline_transfers << " pipeline / "
+            << machine.bus().stats().mau_transfers << " MAU transfers\n";
+  std::cout << "syscalls:            " << guest.stats().syscalls << "\n";
+  std::cout << "context switches:    " << guest.stats().context_switches << "\n";
+  if (machine.framework() != nullptr) {
+    const engine::FrameworkStats& fw = machine.framework()->stats();
+    std::cout << "RSE: " << fw.chk_instructions << " CHKs seen, " << fw.errors_reported
+              << " errors, safe mode: " << (machine.framework()->safe_mode() ? "YES" : "no")
+              << "\n";
+    if (machine.icm()->enabled()) {
+      std::cout << "ICM: " << machine.icm()->stats().checks_completed << " checks, "
+                << machine.icm()->stats().mismatches << " mismatches, "
+                << machine.icm()->stats().cache_hits << " cache hits\n";
+    }
+    if (machine.ddt()->enabled()) {
+      std::cout << "DDT: " << machine.ddt()->stats().dependencies_logged << " dependencies, "
+                << machine.ddt()->stats().save_page_exceptions << " SavePages\n";
+    }
+    if (machine.ahbm()->enabled()) {
+      std::cout << "AHBM: " << machine.ahbm()->stats().beats_received << " beats, "
+                << machine.ahbm()->stats().hangs_declared << " hangs declared\n";
+    }
+    if (machine.cfc()->enabled()) {
+      std::cout << "CFC: " << machine.cfc()->stats().transitions_checked << " transitions, "
+                << machine.cfc()->stats().violations << " violations\n";
+    }
+  }
+  if (guest.stats().rerandomizations > 0) {
+    std::cout << "re-randomizations:   " << guest.stats().rerandomizations << " ("
+              << guest.stats().rerandomize_cycles << " stopped cycles)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path;
+  os::MachineConfig machine_config;
+  os::OsConfig os_config;
+  bool instrument = false;
+  bool stats = false;
+  u64 trace = 0;
+  bool enable_icm = false, enable_mlr = false, enable_ddt = false, enable_ahbm = false;
+  bool enable_cfc = false;
+  u32 requests = 0;
+  Cycle io_latency = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u64 = [&](u64 fallback) -> u64 {
+      return i + 1 < argc ? std::stoull(argv[++i]) : fallback;
+    };
+    if (arg == "--rse") machine_config.framework_present = true;
+    else if (arg == "--icm") enable_icm = true;
+    else if (arg == "--mlr") enable_mlr = true;
+    else if (arg == "--ddt") enable_ddt = true;
+    else if (arg == "--ahbm") enable_ahbm = true;
+    else if (arg == "--cfc") enable_cfc = true;
+    else if (arg == "--instrument") instrument = true;
+    else if (arg == "--randomize") os_config.randomize_layout = true;
+    else if (arg == "--rerand") os_config.rerandomize_interval = next_u64(0);
+    else if (arg == "--limit") os_config.run_limit = next_u64(os_config.run_limit);
+    else if (arg == "--requests") requests = static_cast<u32>(next_u64(0));
+    else if (arg == "--io") io_latency = next_u64(0);
+    else if (arg == "--stats") stats = true;
+    else if (arg == "--trace") trace = next_u64(0);
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else path = arg;
+  }
+  if (path.empty()) return usage();
+  if (enable_icm || enable_mlr || enable_ddt || enable_ahbm || enable_cfc || instrument ||
+      os_config.randomize_layout) {
+    machine_config.framework_present = true;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "rse_run: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string source = buffer.str();
+  if (instrument) source = workloads::instrument_checks(source);
+
+  try {
+    os::Machine machine(machine_config);
+    os::GuestOs guest(machine, os_config);
+    if (requests > 0 || io_latency > 0) {
+      os::NetworkConfig net;
+      if (requests > 0) net.total_requests = requests;
+      if (io_latency > 0) net.io_latency_mean = io_latency;
+      guest.network().configure(net);
+    }
+    guest.load(isa::assemble(source));
+    if (trace > 0) {
+      machine.core().set_commit_trace(
+          [&trace](Cycle now, Addr pc, const isa::Instr& instr, ThreadId thread) {
+            if (trace == 0) return;
+            --trace;
+            std::cerr << std::setw(10) << now << "  t" << thread << "  0x" << std::hex
+                      << pc << std::dec << "  " << isa::disassemble(instr) << "\n";
+          });
+    }
+    if (enable_icm) guest.enable_module(isa::ModuleId::kIcm);
+    if (enable_mlr) guest.enable_module(isa::ModuleId::kMlr);
+    if (enable_ddt) guest.enable_module(isa::ModuleId::kDdt);
+    if (enable_ahbm) guest.enable_module(isa::ModuleId::kAhbm);
+    if (enable_cfc) guest.enable_module(isa::ModuleId::kCfc);
+    guest.run();
+
+    std::cout << guest.output();
+    if (!guest.finished()) {
+      std::cerr << "rse_run: run limit reached before the program finished\n";
+    }
+    if (stats) print_stats(machine, guest);
+    return guest.exit_code();
+  } catch (const rse::SimError& error) {
+    std::cerr << "rse_run: " << error.what() << "\n";
+    return 1;
+  }
+}
