@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ahbm_adaptive.dir/bench_ahbm_adaptive.cpp.o"
+  "CMakeFiles/bench_ahbm_adaptive.dir/bench_ahbm_adaptive.cpp.o.d"
+  "bench_ahbm_adaptive"
+  "bench_ahbm_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ahbm_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

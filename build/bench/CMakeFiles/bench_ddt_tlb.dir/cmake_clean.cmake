@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddt_tlb.dir/bench_ddt_tlb.cpp.o"
+  "CMakeFiles/bench_ddt_tlb.dir/bench_ddt_tlb.cpp.o.d"
+  "bench_ddt_tlb"
+  "bench_ddt_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddt_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ddt.dir/bench_fig9_ddt.cpp.o"
+  "CMakeFiles/bench_fig9_ddt.dir/bench_fig9_ddt.cpp.o.d"
+  "bench_fig9_ddt"
+  "bench_fig9_ddt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ddt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

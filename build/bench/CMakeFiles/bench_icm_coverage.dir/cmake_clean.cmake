@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_icm_coverage.dir/bench_icm_coverage.cpp.o"
+  "CMakeFiles/bench_icm_coverage.dir/bench_icm_coverage.cpp.o.d"
+  "bench_icm_coverage"
+  "bench_icm_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_icm_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rerand.dir/bench_rerand.cpp.o"
+  "CMakeFiles/bench_rerand.dir/bench_rerand.cpp.o.d"
+  "bench_rerand"
+  "bench_rerand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rerand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

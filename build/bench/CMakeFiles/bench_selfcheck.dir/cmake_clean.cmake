@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selfcheck.dir/bench_selfcheck.cpp.o"
+  "CMakeFiles/bench_selfcheck.dir/bench_selfcheck.cpp.o.d"
+  "bench_selfcheck"
+  "bench_selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

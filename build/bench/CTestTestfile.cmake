@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_hw_overhead_smoke "/root/repo/build/bench/bench_hw_overhead")
+set_tests_properties(bench_hw_overhead_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig6_icm_timeline_smoke "/root/repo/build/bench/bench_fig6_icm_timeline")
+set_tests_properties(bench_fig6_icm_timeline_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ahbm_adaptive_smoke "/root/repo/build/bench/bench_ahbm_adaptive")
+set_tests_properties(bench_ahbm_adaptive_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_selfcheck_smoke "/root/repo/build/bench/bench_selfcheck")
+set_tests_properties(bench_selfcheck_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table5_mlr_smoke "/root/repo/build/bench/bench_table5_mlr")
+set_tests_properties(bench_table5_mlr_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_rerand_smoke "/root/repo/build/bench/bench_rerand")
+set_tests_properties(bench_rerand_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlr_loader.dir/mlr_loader.cpp.o"
+  "CMakeFiles/mlr_loader.dir/mlr_loader.cpp.o.d"
+  "mlr_loader"
+  "mlr_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlr_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/watchdog_os.cpp" "examples/CMakeFiles/watchdog_os.dir/watchdog_os.cpp.o" "gcc" "examples/CMakeFiles/watchdog_os.dir/watchdog_os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rse_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rse_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/rse_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rse/CMakeFiles/rse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

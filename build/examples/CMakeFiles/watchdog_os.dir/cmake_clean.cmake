@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchdog_os.dir/watchdog_os.cpp.o"
+  "CMakeFiles/watchdog_os.dir/watchdog_os.cpp.o.d"
+  "watchdog_os"
+  "watchdog_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchdog_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_cpu.dir/core.cpp.o"
+  "CMakeFiles/rse_cpu.dir/core.cpp.o.d"
+  "librse_cpu.a"
+  "librse_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_isa.dir/assembler.cpp.o"
+  "CMakeFiles/rse_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/rse_isa.dir/instruction.cpp.o"
+  "CMakeFiles/rse_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/rse_isa.dir/interpreter.cpp.o"
+  "CMakeFiles/rse_isa.dir/interpreter.cpp.o.d"
+  "librse_isa.a"
+  "librse_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

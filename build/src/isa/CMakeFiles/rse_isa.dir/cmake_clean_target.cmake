@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librse_isa.a"
+)

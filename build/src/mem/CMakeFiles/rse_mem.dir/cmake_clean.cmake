@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_mem.dir/cache.cpp.o"
+  "CMakeFiles/rse_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/rse_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/rse_mem.dir/main_memory.cpp.o.d"
+  "librse_mem.a"
+  "librse_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modules/ahbm/ahbm.cpp" "src/modules/CMakeFiles/rse_modules.dir/ahbm/ahbm.cpp.o" "gcc" "src/modules/CMakeFiles/rse_modules.dir/ahbm/ahbm.cpp.o.d"
+  "/root/repo/src/modules/cfc/cfc.cpp" "src/modules/CMakeFiles/rse_modules.dir/cfc/cfc.cpp.o" "gcc" "src/modules/CMakeFiles/rse_modules.dir/cfc/cfc.cpp.o.d"
+  "/root/repo/src/modules/ddt/ddt.cpp" "src/modules/CMakeFiles/rse_modules.dir/ddt/ddt.cpp.o" "gcc" "src/modules/CMakeFiles/rse_modules.dir/ddt/ddt.cpp.o.d"
+  "/root/repo/src/modules/icm/icm.cpp" "src/modules/CMakeFiles/rse_modules.dir/icm/icm.cpp.o" "gcc" "src/modules/CMakeFiles/rse_modules.dir/icm/icm.cpp.o.d"
+  "/root/repo/src/modules/mlr/mlr.cpp" "src/modules/CMakeFiles/rse_modules.dir/mlr/mlr.cpp.o" "gcc" "src/modules/CMakeFiles/rse_modules.dir/mlr/mlr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rse/CMakeFiles/rse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_modules.dir/ahbm/ahbm.cpp.o"
+  "CMakeFiles/rse_modules.dir/ahbm/ahbm.cpp.o.d"
+  "CMakeFiles/rse_modules.dir/cfc/cfc.cpp.o"
+  "CMakeFiles/rse_modules.dir/cfc/cfc.cpp.o.d"
+  "CMakeFiles/rse_modules.dir/ddt/ddt.cpp.o"
+  "CMakeFiles/rse_modules.dir/ddt/ddt.cpp.o.d"
+  "CMakeFiles/rse_modules.dir/icm/icm.cpp.o"
+  "CMakeFiles/rse_modules.dir/icm/icm.cpp.o.d"
+  "CMakeFiles/rse_modules.dir/mlr/mlr.cpp.o"
+  "CMakeFiles/rse_modules.dir/mlr/mlr.cpp.o.d"
+  "librse_modules.a"
+  "librse_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_os.dir/guest_os.cpp.o"
+  "CMakeFiles/rse_os.dir/guest_os.cpp.o.d"
+  "CMakeFiles/rse_os.dir/machine.cpp.o"
+  "CMakeFiles/rse_os.dir/machine.cpp.o.d"
+  "CMakeFiles/rse_os.dir/recovery.cpp.o"
+  "CMakeFiles/rse_os.dir/recovery.cpp.o.d"
+  "librse_os.a"
+  "librse_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

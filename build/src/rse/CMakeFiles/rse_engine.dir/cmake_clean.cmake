@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_engine.dir/framework.cpp.o"
+  "CMakeFiles/rse_engine.dir/framework.cpp.o.d"
+  "librse_engine.a"
+  "librse_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/instrument.cpp" "src/workloads/CMakeFiles/rse_workloads.dir/instrument.cpp.o" "gcc" "src/workloads/CMakeFiles/rse_workloads.dir/instrument.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/workloads/CMakeFiles/rse_workloads.dir/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/rse_workloads.dir/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/mlr_progs.cpp" "src/workloads/CMakeFiles/rse_workloads.dir/mlr_progs.cpp.o" "gcc" "src/workloads/CMakeFiles/rse_workloads.dir/mlr_progs.cpp.o.d"
+  "/root/repo/src/workloads/server.cpp" "src/workloads/CMakeFiles/rse_workloads.dir/server.cpp.o" "gcc" "src/workloads/CMakeFiles/rse_workloads.dir/server.cpp.o.d"
+  "/root/repo/src/workloads/vpr_place.cpp" "src/workloads/CMakeFiles/rse_workloads.dir/vpr_place.cpp.o" "gcc" "src/workloads/CMakeFiles/rse_workloads.dir/vpr_place.cpp.o.d"
+  "/root/repo/src/workloads/vpr_route.cpp" "src/workloads/CMakeFiles/rse_workloads.dir/vpr_route.cpp.o" "gcc" "src/workloads/CMakeFiles/rse_workloads.dir/vpr_route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_workloads.dir/instrument.cpp.o"
+  "CMakeFiles/rse_workloads.dir/instrument.cpp.o.d"
+  "CMakeFiles/rse_workloads.dir/kmeans.cpp.o"
+  "CMakeFiles/rse_workloads.dir/kmeans.cpp.o.d"
+  "CMakeFiles/rse_workloads.dir/mlr_progs.cpp.o"
+  "CMakeFiles/rse_workloads.dir/mlr_progs.cpp.o.d"
+  "CMakeFiles/rse_workloads.dir/server.cpp.o"
+  "CMakeFiles/rse_workloads.dir/server.cpp.o.d"
+  "CMakeFiles/rse_workloads.dir/vpr_place.cpp.o"
+  "CMakeFiles/rse_workloads.dir/vpr_place.cpp.o.d"
+  "CMakeFiles/rse_workloads.dir/vpr_route.cpp.o"
+  "CMakeFiles/rse_workloads.dir/vpr_route.cpp.o.d"
+  "librse_workloads.a"
+  "librse_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/attack_scenarios_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/attack_scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/attack_scenarios_test.cpp.o.d"
+  "/root/repo/tests/integration/differential_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/differential_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/differential_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fault_injection_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/workload_params_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/workload_params_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/workload_params_test.cpp.o.d"
+  "/root/repo/tests/integration/workloads_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rse_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rse_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/rse_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rse/CMakeFiles/rse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

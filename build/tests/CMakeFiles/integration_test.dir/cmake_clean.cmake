@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/attack_scenarios_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/attack_scenarios_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/differential_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/differential_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/workload_params_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/workload_params_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/workloads_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/workloads_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

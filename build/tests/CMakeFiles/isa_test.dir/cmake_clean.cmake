@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/isa/assembler_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/assembler_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/encoding_property_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/encoding_property_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/instruction_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/instruction_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/interpreter_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/interpreter_test.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+  "isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/modules/ahbm_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/ahbm_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/ahbm_test.cpp.o.d"
+  "/root/repo/tests/modules/cfc_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/cfc_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/cfc_test.cpp.o.d"
+  "/root/repo/tests/modules/ddt_property_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/ddt_property_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/ddt_property_test.cpp.o.d"
+  "/root/repo/tests/modules/ddt_recovery_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/ddt_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/ddt_recovery_test.cpp.o.d"
+  "/root/repo/tests/modules/ddt_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/ddt_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/ddt_test.cpp.o.d"
+  "/root/repo/tests/modules/icm_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/icm_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/icm_test.cpp.o.d"
+  "/root/repo/tests/modules/icm_unit_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/icm_unit_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/icm_unit_test.cpp.o.d"
+  "/root/repo/tests/modules/mlr_test.cpp" "tests/CMakeFiles/modules_test.dir/modules/mlr_test.cpp.o" "gcc" "tests/CMakeFiles/modules_test.dir/modules/mlr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rse_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rse_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/rse_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rse/CMakeFiles/rse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

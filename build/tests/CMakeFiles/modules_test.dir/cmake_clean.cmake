@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modules_test.dir/modules/ahbm_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/ahbm_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/cfc_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/cfc_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/ddt_property_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/ddt_property_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/ddt_recovery_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/ddt_recovery_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/ddt_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/ddt_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/icm_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/icm_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/icm_unit_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/icm_unit_test.cpp.o.d"
+  "CMakeFiles/modules_test.dir/modules/mlr_test.cpp.o"
+  "CMakeFiles/modules_test.dir/modules/mlr_test.cpp.o.d"
+  "modules_test"
+  "modules_test.pdb"
+  "modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os/checkpoint_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/checkpoint_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/guest_os_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/guest_os_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/loader_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/loader_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/network_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/network_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/rerandomize_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/rerandomize_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/scheduler_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/scheduler_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/syscall_edge_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/syscall_edge_test.cpp.o.d"
+  "os_test"
+  "os_test.pdb"
+  "os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rse/framework_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/framework_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/framework_test.cpp.o.d"
+  "/root/repo/tests/rse/hw_cost_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/hw_cost_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/hw_cost_test.cpp.o.d"
+  "/root/repo/tests/rse/ioq_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/ioq_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/ioq_test.cpp.o.d"
+  "/root/repo/tests/rse/mau_fairness_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/mau_fairness_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/mau_fairness_test.cpp.o.d"
+  "/root/repo/tests/rse/mau_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/mau_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/mau_test.cpp.o.d"
+  "/root/repo/tests/rse/pipeline_taps_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/pipeline_taps_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/pipeline_taps_test.cpp.o.d"
+  "/root/repo/tests/rse/selfcheck_test.cpp" "tests/CMakeFiles/rse_frame_test.dir/rse/selfcheck_test.cpp.o" "gcc" "tests/CMakeFiles/rse_frame_test.dir/rse/selfcheck_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rse_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rse_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/rse_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rse/CMakeFiles/rse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_frame_test.dir/rse/framework_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/framework_test.cpp.o.d"
+  "CMakeFiles/rse_frame_test.dir/rse/hw_cost_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/hw_cost_test.cpp.o.d"
+  "CMakeFiles/rse_frame_test.dir/rse/ioq_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/ioq_test.cpp.o.d"
+  "CMakeFiles/rse_frame_test.dir/rse/mau_fairness_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/mau_fairness_test.cpp.o.d"
+  "CMakeFiles/rse_frame_test.dir/rse/mau_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/mau_test.cpp.o.d"
+  "CMakeFiles/rse_frame_test.dir/rse/pipeline_taps_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/pipeline_taps_test.cpp.o.d"
+  "CMakeFiles/rse_frame_test.dir/rse/selfcheck_test.cpp.o"
+  "CMakeFiles/rse_frame_test.dir/rse/selfcheck_test.cpp.o.d"
+  "rse_frame_test"
+  "rse_frame_test.pdb"
+  "rse_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/rse_asm.cpp" "tools/CMakeFiles/rse_asm.dir/rse_asm.cpp.o" "gcc" "tools/CMakeFiles/rse_asm.dir/rse_asm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_asm.dir/rse_asm.cpp.o"
+  "CMakeFiles/rse_asm.dir/rse_asm.cpp.o.d"
+  "rse_asm"
+  "rse_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rse_run.dir/rse_run.cpp.o"
+  "CMakeFiles/rse_run.dir/rse_run.cpp.o.d"
+  "rse_run"
+  "rse_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rse_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
