@@ -1,0 +1,74 @@
+// Campaign engine scaling: runs/sec of the same fixed campaign at
+// increasing --jobs, against the --jobs 1 baseline.  Simulations are
+// independent and embarrassingly parallel, so on an N-core host throughput
+// should scale near-linearly until the worker count passes the core count.
+// The golden-run cache is shared across sweep points, so only the first
+// campaign pays for the fault-free baseline.
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace rse;
+
+int main(int argc, char** argv) {
+  campaign::CampaignSpec spec;
+  spec.workload = argc > 1 ? argv[1] : "loop";
+  spec.runs = argc > 2 ? static_cast<u32>(std::stoul(argv[2])) : 96;
+  spec.seed = 7;
+
+  // Sweep at least {1, 2, 4} even on small hosts: oversubscribed workers are
+  // harmless, and the digest comparison across job counts is the
+  // determinism proof regardless of physical core count.
+  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+  const u32 top = std::max(hw, 4u);
+  std::vector<u32> job_counts{1};
+  for (u32 j = 2; j <= top; j *= 2) job_counts.push_back(j);
+  if (job_counts.back() != top) job_counts.push_back(top);
+
+  std::cout << "campaign throughput scaling: workload=" << spec.workload
+            << " runs=" << spec.runs << " hardware threads=" << hw << "\n";
+
+  campaign::GoldenCache cache;
+  campaign::CampaignRunner runner(&cache);
+
+  report::Table table({"jobs", "runs/sec", "wall s", "speedup", "digest match"});
+  std::string baseline_digest;
+  double baseline_rate = 0;
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const u32 jobs : job_counts) {
+    spec.jobs = jobs;
+    const campaign::CampaignReport report = runner.run(spec);
+    const std::string digest = campaign::deterministic_digest(report);
+    if (jobs == 1) {
+      baseline_digest = digest;
+      baseline_rate = report.runs_per_second;
+    }
+    const double speedup = baseline_rate > 0 ? report.runs_per_second / baseline_rate : 0;
+    const bool match = digest == baseline_digest;
+    table.row({std::to_string(jobs), report::fmt_fixed(report.runs_per_second, 1),
+               report::fmt_fixed(report.wall_seconds, 2), report::fmt_fixed(speedup, 2),
+               match ? "yes" : "NO"});
+    csv_rows.push_back({std::to_string(jobs), report::fmt_fixed(report.runs_per_second, 3),
+                        report::fmt_fixed(report.wall_seconds, 4),
+                        report::fmt_fixed(speedup, 3), match ? "1" : "0"});
+    if (!match) {
+      std::cerr << "DETERMINISM VIOLATION at jobs=" << jobs << "\n";
+      return 1;
+    }
+  }
+  table.print();
+  std::cout << "(golden cache: " << cache.misses() << " simulated, " << cache.hits()
+            << " reused)\n";
+
+  if (auto dir = report::csv_export_dir()) {
+    report::CsvWriter csv(*dir + "/campaign_throughput.csv",
+                          {"jobs", "runs_per_sec", "wall_s", "speedup", "digest_match"});
+    for (auto& row : csv_rows) csv.row(std::move(row));
+    csv.flush();
+  }
+  return 0;
+}

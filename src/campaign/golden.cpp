@@ -1,0 +1,59 @@
+#include "campaign/golden.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "isa/assembler.hpp"
+
+namespace rse::campaign {
+
+GoldenRun simulate_golden(const WorkloadSetup& setup) {
+  GoldenRun golden;
+  golden.program = isa::assemble(setup.source);
+
+  os::Machine machine(setup.machine);
+  os::GuestOs guest(machine, setup.os);
+  guest.load(golden.program);
+  for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+  guest.run();
+  if (!guest.finished()) {
+    throw ConfigError("golden run of workload '" + setup.name + "' hit the run limit");
+  }
+
+  golden.output = guest.output();
+  golden.exit_code = guest.exit_code();
+  golden.cycles = machine.now();
+  golden.instructions = machine.core().stats().instructions;
+  if (auto* icm = machine.icm()) golden.icm_mismatches = icm->stats().mismatches;
+  if (auto* cfc = machine.cfc()) golden.cfc_violations = cfc->stats().violations;
+  if (auto* fw = machine.framework()) golden.selfcheck_trips = fw->stats().selfcheck_trips;
+  golden.os_recoveries = guest.stats().recoveries;
+  golden.ioq_slots = setup.machine.core.ruu_size;
+  return golden;
+}
+
+std::string GoldenCache::key_of(const WorkloadSetup& setup) {
+  std::ostringstream key;
+  key << setup.name << '|' << std::hash<std::string>{}(setup.source) << '|'
+      << setup.machine.framework_present << '|' << setup.machine.core.ruu_size << '|'
+      << setup.os.seed << '|' << setup.os.run_limit;
+  for (isa::ModuleId id : setup.host_enables) key << '|' << static_cast<int>(id);
+  return key.str();
+}
+
+std::shared_ptr<const GoldenRun> GoldenCache::get(const WorkloadSetup& setup) {
+  const std::string key = key_of(setup);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(key);
+  if (it != runs_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto golden = std::make_shared<const GoldenRun>(simulate_golden(setup));
+  runs_.emplace(key, golden);
+  return golden;
+}
+
+}  // namespace rse::campaign

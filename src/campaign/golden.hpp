@@ -1,0 +1,55 @@
+// Golden (fault-free) reference runs and their per-(workload, config) cache.
+// Every faulty run is classified by diffing against the golden run of the
+// same workload; the cache ensures each campaign — and repeated campaigns in
+// one process, e.g. the throughput benchmark — simulates the baseline once.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "campaign/workload.hpp"
+#include "isa/program.hpp"
+
+namespace rse::campaign {
+
+struct GoldenRun {
+  isa::Program program;  // assembled once, shared read-only by all runs
+  std::string output;
+  int exit_code = 0;
+  Cycle cycles = 0;
+  u64 instructions = 0;
+  // Baseline detector activity (normally all zero; a workload whose golden
+  // run trips a detector would misclassify every faulty run as detected).
+  u64 icm_mismatches = 0;
+  u64 cfc_violations = 0;
+  u64 selfcheck_trips = 0;
+  u64 os_recoveries = 0;
+  u32 ioq_slots = 16;  // RUU/IOQ size, bounds kConfigBit slot sampling
+};
+
+/// Assemble and simulate the fault-free baseline for a workload setup.
+GoldenRun simulate_golden(const WorkloadSetup& setup);
+
+/// Thread-safe cache of golden runs keyed by (workload name, source,
+/// machine knobs that affect execution).
+class GoldenCache {
+ public:
+  /// Fetch the golden run, simulating it on first use.
+  std::shared_ptr<const GoldenRun> get(const WorkloadSetup& setup);
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+
+ private:
+  static std::string key_of(const WorkloadSetup& setup);
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const GoldenRun>> runs_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace rse::campaign

@@ -1,0 +1,135 @@
+#include "campaign/injection.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rse::campaign {
+
+const char* to_string(InjectTarget target) {
+  switch (target) {
+    case InjectTarget::kRegisterBit: return "reg";
+    case InjectTarget::kInstructionWord: return "instr";
+    case InjectTarget::kDataWord: return "data";
+    case InjectTarget::kConfigBit: return "config";
+  }
+  return "?";
+}
+
+bool parse_target(const std::string& name, InjectTarget* out) {
+  for (unsigned t = 0; t < kNumInjectTargets; ++t) {
+    if (name == to_string(static_cast<InjectTarget>(t))) {
+      *out = static_cast<InjectTarget>(t);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates (seed, index) pairs before they seed
+/// the per-run xorshift stream, so neighbouring run indices do not produce
+/// neighbouring fault points.
+u64 mix(u64 seed, u64 index) {
+  u64 z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+InjectionPlan::InjectionPlan(u64 campaign_seed, InjectionSpace space)
+    : seed_(campaign_seed), space_(std::move(space)) {
+  if (space_.cycles == 0) throw ConfigError("InjectionPlan: empty cycle space");
+  if (space_.targets.empty()) throw ConfigError("InjectionPlan: no targets enabled");
+  if (space_.text_words == 0) throw ConfigError("InjectionPlan: empty text segment");
+}
+
+InjectionRecord InjectionPlan::record(u32 run_index) const {
+  Xorshift64 rng(mix(seed_, run_index));
+  InjectionRecord r;
+  r.campaign_seed = seed_;
+  r.run_index = run_index;
+  r.target = space_.targets[rng.next_below(space_.targets.size())];
+  if (r.target == InjectTarget::kDataWord && space_.data_words == 0) {
+    r.target = InjectTarget::kRegisterBit;  // no data segment to hit
+  }
+  // Draw the timing before the target-specific fields so every target class
+  // consumes the same stream prefix.
+  r.inject_cycle = 1 + rng.next_below(space_.cycles);
+
+  switch (r.target) {
+    case InjectTarget::kRegisterBit: {
+      // r0 is hardwired to zero, so its draw stands in for the other
+      // architectural register of the fetch path: the next-PC latch.
+      const u64 pick = rng.next_below(space_.num_regs);
+      if (pick == 0) {
+        r.reg = kPcPseudoReg;
+        // Word-aligned, near-range bits: the corrupted target usually stays
+        // inside (or close to) the text segment, the case execute
+        // protection alone cannot catch.
+        r.bit = static_cast<u8>(2 + rng.next_below(14));
+      } else {
+        r.reg = static_cast<u8>(pick);
+        r.bit = static_cast<u8>(rng.next_below(32));
+      }
+      r.mask = Word{1} << r.bit;
+      break;
+    }
+    case InjectTarget::kInstructionWord: {
+      r.addr = space_.text_base + static_cast<Addr>(4 * rng.next_below(space_.text_words));
+      const int bits = 1 + static_cast<int>(rng.next_below(2));  // 1-2 bit flips
+      for (int b = 0; b < bits; ++b) r.mask |= Word{1} << rng.next_below(32);
+      r.bit = static_cast<u8>(rng.next_below(32));  // recorded for CSV only
+      break;
+    }
+    case InjectTarget::kDataWord:
+      r.addr = space_.data_base + static_cast<Addr>(4 * rng.next_below(space_.data_words));
+      r.bit = static_cast<u8>(rng.next_below(32));
+      r.mask = Word{1} << r.bit;
+      break;
+    case InjectTarget::kConfigBit:
+      if (rng.next_below(2) == 0) {
+        r.config_kind = ConfigFaultKind::kIoqStuck;
+        r.ioq_slot = static_cast<u32>(rng.next_below(space_.ioq_slots));
+        r.ioq_fault = static_cast<engine::IoqStuckFault>(1 + rng.next_below(4));
+      } else {
+        r.config_kind = ConfigFaultKind::kModuleBehaviour;
+        // Behavioural faults target the synchronous checker (ICM) or the
+        // async control-flow checker — the modules campaigns enable.
+        r.module = rng.next_below(2) == 0 ? isa::ModuleId::kIcm : isa::ModuleId::kCfc;
+        r.module_fault = static_cast<engine::ModuleFaultMode>(1 + rng.next_below(3));
+      }
+      break;
+  }
+  return r;
+}
+
+std::string describe(const InjectionRecord& r) {
+  std::ostringstream os;
+  os << "run " << r.run_index << ": " << to_string(r.target);
+  switch (r.target) {
+    case InjectTarget::kRegisterBit:
+      os << " r" << static_cast<int>(r.reg) << " bit " << static_cast<int>(r.bit);
+      break;
+    case InjectTarget::kInstructionWord:
+    case InjectTarget::kDataWord:
+      os << " @0x" << std::hex << r.addr << " mask 0x" << r.mask << std::dec;
+      break;
+    case InjectTarget::kConfigBit:
+      if (r.config_kind == ConfigFaultKind::kIoqStuck) {
+        os << " ioq slot " << r.ioq_slot << " fault " << static_cast<int>(r.ioq_fault);
+      } else {
+        os << " module " << static_cast<int>(r.module) << " mode "
+           << static_cast<int>(r.module_fault);
+      }
+      break;
+  }
+  os << " @ cycle " << r.inject_cycle;
+  return os.str();
+}
+
+}  // namespace rse::campaign

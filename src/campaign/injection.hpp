@@ -1,0 +1,105 @@
+// Deterministic fault-injection planning (paper section 5 methodology).
+//
+// A campaign is a set of independent runs, each perturbing one golden
+// simulation with a single fault.  Every run's injection point is a pure
+// function of (campaign_seed, run_index) over the workload's injection
+// space, so any individual run — including one observed inside a parallel
+// campaign — can be reproduced in isolation from those two numbers alone.
+//
+// Target classes follow the SimpleScalar-style error-injection studies the
+// paper builds on: architectural register bits, instruction words in text,
+// data words, and framework/module configuration state (IOQ latch stuck-at
+// bits and Table 2 module behavioural faults).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "rse/ioq.hpp"
+#include "rse/module.hpp"
+
+namespace rse::campaign {
+
+enum class InjectTarget : u8 {
+  kRegisterBit = 0,     // flip one bit of an architectural register
+  kInstructionWord = 1, // flip bits of one text word in main memory
+  kDataWord = 2,        // flip one bit of a data-segment word
+  kConfigBit = 3,       // framework state: IOQ stuck-at or module fault mode
+};
+inline constexpr unsigned kNumInjectTargets = 4;
+
+const char* to_string(InjectTarget target);
+/// Parse a target name ("reg", "instr", "data", "config"); returns false on
+/// an unknown name.
+bool parse_target(const std::string& name, InjectTarget* out);
+
+/// How a kConfigBit fault manifests inside the framework.
+enum class ConfigFaultKind : u8 {
+  kIoqStuck,         // stuck-at on one IOQ entry's output bits (Table 2 row 4)
+  kModuleBehaviour,  // module-level behavioural fault (Table 2 rows 1-3)
+};
+
+/// Pseudo register index for kRegisterBit faults that hit the next-PC latch
+/// in the branch/address unit instead of a general-purpose register — the
+/// corruption class the CFC module detects (the instruction binary stays
+/// intact, so the ICM cannot).
+inline constexpr u8 kPcPseudoReg = 32;
+
+/// One fully specified fault: where, what, and when to inject.
+struct InjectionRecord {
+  u64 campaign_seed = 0;
+  u32 run_index = 0;
+  InjectTarget target = InjectTarget::kRegisterBit;
+  Cycle inject_cycle = 0;
+
+  // kRegisterBit
+  u8 reg = 0;
+  u8 bit = 0;
+
+  // kInstructionWord / kDataWord
+  Addr addr = 0;
+  Word mask = 0;  // XOR mask applied to the word
+
+  // kConfigBit
+  ConfigFaultKind config_kind = ConfigFaultKind::kIoqStuck;
+  u32 ioq_slot = 0;
+  engine::IoqStuckFault ioq_fault = engine::IoqStuckFault::kNone;
+  isa::ModuleId module = isa::ModuleId::kIcm;
+  engine::ModuleFaultMode module_fault = engine::ModuleFaultMode::kNone;
+
+  bool operator==(const InjectionRecord&) const = default;
+};
+
+/// Compact one-line description ("run 17: reg r9 bit 3 @ cycle 8211").
+std::string describe(const InjectionRecord& record);
+
+/// The sampling space of one workload, measured from its golden run.
+struct InjectionSpace {
+  Cycle cycles = 0;  // golden run length; injection cycles are drawn < this
+  Addr text_base = 0;
+  u32 text_words = 0;
+  Addr data_base = 0;
+  u32 data_words = 0;  // 0 = workload has no data segment (target redirects)
+  u32 ioq_slots = 16;
+  u32 num_regs = 32;
+  std::vector<InjectTarget> targets;  // enabled target classes (non-empty)
+};
+
+class InjectionPlan {
+ public:
+  InjectionPlan(u64 campaign_seed, InjectionSpace space);
+
+  /// The fault for one run.  Pure: same (seed, index) -> identical record.
+  InjectionRecord record(u32 run_index) const;
+
+  const InjectionSpace& space() const { return space_; }
+  u64 campaign_seed() const { return seed_; }
+
+ private:
+  u64 seed_;
+  InjectionSpace space_;
+};
+
+}  // namespace rse::campaign

@@ -1,0 +1,45 @@
+#include "campaign/outcome.hpp"
+
+namespace rse::campaign {
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return "masked";
+    case Outcome::kDetectedIcm: return "detected_icm";
+    case Outcome::kDetectedDdt: return "detected_ddt";
+    case Outcome::kDetectedCfc: return "detected_cfc";
+    case Outcome::kDetectedSelfCheck: return "detected_selfcheck";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kHang: return "hang";
+  }
+  return "?";
+}
+
+bool is_detected(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kDetectedIcm:
+    case Outcome::kDetectedDdt:
+    case Outcome::kDetectedCfc:
+    case Outcome::kDetectedSelfCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Outcome classify(const RunEvidence& run, const GoldenRun& golden) {
+  if (!run.finished) return Outcome::kHang;
+  // Detection evidence, strongest attribution first.  Comparing against the
+  // golden counts (not zero) keeps a workload whose baseline already trips a
+  // detector from classifying every faulty run as detected.
+  if (run.icm_mismatches > golden.icm_mismatches) return Outcome::kDetectedIcm;
+  if (run.cfc_violations > golden.cfc_violations) return Outcome::kDetectedCfc;
+  if (run.selfcheck_trips > golden.selfcheck_trips) return Outcome::kDetectedSelfCheck;
+  if (run.recoveries > golden.os_recoveries) return Outcome::kDetectedDdt;
+  if (run.crashes > 0 || run.illegal_traps > 0 || run.exit_code == 139) return Outcome::kCrash;
+  if (run.output != golden.output || run.exit_code != golden.exit_code) return Outcome::kSdc;
+  return Outcome::kMasked;
+}
+
+}  // namespace rse::campaign

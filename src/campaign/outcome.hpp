@@ -1,0 +1,51 @@
+// Outcome taxonomy for fault-injection runs (the coverage buckets of the
+// paper's section 5 evaluation, extended with the CFC and self-check paths).
+//
+// Classification diffs one faulty run's architectural results and framework
+// statistics against the golden run.  Detection takes precedence over the
+// final program result — a run whose fault was flagged by a module counts as
+// detected even if recovery could not repair the output — matching how
+// detector-coverage studies bucket runs.  The if/else chain guarantees every
+// run lands in exactly one bucket.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "campaign/golden.hpp"
+#include "isa/instruction.hpp"
+
+namespace rse::campaign {
+
+enum class Outcome : u8 {
+  kMasked = 0,            // correct output, no detector fired
+  kDetectedIcm = 1,       // ICM binary-compare mismatch
+  kDetectedDdt = 2,       // crash contained by DDT dependency-driven recovery
+  kDetectedCfc = 3,       // control-flow checker violation
+  kDetectedSelfCheck = 4, // framework self-check decoupled (config faults)
+  kSdc = 5,               // silent data corruption: wrong output, no detection
+  kCrash = 6,             // abnormal termination without module detection
+  kHang = 7,              // exceeded the cycle budget (watchdog)
+};
+inline constexpr unsigned kNumOutcomes = 8;
+
+const char* to_string(Outcome outcome);
+bool is_detected(Outcome outcome);
+
+/// Evidence collected from one faulty run after it finished (or its cycle
+/// budget expired).
+struct RunEvidence {
+  bool finished = false;
+  std::string output;
+  int exit_code = 0;
+  u64 icm_mismatches = 0;
+  u64 cfc_violations = 0;
+  u64 selfcheck_trips = 0;
+  u64 recoveries = 0;  // DDT-driven thread-recovery invocations
+  u64 crashes = 0;     // thread crashes (illegal instruction, kCrash, CFC kill)
+  u64 illegal_traps = 0;
+};
+
+Outcome classify(const RunEvidence& run, const GoldenRun& golden);
+
+}  // namespace rse::campaign

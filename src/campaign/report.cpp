@@ -1,0 +1,183 @@
+#include "campaign/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace rse::campaign {
+
+u32 CampaignReport::detected() const {
+  u32 n = 0;
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    if (is_detected(static_cast<Outcome>(o))) n += by_outcome[o];
+  }
+  return n;
+}
+
+u32 CampaignReport::unmasked() const {
+  return static_cast<u32>(results.size()) - by_outcome[static_cast<unsigned>(Outcome::kMasked)];
+}
+
+double CampaignReport::coverage() const {
+  const u32 base = unmasked();
+  return base == 0 ? 0.0 : static_cast<double>(detected()) / base;
+}
+
+double CampaignReport::sdc_rate() const {
+  return results.empty() ? 0.0
+                         : static_cast<double>(by_outcome[static_cast<unsigned>(Outcome::kSdc)]) /
+                               results.size();
+}
+
+CampaignReport aggregate(const CampaignSpec& spec, Cycle golden_cycles,
+                         u64 golden_instructions, std::vector<RunResult> results,
+                         double wall_seconds) {
+  CampaignReport report;
+  report.spec = spec;
+  report.golden_cycles = golden_cycles;
+  report.golden_instructions = golden_instructions;
+  report.results = std::move(results);
+  for (const RunResult& r : report.results) {
+    const auto target = static_cast<unsigned>(r.record.target);
+    const auto outcome = static_cast<unsigned>(r.outcome);
+    ++report.by_outcome[outcome];
+    ++report.by_target_outcome[target][outcome];
+    ++report.by_target_runs[target];
+    if (r.fault_applied) ++report.faults_applied;
+  }
+  report.wall_seconds = wall_seconds;
+  report.runs_per_second =
+      wall_seconds > 0 ? static_cast<double>(report.results.size()) / wall_seconds : 0.0;
+  return report;
+}
+
+std::string summary_text(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "campaign: workload=" << report.spec.workload << " runs=" << report.results.size()
+     << " seed=" << report.spec.seed << " jobs=" << report.spec.jobs
+     << " golden_cycles=" << report.golden_cycles << "\n";
+
+  report::Table outcomes({"outcome", "runs", "share"});
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    const u32 n = report.by_outcome[o];
+    outcomes.row({to_string(static_cast<Outcome>(o)), std::to_string(n),
+                  report::fmt_pct(report.results.empty()
+                                      ? 0.0
+                                      : static_cast<double>(n) / report.results.size())});
+  }
+  outcomes.print(os);
+
+  report::Table targets({"target", "runs", "masked", "detected", "sdc", "crash", "hang",
+                         "coverage"});
+  for (unsigned t = 0; t < kNumInjectTargets; ++t) {
+    const auto& row = report.by_target_outcome[t];
+    u32 det = 0;
+    for (unsigned o = 0; o < kNumOutcomes; ++o) {
+      if (is_detected(static_cast<Outcome>(o))) det += row[o];
+    }
+    const u32 runs = report.by_target_runs[t];
+    const u32 masked = row[static_cast<unsigned>(Outcome::kMasked)];
+    const u32 unmasked = runs - masked;
+    targets.row({to_string(static_cast<InjectTarget>(t)), std::to_string(runs),
+                 std::to_string(masked), std::to_string(det),
+                 std::to_string(row[static_cast<unsigned>(Outcome::kSdc)]),
+                 std::to_string(row[static_cast<unsigned>(Outcome::kCrash)]),
+                 std::to_string(row[static_cast<unsigned>(Outcome::kHang)]),
+                 unmasked == 0 ? "-" : report::fmt_pct(static_cast<double>(det) / unmasked)});
+  }
+  targets.print(os);
+
+  // Per-module detection coverage: which detector caught the unmasked faults.
+  report::Table modules({"detector", "detections", "share of unmasked"});
+  const u32 unmasked = report.unmasked();
+  auto module_row = [&](const char* name, Outcome outcome) {
+    const u32 n = report.by_outcome[static_cast<unsigned>(outcome)];
+    modules.row({name, std::to_string(n),
+                 unmasked == 0 ? "-" : report::fmt_pct(static_cast<double>(n) / unmasked)});
+  };
+  module_row("ICM", Outcome::kDetectedIcm);
+  module_row("CFC", Outcome::kDetectedCfc);
+  module_row("DDT", Outcome::kDetectedDdt);
+  module_row("self-check", Outcome::kDetectedSelfCheck);
+  modules.print(os);
+
+  os << "detection coverage (detected/unmasked): " << report::fmt_pct(report.coverage())
+     << "   SDC rate: " << report::fmt_pct(report.sdc_rate()) << "\n";
+  os << "throughput: " << report::fmt_fixed(report.runs_per_second, 1) << " runs/sec ("
+     << report::fmt_fixed(report.wall_seconds, 2) << " s wall clock)\n";
+  return os.str();
+}
+
+std::string deterministic_digest(const CampaignReport& report) {
+  std::ostringstream os;
+  os << report.spec.workload << '|' << report.spec.seed << '|' << report.results.size() << '|'
+     << report.golden_cycles << '|' << report.faults_applied << '\n';
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    os << to_string(static_cast<Outcome>(o)) << '=' << report.by_outcome[o] << '\n';
+  }
+  for (const RunResult& r : report.results) {
+    os << r.record.run_index << ':' << to_string(r.record.target) << ':'
+       << r.record.inject_cycle << ':' << to_string(r.outcome) << ':' << r.cycles << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"workload\": \"" << report.spec.workload << "\",\n";
+  os << "  \"runs\": " << report.results.size() << ",\n";
+  os << "  \"seed\": " << report.spec.seed << ",\n";
+  os << "  \"jobs\": " << report.spec.jobs << ",\n";
+  os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
+  os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";
+  os << "  \"faults_applied\": " << report.faults_applied << ",\n";
+  os << "  \"outcomes\": {";
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    os << (o ? ", " : "") << '"' << to_string(static_cast<Outcome>(o))
+       << "\": " << report.by_outcome[o];
+  }
+  os << "},\n";
+  os << "  \"by_target\": {";
+  for (unsigned t = 0; t < kNumInjectTargets; ++t) {
+    os << (t ? ", " : "") << '"' << to_string(static_cast<InjectTarget>(t)) << "\": {";
+    for (unsigned o = 0; o < kNumOutcomes; ++o) {
+      os << (o ? ", " : "") << '"' << to_string(static_cast<Outcome>(o))
+         << "\": " << report.by_target_outcome[t][o];
+    }
+    os << '}';
+  }
+  os << "},\n";
+  os << "  \"detected\": " << report.detected() << ",\n";
+  os << "  \"unmasked\": " << report.unmasked() << ",\n";
+  os << std::fixed << std::setprecision(6);
+  os << "  \"coverage\": " << report.coverage() << ",\n";
+  os << "  \"sdc_rate\": " << report.sdc_rate() << ",\n";
+  os << "  \"wall_seconds\": " << report.wall_seconds << ",\n";
+  os << "  \"runs_per_second\": " << report.runs_per_second << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool write_runs_csv(const CampaignReport& report, const std::string& path) {
+  report::CsvWriter csv(path, {"run", "target", "inject_cycle", "reg", "bit", "addr", "mask",
+                               "ioq_slot", "config_kind", "applied", "outcome", "cycles"});
+  for (const RunResult& r : report.results) {
+    std::ostringstream addr, mask;
+    addr << "0x" << std::hex << r.record.addr;
+    mask << "0x" << std::hex << r.record.mask;
+    csv.row({std::to_string(r.record.run_index), to_string(r.record.target),
+             std::to_string(r.record.inject_cycle), std::to_string(r.record.reg),
+             std::to_string(r.record.bit), addr.str(), mask.str(),
+             std::to_string(r.record.ioq_slot),
+             r.record.target == InjectTarget::kConfigBit
+                 ? (r.record.config_kind == ConfigFaultKind::kIoqStuck ? "ioq" : "module")
+                 : "",
+             r.fault_applied ? "1" : "0", to_string(r.outcome), std::to_string(r.cycles)});
+  }
+  return csv.flush();
+}
+
+}  // namespace rse::campaign

@@ -1,0 +1,77 @@
+// Campaign result aggregation and export (stdout table, CSV, JSON).
+//
+// Everything in the report except the wall-clock fields is a deterministic
+// function of (workload, campaign_seed, runs, targets) — identical no matter
+// how many worker threads executed the campaign.  `deterministic_digest`
+// serializes exactly that portion, so tests (and users) can compare
+// campaigns across --jobs settings byte-for-byte.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "campaign/injection.hpp"
+#include "campaign/outcome.hpp"
+
+namespace rse::campaign {
+
+struct RunResult {
+  InjectionRecord record;
+  Outcome outcome = Outcome::kMasked;
+  bool fault_applied = false;  // false: workload finished before inject_cycle
+  Cycle cycles = 0;            // faulty run length
+};
+
+struct CampaignSpec {
+  std::string workload = "kmeans";
+  u32 runs = 256;
+  u64 seed = 1;
+  u32 jobs = 1;  // 0 = std::thread::hardware_concurrency()
+  double hang_factor = 8.0;  // cycle budget = golden cycles x this
+  std::vector<InjectTarget> targets = {
+      InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
+      InjectTarget::kDataWord, InjectTarget::kConfigBit};
+};
+
+struct CampaignReport {
+  CampaignSpec spec;
+  Cycle golden_cycles = 0;
+  u64 golden_instructions = 0;
+
+  std::array<u32, kNumOutcomes> by_outcome{};
+  /// by_target_outcome[target][outcome]
+  std::array<std::array<u32, kNumOutcomes>, kNumInjectTargets> by_target_outcome{};
+  std::array<u32, kNumInjectTargets> by_target_runs{};
+  u32 faults_applied = 0;
+
+  std::vector<RunResult> results;  // run-index order, regardless of --jobs
+
+  // non-deterministic (timing) portion
+  double wall_seconds = 0;
+  double runs_per_second = 0;
+
+  u32 detected() const;
+  u32 unmasked() const;  // runs whose fault had any architectural effect
+  /// Detection coverage: detected / unmasked (0 when nothing was unmasked).
+  double coverage() const;
+  double sdc_rate() const;  // sdc / total runs
+};
+
+/// Build the aggregate report from per-run results (must be in index order).
+CampaignReport aggregate(const CampaignSpec& spec, Cycle golden_cycles,
+                         u64 golden_instructions, std::vector<RunResult> results,
+                         double wall_seconds);
+
+/// Human-readable summary (outcome histogram + per-module coverage table).
+std::string summary_text(const CampaignReport& report);
+
+/// The deterministic portion of the report as a canonical string.
+std::string deterministic_digest(const CampaignReport& report);
+
+std::string to_json(const CampaignReport& report);
+
+/// One CSV row per run (plan fields + outcome); returns false on I/O error.
+bool write_runs_csv(const CampaignReport& report, const std::string& path);
+
+}  // namespace rse::campaign

@@ -1,0 +1,168 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace rse::campaign {
+
+CampaignRunner::CampaignRunner(GoldenCache* cache)
+    : cache_(cache != nullptr ? cache : &own_cache_) {}
+
+Cycle CampaignRunner::budget_for(const GoldenRun& golden, double hang_factor) const {
+  // The additive slack keeps very short workloads from classifying ordinary
+  // detection/retry overhead as a hang.
+  return static_cast<Cycle>(static_cast<double>(golden.cycles) * hang_factor) + 20'000;
+}
+
+InjectionPlan CampaignRunner::plan_for(const CampaignSpec& spec, const GoldenRun& golden,
+                                       const WorkloadSetup& setup) const {
+  (void)setup;
+  InjectionSpace space;
+  space.cycles = golden.cycles;
+  space.text_base = golden.program.text_base;
+  space.text_words = static_cast<u32>(golden.program.text.size());
+  space.data_base = golden.program.data_base;
+  space.data_words = static_cast<u32>(golden.program.data.size() / 4);
+  space.ioq_slots = golden.ioq_slots;
+  space.num_regs = isa::kNumRegs;
+  space.targets = spec.targets;
+  return InjectionPlan(spec.seed, std::move(space));
+}
+
+bool CampaignRunner::apply_fault(os::Machine& machine, const InjectionRecord& record) const {
+  switch (record.target) {
+    case InjectTarget::kRegisterBit: {
+      cpu::Core& core = machine.core();
+      if (record.reg == kPcPseudoReg) {
+        // One-shot corruption of the next-PC latch: the first control-flow
+        // instruction to commit after the injection cycle lands on a wrong
+        // target.  The binary in memory is untouched, so only the CFC (or
+        // the fetch protection fence) can see it.
+        core.set_branch_fault_hook(
+            [mask = record.mask, fired = false](Addr, Addr next) mutable {
+              if (fired) return next;
+              fired = true;
+              return next ^ mask;
+            });
+        return true;
+      }
+      core.set_reg(record.reg, core.reg(record.reg) ^ record.mask);
+      return true;
+    }
+    case InjectTarget::kInstructionWord:
+    case InjectTarget::kDataWord: {
+      mem::MainMemory& memory = machine.memory();
+      memory.write_u32(record.addr, memory.read_u32(record.addr) ^ record.mask);
+      return true;
+    }
+    case InjectTarget::kConfigBit: {
+      engine::Framework* fw = machine.framework();
+      if (fw == nullptr) return false;
+      if (record.config_kind == ConfigFaultKind::kIoqStuck) {
+        fw->ioq().inject_stuck_fault(record.ioq_slot, record.ioq_fault);
+        return true;
+      }
+      engine::Module* module = fw->module(record.module);
+      if (module == nullptr) return false;
+      module->inject_fault(record.module_fault);
+      return true;
+    }
+  }
+  return false;
+}
+
+RunResult CampaignRunner::run_one(const WorkloadSetup& setup, const GoldenRun& golden,
+                                  const InjectionRecord& record) const {
+  const Cycle budget = budget_for(golden, /*hang_factor=*/8.0);
+  return run_one_with_budget(setup, golden, record, budget);
+}
+
+RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
+                                              const GoldenRun& golden,
+                                              const InjectionRecord& record,
+                                              Cycle budget) const {
+  os::OsConfig os_config = setup.os;
+  os_config.run_limit = budget;
+
+  os::Machine machine(setup.machine);
+  os::GuestOs guest(machine, os_config);
+  guest.load(golden.program);
+  for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+
+  RunResult result;
+  result.record = record;
+
+  // A corrupted guest can reach states the OS model treats as fatal host-side
+  // errors (unknown syscall number, wild memory access).  Those are crashes
+  // of the faulty run, not of the campaign.
+  bool host_trap = false;
+  try {
+    while (!guest.finished() && machine.now() < record.inject_cycle && machine.now() < budget) {
+      guest.step();
+    }
+    if (!guest.finished() && machine.now() < budget) {
+      result.fault_applied = apply_fault(machine, record);
+    }
+    while (!guest.finished() && machine.now() < budget) guest.step();
+  } catch (const SimError&) {
+    host_trap = true;
+  }
+
+  RunEvidence evidence;
+  evidence.finished = guest.finished() || host_trap;
+  evidence.output = guest.output();
+  evidence.exit_code = guest.exit_code();
+  if (auto* icm = machine.icm()) evidence.icm_mismatches = icm->stats().mismatches;
+  if (auto* cfc = machine.cfc()) evidence.cfc_violations = cfc->stats().violations;
+  if (auto* fw = machine.framework()) evidence.selfcheck_trips = fw->stats().selfcheck_trips;
+  evidence.recoveries = guest.stats().recoveries;
+  evidence.crashes = guest.stats().crashes + (host_trap ? 1 : 0);
+  evidence.illegal_traps = guest.stats().illegal_traps;
+
+  result.outcome = classify(evidence, golden);
+  result.cycles = machine.now();
+  return result;
+}
+
+CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
+  if (spec.runs == 0) throw ConfigError("campaign needs at least one run");
+  const WorkloadSetup setup = make_workload(spec.workload);
+  const std::shared_ptr<const GoldenRun> golden = cache_->get(setup);
+  const InjectionPlan plan = plan_for(spec, *golden, setup);
+  const Cycle budget = budget_for(*golden, spec.hang_factor);
+
+  std::vector<RunResult> results(spec.runs);
+  std::atomic<u32> next_run{0};
+  const auto worker = [&] {
+    for (;;) {
+      const u32 index = next_run.fetch_add(1, std::memory_order_relaxed);
+      if (index >= spec.runs) return;
+      results[index] = run_one_with_budget(setup, *golden, plan.record(index), budget);
+    }
+  };
+
+  u32 jobs = spec.jobs != 0 ? spec.jobs : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, spec.runs);
+
+  const auto start = std::chrono::steady_clock::now();
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (u32 j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  CampaignSpec recorded = spec;
+  recorded.jobs = jobs;
+  return aggregate(recorded, golden->cycles, golden->instructions, std::move(results),
+                   wall_seconds);
+}
+
+}  // namespace rse::campaign

@@ -1,0 +1,53 @@
+// Parallel fault-injection campaign engine.
+//
+// The runner fans independent Machine simulations out across std::thread
+// workers.  Work distribution is a single atomic run-index counter and each
+// run writes into its own preallocated result slot, so the hot path takes no
+// locks and the aggregate report is identical for any --jobs value: every
+// simulation is hermetic (its own Machine/GuestOs), its fault comes from the
+// deterministic InjectionPlan, and aggregation happens in index order after
+// the workers join.
+//
+// A hang watchdog bounds every faulty run at hang_factor x the golden run's
+// cycle count; runs that exceed it classify as kHang.
+#pragma once
+
+#include "campaign/golden.hpp"
+#include "campaign/injection.hpp"
+#include "campaign/report.hpp"
+
+namespace rse::campaign {
+
+class CampaignRunner {
+ public:
+  /// `cache` lets several campaigns share golden runs; pass nullptr to use a
+  /// runner-private cache.
+  explicit CampaignRunner(GoldenCache* cache = nullptr);
+
+  /// Execute a whole campaign: golden run (cached), plan, parallel fan-out,
+  /// classification, aggregation.
+  CampaignReport run(const CampaignSpec& spec);
+
+  /// Reproduce a single run in isolation (tests, debugging a campaign hit)
+  /// with the default hang budget.
+  RunResult run_one(const WorkloadSetup& setup, const GoldenRun& golden,
+                    const InjectionRecord& record) const;
+
+  RunResult run_one_with_budget(const WorkloadSetup& setup, const GoldenRun& golden,
+                                const InjectionRecord& record, Cycle budget) const;
+
+  /// The plan a spec expands to (exposed for tests and --describe).
+  InjectionPlan plan_for(const CampaignSpec& spec, const GoldenRun& golden,
+                         const WorkloadSetup& setup) const;
+
+  GoldenCache& cache() { return *cache_; }
+
+ private:
+  Cycle budget_for(const GoldenRun& golden, double hang_factor) const;
+  bool apply_fault(os::Machine& machine, const InjectionRecord& record) const;
+
+  GoldenCache own_cache_;
+  GoldenCache* cache_;
+};
+
+}  // namespace rse::campaign

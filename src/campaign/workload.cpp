@@ -1,0 +1,102 @@
+#include "campaign/workload.hpp"
+
+#include "common/error.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse::campaign {
+
+namespace {
+
+// A deterministic checked compute loop with a data segment: sums and mixes a
+// 64-word table for a few hundred iterations.  Small enough that a unit test
+// can afford dozens of runs, but long enough (tens of thousands of cycles)
+// that injection timing sampling is meaningful.
+constexpr const char* kLoopProgram = R"(
+.data
+table:
+  .space 256
+.text
+main:
+  li t0, 0          # i
+  li t3, 0          # checksum
+  la t4, table
+init:
+  li t2, 64
+  sll t5, t0, 2
+  add t5, t5, t4
+  addi t6, t0, 17
+  sw t6, 0(t5)
+  addi t0, t0, 1
+  blt t0, t2, init
+  li t0, 0          # outer trip count
+outer:
+  li t1, 0          # table index
+inner:
+  li t2, 64
+  sll t5, t1, 2
+  add t5, t5, t4
+  lw t6, 0(t5)
+  add t3, t3, t6
+  sll t6, t6, 1
+  xor t6, t6, t3
+  sw t6, 0(t5)
+  addi t1, t1, 1
+  blt t1, t2, inner
+  li t2, 16
+  addi t0, t0, 1
+  blt t0, t2, outer
+  move a0, t3
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+)";
+
+WorkloadSetup base_setup(std::string name, std::string source) {
+  WorkloadSetup w;
+  w.name = std::move(name);
+  w.source = workloads::instrument_checks(std::move(source));
+  w.machine.framework_present = true;
+  // Campaign workloads are short; the default 50k-cycle self-check watchdog
+  // would outlast the hang budget of a small run.  None of them issue
+  // blocking operations anywhere near this long.
+  w.machine.selfcheck.watchdog_timeout = 5'000;
+  w.host_enables = {isa::ModuleId::kCfc};
+  return w;
+}
+
+}  // namespace
+
+WorkloadSetup make_workload(const std::string& name) {
+  if (name == "loop") {
+    return base_setup(name, kLoopProgram);
+  }
+  if (name == "kmeans") {
+    workloads::KMeansParams params;
+    params.patterns = 40;
+    params.clusters = 4;
+    params.iters = 2;
+    return base_setup(name, workloads::kmeans_source(params));
+  }
+  if (name == "kmeans-large") {
+    return base_setup(name, workloads::kmeans_source({}));
+  }
+  if (name == "server") {
+    workloads::ServerParams params;
+    params.threads = 4;
+    params.compute_iters = 200;
+    params.io_phases = 2;
+    params.enable_ddt = true;
+    WorkloadSetup w = base_setup(name, workloads::server_source(params));
+    w.host_enables.push_back(isa::ModuleId::kDdt);
+    return w;
+  }
+  throw ConfigError("unknown campaign workload: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  return {"loop", "kmeans", "kmeans-large", "server"};
+}
+
+}  // namespace rse::campaign

@@ -1,0 +1,33 @@
+// Campaign workload registry: named, fully configured guest programs that a
+// fault-injection campaign can target.  Each setup bundles the instrumented
+// assembly source with the machine/OS configuration and the modules the
+// loader enables host-side, so golden and faulty runs are built identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "os/guest_os.hpp"
+#include "os/machine.hpp"
+
+namespace rse::campaign {
+
+struct WorkloadSetup {
+  std::string name;
+  std::string source;  // assembly, already CHECK-instrumented
+  os::MachineConfig machine;
+  os::OsConfig os;
+  std::vector<isa::ModuleId> host_enables;  // enabled after load (as a loader would)
+};
+
+/// Build a named workload.  Known names: "loop" (small checked loop,
+/// thousands of cycles — the unit-test workhorse), "kmeans" (reduced-size
+/// clustering, the campaign default), "kmeans-large" (paper-sized kMeans),
+/// "server" (multithreaded network server with DDT tracking).
+/// Throws ConfigError on an unknown name.
+WorkloadSetup make_workload(const std::string& name);
+
+std::vector<std::string> workload_names();
+
+}  // namespace rse::campaign

@@ -449,7 +449,8 @@ OsClient::SyscallResult GuestOs::on_syscall(Cycle now) {
   throw GuestError("unknown syscall " + std::to_string(core.reg(isa::kV0)));
 }
 
-bool GuestOs::on_check_error(Cycle now, Addr pc, isa::ModuleId) {
+bool GuestOs::on_check_error(Cycle now, Addr pc, isa::ModuleId module) {
+  ++stats_.check_errors_by_module[static_cast<unsigned>(module)];
   u32& count = check_error_counts_[pc];
   ++count;
   if (count <= config_.check_error_retries) {
@@ -465,6 +466,7 @@ bool GuestOs::on_check_error(Cycle now, Addr pc, isa::ModuleId) {
 void GuestOs::on_illegal(Cycle now, Addr) {
   // An illegal instruction is a thread crash (e.g. a foiled attack after
   // MLR randomization landing in garbage).
+  ++stats_.illegal_traps;
   handle_crash(current_, now);
 }
 

@@ -6,6 +6,7 @@
 // pages, resume the healthy survivors).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <optional>
@@ -91,6 +92,11 @@ struct OsStats {
   u64 syscalls = 0;
   u64 check_error_retries = 0;
   u64 check_error_aborts = 0;
+  /// CHECK errors escalated to the OS, attributed to the reporting module
+  /// (index = isa::ModuleId) — fault-injection campaigns use this to credit
+  /// the detecting module.
+  std::array<u64, isa::kNumModuleIds> check_errors_by_module{};
+  u64 illegal_traps = 0;  // illegal-instruction crashes (distinct from kCrash)
   u64 crashes = 0;
   u64 recoveries = 0;
   u64 pages_saved = 0;

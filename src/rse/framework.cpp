@@ -115,6 +115,10 @@ void Framework::module_write_ioq(Module& module, const InstrTag& tag, bool check
 void Framework::on_check_error(u32 slot, Cycle now) {
   (void)now;
   ++stats_.errors_reported;
+  const Ioq::Entry& entry = ioq_.entry(slot);
+  if (entry.allocated) {
+    ++stats_.errors_by_module[static_cast<unsigned>(entry.module)];
+  }
   if (!safe_mode_ && slot < alarm_counts_.size()) ++alarm_counts_[slot];
 }
 
@@ -207,6 +211,7 @@ void Framework::trip_selfcheck(SelfCheckVerdict verdict, Cycle now) {
   safe_mode_ = true;
   verdict_ = verdict;
   ++stats_.selfcheck_trips;
+  if (stats_.selfcheck_trip_cycle == 0) stats_.selfcheck_trip_cycle = now;
   // Decoupling: every allocated entry is released to the pipeline with the
   // constant (checkValid=1, check=0) output.
   for (u32 slot = 0; slot < ioq_.size(); ++slot) {

@@ -54,9 +54,13 @@ struct FrameworkStats {
   u64 commits_seen = 0;
   u64 squashes_seen = 0;
   u64 errors_reported = 0;       // check=1 results delivered to the pipeline
+  /// errors_reported attributed to the module owning the IOQ entry (index =
+  /// isa::ModuleId) — campaign classification credits detections with this.
+  std::array<u64, isa::kNumModuleIds> errors_by_module{};
   u64 module_enables = 0;
   u64 module_disables = 0;
   u64 selfcheck_trips = 0;
+  Cycle selfcheck_trip_cycle = 0;  // cycle of the first decoupling (0 = never)
 };
 
 class Framework {

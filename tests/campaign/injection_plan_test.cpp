@@ -1,0 +1,142 @@
+// InjectionPlan: reproducibility from (campaign_seed, run_index) and
+// well-formedness of every sampled fault point.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "campaign/injection.hpp"
+#include "common/error.hpp"
+
+namespace rse::campaign {
+namespace {
+
+InjectionSpace loop_space() {
+  InjectionSpace space;
+  space.cycles = 100'000;
+  space.text_base = 0x0040'0000;
+  space.text_words = 200;
+  space.data_base = 0x1000'0000;
+  space.data_words = 64;
+  space.ioq_slots = 16;
+  space.targets = {InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
+                   InjectTarget::kDataWord, InjectTarget::kConfigBit};
+  return space;
+}
+
+TEST(InjectionPlan, SameSeedAndIndexGiveIdenticalRecords) {
+  const InjectionPlan a(1234, loop_space());
+  const InjectionPlan b(1234, loop_space());
+  for (u32 i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.record(i), b.record(i)) << "run " << i;
+  }
+}
+
+TEST(InjectionPlan, RecordsAreIndependentOfQueryOrder) {
+  const InjectionPlan plan(77, loop_space());
+  const InjectionRecord forward = plan.record(3);
+  plan.record(450);
+  plan.record(0);
+  EXPECT_EQ(plan.record(3), forward);
+}
+
+TEST(InjectionPlan, DifferentSeedsDiverge) {
+  const InjectionPlan a(1, loop_space());
+  const InjectionPlan b(2, loop_space());
+  u32 differing = 0;
+  for (u32 i = 0; i < 100; ++i) {
+    if (!(a.record(i) == b.record(i))) ++differing;
+  }
+  EXPECT_GT(differing, 90u);
+}
+
+TEST(InjectionPlan, EveryRecordIsInsideTheSpace) {
+  const InjectionSpace space = loop_space();
+  const InjectionPlan plan(99, space);
+  for (u32 i = 0; i < 2000; ++i) {
+    const InjectionRecord r = plan.record(i);
+    EXPECT_GE(r.inject_cycle, 1u);
+    EXPECT_LE(r.inject_cycle, space.cycles);
+    switch (r.target) {
+      case InjectTarget::kRegisterBit:
+        EXPECT_GE(r.reg, 1);  // never the hardwired zero register
+        if (r.reg == kPcPseudoReg) {
+          // Next-PC latch faults stay word-aligned and near-range.
+          EXPECT_GE(r.bit, 2);
+          EXPECT_LT(r.bit, 16);
+        } else {
+          EXPECT_LT(r.reg, space.num_regs);
+          EXPECT_LT(r.bit, 32);
+        }
+        EXPECT_EQ(r.mask, Word{1} << r.bit);
+        break;
+      case InjectTarget::kInstructionWord:
+        EXPECT_GE(r.addr, space.text_base);
+        EXPECT_LT(r.addr, space.text_base + 4 * space.text_words);
+        EXPECT_EQ(r.addr % 4, 0u);
+        EXPECT_NE(r.mask, 0u);
+        break;
+      case InjectTarget::kDataWord:
+        EXPECT_GE(r.addr, space.data_base);
+        EXPECT_LT(r.addr, space.data_base + 4 * space.data_words);
+        EXPECT_NE(r.mask, 0u);
+        break;
+      case InjectTarget::kConfigBit:
+        if (r.config_kind == ConfigFaultKind::kIoqStuck) {
+          EXPECT_LT(r.ioq_slot, space.ioq_slots);
+          EXPECT_NE(r.ioq_fault, engine::IoqStuckFault::kNone);
+        } else {
+          EXPECT_NE(r.module_fault, engine::ModuleFaultMode::kNone);
+        }
+        break;
+    }
+  }
+}
+
+TEST(InjectionPlan, AllTargetClassesGetSampled) {
+  const InjectionPlan plan(5, loop_space());
+  std::set<InjectTarget> seen;
+  for (u32 i = 0; i < 200; ++i) seen.insert(plan.record(i).target);
+  EXPECT_EQ(seen.size(), kNumInjectTargets);
+}
+
+TEST(InjectionPlan, DataTargetRedirectsWhenWorkloadHasNoData) {
+  InjectionSpace space = loop_space();
+  space.data_words = 0;
+  const InjectionPlan plan(5, space);
+  for (u32 i = 0; i < 300; ++i) {
+    EXPECT_NE(plan.record(i).target, InjectTarget::kDataWord);
+  }
+}
+
+TEST(InjectionPlan, RestrictedTargetListIsHonoured) {
+  InjectionSpace space = loop_space();
+  space.targets = {InjectTarget::kInstructionWord};
+  const InjectionPlan plan(11, space);
+  for (u32 i = 0; i < 100; ++i) {
+    EXPECT_EQ(plan.record(i).target, InjectTarget::kInstructionWord);
+  }
+}
+
+TEST(InjectionPlan, RejectsDegenerateSpaces) {
+  InjectionSpace no_cycles = loop_space();
+  no_cycles.cycles = 0;
+  EXPECT_THROW(InjectionPlan(1, no_cycles), ConfigError);
+
+  InjectionSpace no_targets = loop_space();
+  no_targets.targets.clear();
+  EXPECT_THROW(InjectionPlan(1, no_targets), ConfigError);
+}
+
+TEST(InjectionTarget, NamesRoundTrip) {
+  for (unsigned t = 0; t < kNumInjectTargets; ++t) {
+    const auto target = static_cast<InjectTarget>(t);
+    InjectTarget parsed;
+    ASSERT_TRUE(parse_target(to_string(target), &parsed));
+    EXPECT_EQ(parsed, target);
+  }
+  InjectTarget parsed;
+  EXPECT_FALSE(parse_target("bogus", &parsed));
+}
+
+}  // namespace
+}  // namespace rse::campaign

@@ -1,0 +1,123 @@
+// OutcomeClassifier: every evidence combination lands in exactly one bucket,
+// with detection taking precedence over the program-level result.
+#include <gtest/gtest.h>
+
+#include "campaign/outcome.hpp"
+
+namespace rse::campaign {
+namespace {
+
+GoldenRun golden() {
+  GoldenRun g;
+  g.output = "42";
+  g.exit_code = 0;
+  g.cycles = 10'000;
+  return g;
+}
+
+RunEvidence clean_run() {
+  RunEvidence e;
+  e.finished = true;
+  e.output = "42";
+  e.exit_code = 0;
+  return e;
+}
+
+TEST(Outcome, CleanRunIsMasked) {
+  EXPECT_EQ(classify(clean_run(), golden()), Outcome::kMasked);
+}
+
+TEST(Outcome, UnfinishedRunIsHangRegardlessOfOtherEvidence) {
+  RunEvidence e = clean_run();
+  e.finished = false;
+  e.icm_mismatches = 3;  // even with detection evidence: the budget expired
+  EXPECT_EQ(classify(e, golden()), Outcome::kHang);
+}
+
+TEST(Outcome, IcmMismatchWinsOverEverythingFinished) {
+  RunEvidence e = clean_run();
+  e.icm_mismatches = 1;
+  e.cfc_violations = 1;
+  e.output = "wrong";
+  EXPECT_EQ(classify(e, golden()), Outcome::kDetectedIcm);
+}
+
+TEST(Outcome, CfcViolationDetected) {
+  RunEvidence e = clean_run();
+  e.cfc_violations = 2;
+  e.crashes = 1;  // the CFC handler kills the thread; still a CFC detection
+  EXPECT_EQ(classify(e, golden()), Outcome::kDetectedCfc);
+}
+
+TEST(Outcome, SelfCheckTripDetected) {
+  RunEvidence e = clean_run();
+  e.selfcheck_trips = 1;
+  EXPECT_EQ(classify(e, golden()), Outcome::kDetectedSelfCheck);
+}
+
+TEST(Outcome, DdtRecoveryDetected) {
+  RunEvidence e = clean_run();
+  e.recoveries = 1;
+  e.crashes = 1;
+  e.exit_code = 139;
+  EXPECT_EQ(classify(e, golden()), Outcome::kDetectedDdt);
+}
+
+TEST(Outcome, UndetectedCrashIsCrash) {
+  RunEvidence e = clean_run();
+  e.crashes = 1;
+  e.exit_code = 139;
+  EXPECT_EQ(classify(e, golden()), Outcome::kCrash);
+}
+
+TEST(Outcome, IllegalTrapCountsAsCrash) {
+  RunEvidence e = clean_run();
+  e.illegal_traps = 1;
+  EXPECT_EQ(classify(e, golden()), Outcome::kCrash);
+}
+
+TEST(Outcome, WrongOutputWithoutDetectionIsSdc) {
+  RunEvidence e = clean_run();
+  e.output = "41";
+  EXPECT_EQ(classify(e, golden()), Outcome::kSdc);
+}
+
+TEST(Outcome, WrongExitCodeWithoutCrashIsSdc) {
+  RunEvidence e = clean_run();
+  e.exit_code = 7;
+  EXPECT_EQ(classify(e, golden()), Outcome::kSdc);
+}
+
+TEST(Outcome, BaselineDetectorNoiseIsSubtracted) {
+  // A workload whose golden run already logs detector activity must not
+  // classify every faulty run as detected.
+  GoldenRun g = golden();
+  g.icm_mismatches = 2;
+  g.cfc_violations = 1;
+  RunEvidence e = clean_run();
+  e.icm_mismatches = 2;
+  e.cfc_violations = 1;
+  EXPECT_EQ(classify(e, g), Outcome::kMasked);
+  e.icm_mismatches = 3;
+  EXPECT_EQ(classify(e, g), Outcome::kDetectedIcm);
+}
+
+TEST(Outcome, EveryOutcomeHasAName) {
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    EXPECT_STRNE(to_string(static_cast<Outcome>(o)), "?");
+  }
+}
+
+TEST(Outcome, DetectedPredicateCoversExactlyTheFourDetectors) {
+  u32 detected = 0;
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    if (is_detected(static_cast<Outcome>(o))) ++detected;
+  }
+  EXPECT_EQ(detected, 4u);
+  EXPECT_FALSE(is_detected(Outcome::kMasked));
+  EXPECT_FALSE(is_detected(Outcome::kSdc));
+  EXPECT_FALSE(is_detected(Outcome::kHang));
+}
+
+}  // namespace
+}  // namespace rse::campaign

@@ -1,0 +1,135 @@
+// rse_campaign: parallel fault-injection campaigns with outcome
+// classification (docs/campaigns.md).
+//
+//   rse_campaign [options]
+//     --workload <name>     loop | kmeans | kmeans-large | server  (kmeans)
+//     --runs <n>            number of injected runs                (256)
+//     --seed <n>            campaign seed                          (1)
+//     --jobs <n>            worker threads, 0 = hardware           (0)
+//     --targets a,b,...     subset of reg,instr,data,config        (all)
+//     --hang-factor <f>     cycle budget = f x golden cycles       (8)
+//     --runs-csv <path>     per-run CSV export
+//     --json <path|->       JSON report ('-' = stdout)
+//     --describe <index>    print one run's injection point and exit
+//     --digest              print the deterministic digest instead of the
+//                           summary (for cross---jobs comparisons)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "common/error.hpp"
+
+using namespace rse;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
+            << "  [--targets reg,instr,data,config] [--hang-factor F]\n"
+            << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
+            << "workloads:";
+  for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
+  std::cerr << "\n";
+  return 2;
+}
+
+bool parse_targets(const std::string& list, std::vector<campaign::InjectTarget>* out) {
+  out->clear();
+  std::istringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    campaign::InjectTarget target;
+    if (!campaign::parse_target(token, &target)) return false;
+    out->push_back(target);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  campaign::CampaignSpec spec;
+  spec.jobs = 0;  // default: all hardware threads
+  std::string runs_csv, json_path;
+  bool digest_only = false;
+  long describe_index = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      spec.workload = value();
+    } else if (arg == "--runs") {
+      spec.runs = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--seed") {
+      spec.seed = std::stoull(value());
+    } else if (arg == "--jobs") {
+      spec.jobs = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--hang-factor") {
+      spec.hang_factor = std::stod(value());
+    } else if (arg == "--targets") {
+      if (!parse_targets(value(), &spec.targets)) {
+        std::cerr << "bad --targets list\n";
+        return usage();
+      }
+    } else if (arg == "--runs-csv") {
+      runs_csv = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--describe") {
+      describe_index = std::stol(value());
+    } else if (arg == "--digest") {
+      digest_only = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    campaign::CampaignRunner runner;
+
+    if (describe_index >= 0) {
+      const campaign::WorkloadSetup setup = campaign::make_workload(spec.workload);
+      const auto golden = runner.cache().get(setup);
+      const campaign::InjectionPlan plan = runner.plan_for(spec, *golden, setup);
+      std::cout << campaign::describe(plan.record(static_cast<u32>(describe_index))) << "\n";
+      return 0;
+    }
+
+    const campaign::CampaignReport report = runner.run(spec);
+
+    if (digest_only) {
+      std::cout << campaign::deterministic_digest(report);
+    } else {
+      std::cout << campaign::summary_text(report);
+    }
+    if (!runs_csv.empty() && !campaign::write_runs_csv(report, runs_csv)) {
+      std::cerr << "failed to write " << runs_csv << "\n";
+      return 1;
+    }
+    if (!json_path.empty()) {
+      if (json_path == "-") {
+        std::cout << campaign::to_json(report);
+      } else {
+        std::ofstream out(json_path);
+        out << campaign::to_json(report);
+        if (!out) {
+          std::cerr << "failed to write " << json_path << "\n";
+          return 1;
+        }
+      }
+    }
+  } catch (const SimError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
