@@ -1,0 +1,86 @@
+// Static diagnostics over a recovered CFG (the lint behind rse_lint and the
+// loader's optional pre-execution analysis).  Every finding is a
+// severity-tagged Diagnostic with a symbolized address; `analyze()` bundles
+// the CFG, the findings, and the CFC successor-table handoff in one result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "isa/program.hpp"
+
+namespace rse::analysis {
+
+enum class Severity : u8 {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+const char* to_string(Severity severity);
+
+/// Diagnostic catalogue (docs/analysis.md lists the rule behind each code).
+enum class DiagCode : u8 {
+  kBranchTargetOutsideText,  // error: direct branch/jump/call leaves text
+  kFallOffTextEnd,           // error: execution can run past text_end()
+  kInvalidEncoding,          // error when reachable, warning otherwise
+  kStoreToText,              // error: resolvable store aimed at the text segment
+  kChkUnknownModule,         // error: CHK module# has no module behind it
+  kChkBadConfig,             // error: malformed imm12 (frame enable/disable of
+                             //        a nonexistent module)
+  kChkUnknownOp,             // warning: chk_op the addressed module ignores
+  kChkChecksNothing,         // warning: ICM CHK not followed by a checkable
+                             //          instruction (end of text / another CHK)
+  kUnreachableBlock,         // warning: no path from any root reaches the block
+  kMissingChkCoverage,       // warning: control instruction in a declared
+                             //          protected region without an ICM CHK
+};
+const char* to_string(DiagCode code);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  DiagCode code = DiagCode::kUnreachableBlock;
+  Addr addr = 0;
+  std::string symbol;   // nearest preceding text symbol + offset, or empty
+  std::string message;  // human-readable detail (addresses pre-symbolized)
+};
+
+/// A text region the workload declares as requiring ICM CHECK coverage on
+/// every control instruction (the Table 4 instrumentation contract).
+struct ProtectedRegion {
+  std::string name;
+  Addr lo = 0;
+  Addr hi = 0;  // exclusive
+};
+
+struct AnalysisOptions {
+  std::vector<ProtectedRegion> protected_regions;
+  /// Resolve non-return indirect jumps to the address-taken set (coarse
+  /// CFI).  Off: such blocks always fall back to the CFC range check.
+  bool resolve_indirect_address_taken = true;
+};
+
+struct AnalysisResult {
+  ControlFlowGraph cfg;
+  std::vector<Diagnostic> diagnostics;
+  IndirectTargetTable indirect;  // resolved indirect jumps -> legal targets
+  u32 unresolved_indirects = 0;  // blocks the CFC must range-check
+
+  bool has_errors() const;
+  u32 count(Severity severity) const;
+};
+
+/// Run CFG recovery plus the full diagnostics pass.  Pure; never throws on
+/// malformed programs (malformations become diagnostics).
+AnalysisResult analyze(const isa::Program& program, const AnalysisOptions& options = {});
+
+/// "main+0x10"-style label for a text address ('?' when no symbol precedes).
+std::string symbolize(const isa::Program& program, Addr addr);
+
+/// One human-readable line: "error[chk-unknown-module] 0x00400010 (main+0x10): ...".
+std::string format_diagnostic(const Diagnostic& diagnostic);
+
+/// Machine-readable report (diagnostics + CFG/indirect summary).
+std::string to_json(const isa::Program& program, const AnalysisResult& result);
+
+}  // namespace rse::analysis

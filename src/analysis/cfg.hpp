@@ -1,0 +1,90 @@
+// Control-flow graph recovery over an assembled guest program (decoder
+// driven, no execution).  The CFG is the substrate for the diagnostics pass
+// (analyzer.hpp) and for the per-block legal-successor table the CFC module
+// consumes at load time.
+//
+// Recovery rules (documented in docs/analysis.md):
+//   * block leaders: the entry point, every direct branch/jump target, the
+//     instruction after any control transfer or syscall, every address-taken
+//     text address (lui/ori materializations and data words that decode to
+//     aligned text addresses — the assembler's `la`/jump-table idioms);
+//   * direct branches get {fall-through, target}; j/jal get {target} (jal
+//     additionally records a call edge whose return site is pc+4);
+//   * `jr $ra` blocks get the return sites of every call reaching the
+//     containing function when that set is statically known, and are marked
+//     indirect-unresolved otherwise;
+//   * other indirect jumps (`jr` on a non-ra register, `jalr`) resolve to
+//     the address-taken target set when one was recovered, and are marked
+//     indirect-unresolved otherwise;
+//   * a syscall ends its block (the OS may redirect control) with the
+//     fall-through as the static successor.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+
+namespace rse::analysis {
+
+/// How a basic block hands control onward.
+enum class BlockExit : u8 {
+  kFallThrough,  // last instruction is not a control transfer
+  kBranch,       // conditional branch: fall-through + encoded target
+  kJump,         // direct unconditional jump (j)
+  kCall,         // direct call (jal): control enters the callee
+  kReturn,       // jr $ra: return sites inferred from call edges
+  kIndirect,     // jr (non-ra) / jalr: data-dependent target
+  kSyscall,      // serializing trap; the OS chooses the continuation
+};
+
+struct BasicBlock {
+  u32 index = 0;
+  Addr start = 0;
+  Addr end = 0;  // exclusive; terminator lives at end - 4
+  BlockExit exit = BlockExit::kFallThrough;
+  std::vector<Addr> successors;  // statically legal next-PC set (sorted)
+  bool indirect_resolved = true;  // false: successors are a guess at best
+  bool reachable = false;
+
+  Addr terminator_pc() const { return end - 4; }
+};
+
+/// One direct call site (jal) — the raw material for return-edge inference.
+struct CallEdge {
+  Addr call_pc = 0;
+  Addr callee = 0;
+  Addr return_site = 0;  // call_pc + 4
+};
+
+struct ControlFlowGraph {
+  Addr text_base = 0;
+  Addr text_end = 0;
+  std::vector<BasicBlock> blocks;  // sorted by start address
+  std::vector<CallEdge> calls;
+  /// Text addresses whose value is materialized somewhere (la expansion or a
+  /// data word): the legal landing set for unresolved-target indirect jumps.
+  std::set<Addr> address_taken;
+
+  /// Block containing `pc`, or nullptr when pc is outside the text segment.
+  const BasicBlock* block_at(Addr pc) const;
+
+  u32 reachable_blocks() const;
+};
+
+/// Recover the CFG from the encoded text (pure function of the program).
+ControlFlowGraph build_cfg(const isa::Program& program);
+
+/// Per-indirect-jump legal-target sets: maps the PC of every *resolved*
+/// indirect jump (jr/jalr) to its statically computed successor set.  PCs of
+/// unresolved indirect jumps are absent — a consumer (the CFC) falls back to
+/// its range check for those.  Shape-compatible with
+/// modules::CfcSuccessorTable without a dependency on the modules library.
+using IndirectTargetTable = std::unordered_map<Addr, std::vector<Addr>>;
+
+/// Extract the CFC handoff table from a recovered CFG.
+IndirectTargetTable indirect_targets(const ControlFlowGraph& cfg);
+
+}  // namespace rse::analysis

@@ -37,7 +37,7 @@ std::string GoldenCache::key_of(const WorkloadSetup& setup) {
   std::ostringstream key;
   key << setup.name << '|' << std::hash<std::string>{}(setup.source) << '|'
       << setup.machine.framework_present << '|' << setup.machine.core.ruu_size << '|'
-      << setup.os.seed << '|' << setup.os.run_limit;
+      << setup.os.seed << '|' << setup.os.run_limit << '|' << setup.os.static_cfc;
   for (isa::ModuleId id : setup.host_enables) key << '|' << static_cast<int>(id);
   return key.str();
 }

@@ -113,7 +113,8 @@ std::string summary_text(const CampaignReport& report) {
 std::string deterministic_digest(const CampaignReport& report) {
   std::ostringstream os;
   os << report.spec.workload << '|' << report.spec.seed << '|' << report.results.size() << '|'
-     << report.golden_cycles << '|' << report.faults_applied << '\n';
+     << report.golden_cycles << '|' << report.faults_applied << '|'
+     << (report.spec.static_cfc ? "static-cfc" : "range-cfc") << '\n';
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     os << to_string(static_cast<Outcome>(o)) << '=' << report.by_outcome[o] << '\n';
   }
@@ -131,6 +132,7 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"runs\": " << report.results.size() << ",\n";
   os << "  \"seed\": " << report.spec.seed << ",\n";
   os << "  \"jobs\": " << report.spec.jobs << ",\n";
+  os << "  \"static_cfc\": " << (report.spec.static_cfc ? "true" : "false") << ",\n";
   os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
   os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";
   os << "  \"faults_applied\": " << report.faults_applied << ",\n";

@@ -29,6 +29,9 @@ struct CampaignSpec {
   u64 seed = 1;
   u32 jobs = 1;  // 0 = std::thread::hardware_concurrency()
   double hang_factor = 8.0;  // cycle budget = golden cycles x this
+  /// Precompute the static CFC legal-successor table at load for the golden
+  /// and every faulty run (OsConfig::static_cfc).
+  bool static_cfc = false;
   std::vector<InjectTarget> targets = {
       InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
       InjectTarget::kDataWord, InjectTarget::kConfigBit};

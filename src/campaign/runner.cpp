@@ -129,7 +129,8 @@ RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
 
 CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   if (spec.runs == 0) throw ConfigError("campaign needs at least one run");
-  const WorkloadSetup setup = make_workload(spec.workload);
+  WorkloadSetup setup = make_workload(spec.workload);
+  setup.os.static_cfc = spec.static_cfc;
   const std::shared_ptr<const GoldenRun> golden = cache_->get(setup);
   const InjectionPlan plan = plan_for(spec, *golden, setup);
   const Cycle budget = budget_for(*golden, spec.hang_factor);

@@ -53,6 +53,48 @@ inner:
   syscall
 )";
 
+// Call/return-dominated compute: every loop trip makes two leaf calls that
+// return with `jr ra`.  The workload where the static CFC successor table
+// (docs/analysis.md) separates from the range-check baseline — a corrupted
+// return target that stays inside text passes the range check but misses
+// the statically inferred return-site set.
+constexpr const char* kCallsProgram = R"(
+.text
+main:
+  li s0, 0          # i
+  li s1, 0          # acc
+trip:
+  li t0, 40
+  bge s0, t0, done
+  move a0, s0
+  jal square
+  add s1, s1, v1
+  move a0, s1
+  jal mix
+  move s1, v1
+  addi s0, s0, 1
+  b trip
+done:
+  move a0, s1
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+
+square:
+  mul v1, a0, a0
+  addi v1, v1, 3
+  jr ra
+
+mix:
+  sll t1, a0, 3
+  xor v1, a0, t1
+  srl t1, v1, 5
+  add v1, v1, t1
+  jr ra
+)";
+
 WorkloadSetup base_setup(std::string name, std::string source) {
   WorkloadSetup w;
   w.name = std::move(name);
@@ -71,6 +113,9 @@ WorkloadSetup base_setup(std::string name, std::string source) {
 WorkloadSetup make_workload(const std::string& name) {
   if (name == "loop") {
     return base_setup(name, kLoopProgram);
+  }
+  if (name == "calls") {
+    return base_setup(name, kCallsProgram);
   }
   if (name == "kmeans") {
     workloads::KMeansParams params;
@@ -96,7 +141,7 @@ WorkloadSetup make_workload(const std::string& name) {
 }
 
 std::vector<std::string> workload_names() {
-  return {"loop", "kmeans", "kmeans-large", "server"};
+  return {"loop", "calls", "kmeans", "kmeans-large", "server"};
 }
 
 }  // namespace rse::campaign

@@ -22,9 +22,11 @@ struct WorkloadSetup {
 };
 
 /// Build a named workload.  Known names: "loop" (small checked loop,
-/// thousands of cycles — the unit-test workhorse), "kmeans" (reduced-size
-/// clustering, the campaign default), "kmeans-large" (paper-sized kMeans),
-/// "server" (multithreaded network server with DDT tracking).
+/// thousands of cycles — the unit-test workhorse), "calls" (call/return
+/// dominated leaf functions — the static-CFC showcase), "kmeans"
+/// (reduced-size clustering, the campaign default), "kmeans-large"
+/// (paper-sized kMeans), "server" (multithreaded network server with DDT
+/// tracking).
 /// Throws ConfigError on an unknown name.
 WorkloadSetup make_workload(const std::string& name);
 

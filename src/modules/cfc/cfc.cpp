@@ -1,8 +1,10 @@
 #include "modules/cfc/cfc.hpp"
 
+#include <algorithm>
+
 namespace rse::modules {
 
-bool CfcModule::transition_legal(const LastCommit& last, Addr to_pc) const {
+bool CfcModule::transition_legal(const LastCommit& last, Addr to_pc) {
   const Addr fallthrough = last.pc + 4;
   if (to_pc == fallthrough) return true;
   if (to_pc == last.pc) return true;  // CHECK-error flush retried in place
@@ -16,8 +18,15 @@ bool CfcModule::transition_legal(const LastCommit& last, Addr to_pc) const {
       if (last.instr.op == isa::Op::kJ || last.instr.op == isa::Op::kJal) {
         return to_pc == (last.instr.target << 2);
       }
-      // Indirect jump: the target is data-dependent; require at least a
-      // text-segment landing (execute protection's contract).
+      // Indirect jump: the target is data-dependent.  With a static
+      // successor table installed for this PC the landing must be in the
+      // precomputed set; otherwise require at least a text-segment landing
+      // (execute protection's contract).
+      if (auto it = successors_.find(last.pc); it != successors_.end()) {
+        ++stats_.indirect_static_checks;
+        return std::binary_search(it->second.begin(), it->second.end(), to_pc);
+      }
+      ++stats_.indirect_range_checks;
       if (config_.text_hi != 0) {
         return to_pc >= config_.text_lo && to_pc < config_.text_hi;
       }

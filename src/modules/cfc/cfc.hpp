@@ -12,8 +12,10 @@
 //   * after a direct branch, the next PC must be the fall-through or the
 //     target computed from the instruction's own bits;
 //   * after a direct jump/call, the next PC must be the encoded target;
-//   * after an indirect jump (jr/jalr), the next PC must at least lie in
-//     the text segment;
+//   * after an indirect jump (jr/jalr), the next PC must lie in the static
+//     legal-successor set when the loader installed one for that PC
+//     (analysis::indirect_targets), and must at least lie in the text
+//     segment otherwise;
 //   * a trap/syscall may be followed by anything the OS chooses.
 //
 // This catches *execution-path* control-flow corruption (a flipped branch
@@ -25,6 +27,7 @@
 
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "rse/framework.hpp"
 #include "rse/module.hpp"
@@ -36,9 +39,17 @@ struct CfcConfig {
   Addr text_hi = 0;
 };
 
+/// Per-indirect-jump legal-successor sets, statically computed by the
+/// analysis layer (analysis::indirect_targets) and installed by the loader.
+/// Keys are the PCs of *resolved* indirect jumps; an indirect jump whose PC
+/// is absent falls back to the text-range check.
+using CfcSuccessorTable = std::unordered_map<Addr, std::vector<Addr>>;
+
 struct CfcStats {
   u64 transitions_checked = 0;
   u64 violations = 0;
+  u64 indirect_static_checks = 0;  // indirect transitions matched against the table
+  u64 indirect_range_checks = 0;   // fallback: "lands somewhere in text"
 };
 
 class CfcModule : public engine::Module {
@@ -60,6 +71,12 @@ class CfcModule : public engine::Module {
     config_.text_hi = hi;
   }
 
+  /// Install (or clear, with an empty table) the static legal-successor
+  /// table.  Tightens the indirect-jump check from "within text range" to
+  /// "within the statically computed target set" for every PC in the table.
+  void set_successor_table(CfcSuccessorTable table) { successors_ = std::move(table); }
+  bool has_successor_table() const { return !successors_.empty(); }
+
   void on_commit(const engine::CommitInfo& info, Cycle now) override;
   void reset() override { last_.clear(); }
 
@@ -74,11 +91,12 @@ class CfcModule : public engine::Module {
     isa::Instr instr;
   };
 
-  bool transition_legal(const LastCommit& last, Addr to_pc) const;
+  bool transition_legal(const LastCommit& last, Addr to_pc);
 
   CfcConfig config_;
   CfcStats stats_;
   ViolationHandler on_violation_;
+  CfcSuccessorTable successors_;
   std::unordered_map<ThreadId, LastCommit> last_;
 };
 

@@ -104,8 +104,15 @@ void GuestOs::load(const isa::Program& program) {
   threads_.push_back(main_thread);
 
   machine_->core().set_text_range(program.text_base, program.text_end());
+  analysis_.reset();
+  if (config_.static_cfc) {
+    analysis_ = std::make_unique<analysis::AnalysisResult>(analysis::analyze(program));
+  }
   if (auto* cfc = machine_->cfc()) {
     cfc->set_text_range(program.text_base, program.text_end());
+    // Stale tables from a previous load must not constrain this program.
+    cfc->set_successor_table(analysis_ != nullptr ? analysis_->indirect
+                                                  : modules::CfcSuccessorTable{});
   }
   machine_->core().set_context(main_thread.ctx, 0);
   machine_->core().resume();

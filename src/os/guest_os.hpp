@@ -13,6 +13,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "analysis/analyzer.hpp"
 #include "common/rng.hpp"
 #include "isa/program.hpp"
 #include "os/checkpoint.hpp"
@@ -68,6 +71,10 @@ struct OsConfig {
   u64 max_checkpoint_bytes = 0;   // 0 = unbounded
   Cycle run_limit = 2'000'000'000;
   u64 seed = 42;
+  /// Run the static analyzer at load and install the CFG-derived
+  /// legal-successor table into the CFC module, tightening its indirect-jump
+  /// check from "in text range" to "in the statically computed target set".
+  bool static_cfc = false;
 };
 
 struct RecoveryReport {
@@ -148,6 +155,10 @@ class GuestOs : public cpu::OsClient {
   /// Current location of the registered GOT (moves on re-randomization).
   Addr got_location() const { return got_addr_; }
 
+  /// Static analysis of the loaded program; null unless OsConfig::static_cfc
+  /// asked the loader to lint-and-precompute.
+  const analysis::AnalysisResult* program_analysis() const { return analysis_.get(); }
+
   // ---- cpu::OsClient ----
   SyscallResult on_syscall(Cycle now) override;
   bool on_check_error(Cycle now, Addr pc, isa::ModuleId module) override;
@@ -212,6 +223,7 @@ class GuestOs : public cpu::OsClient {
   Addr heap_base_ = 0;
   Addr shlib_base_ = 0x6000'0000;
 
+  std::unique_ptr<analysis::AnalysisResult> analysis_;
   std::map<Addr, u32> check_error_counts_;
   std::vector<RecoveryReport> recovery_reports_;
   bool record_slices_ = false;

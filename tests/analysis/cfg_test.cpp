@@ -1,0 +1,190 @@
+// CFG recovery (analysis/cfg.hpp): block partitioning, successor sets,
+// call/return-edge inference, address-taken tracking, reachability.
+#include "analysis/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/assembler.hpp"
+
+namespace rse::analysis {
+namespace {
+
+const BasicBlock& block_starting(const ControlFlowGraph& cfg, Addr start) {
+  const BasicBlock* block = cfg.block_at(start);
+  EXPECT_NE(block, nullptr) << "no block at 0x" << std::hex << start;
+  EXPECT_EQ(block->start, start);
+  return *block;
+}
+
+TEST(CfgTest, StraightLineProgramIsOneBlockPerTerminator) {
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  li t0, 1
+  addi t0, t0, 2
+  move a0, t0
+  li v0, 1
+  syscall
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  const BasicBlock& block = cfg.blocks[0];
+  EXPECT_EQ(block.start, program.text_base);
+  EXPECT_EQ(block.end, program.text_end());
+  EXPECT_EQ(block.exit, BlockExit::kSyscall);
+  EXPECT_TRUE(block.reachable);
+  // Syscall keeps the fall-through (here: off the end, none) as successor.
+  EXPECT_TRUE(block.successors.empty());
+}
+
+TEST(CfgTest, BranchSplitsBlocksAndGetsBothSuccessors) {
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  li t0, 5
+loop:
+  addi t0, t0, -1
+  bne t0, r0, loop
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  const Addr loop = program.symbol("loop");
+
+  const BasicBlock& head = block_starting(cfg, program.text_base);
+  EXPECT_EQ(head.exit, BlockExit::kFallThrough);
+  ASSERT_EQ(head.successors.size(), 1u);
+  EXPECT_EQ(head.successors[0], loop);
+
+  const BasicBlock& body = block_starting(cfg, loop);
+  EXPECT_EQ(body.exit, BlockExit::kBranch);
+  ASSERT_EQ(body.successors.size(), 2u);  // sorted: target < fall-through here
+  EXPECT_TRUE(std::binary_search(body.successors.begin(), body.successors.end(), loop));
+  EXPECT_TRUE(std::binary_search(body.successors.begin(), body.successors.end(), body.end));
+  EXPECT_TRUE(std::is_sorted(body.successors.begin(), body.successors.end()));
+}
+
+TEST(CfgTest, CallEdgesAndReturnSiteInference) {
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  jal leaf
+  jal leaf
+  li a0, 0
+  li v0, 1
+  syscall
+leaf:
+  addi v1, a0, 1
+  jr ra
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  const Addr leaf = program.symbol("leaf");
+
+  ASSERT_EQ(cfg.calls.size(), 2u);
+  EXPECT_EQ(cfg.calls[0].callee, leaf);
+  EXPECT_EQ(cfg.calls[0].return_site, cfg.calls[0].call_pc + 4);
+  EXPECT_EQ(cfg.calls[1].callee, leaf);
+
+  // The leaf's jr $ra resolves to exactly the two return sites.
+  const BasicBlock& ret = block_starting(cfg, leaf);
+  EXPECT_EQ(ret.exit, BlockExit::kReturn);
+  EXPECT_TRUE(ret.indirect_resolved);
+  ASSERT_EQ(ret.successors.size(), 2u);
+  EXPECT_EQ(ret.successors[0], cfg.calls[0].return_site);
+  EXPECT_EQ(ret.successors[1], cfg.calls[1].return_site);
+  EXPECT_TRUE(ret.reachable);
+
+  // And lands in the CFC handoff table under the jr's own PC.
+  const IndirectTargetTable table = indirect_targets(cfg);
+  const auto it = table.find(ret.terminator_pc());
+  ASSERT_NE(it, table.end());
+  EXPECT_EQ(it->second, ret.successors);
+}
+
+TEST(CfgTest, ReturnWithoutCallSitesIsUnresolved) {
+  // `leaf` is never called via jal, so its return set cannot be inferred;
+  // the block must stay out of the handoff table (CFC range-check fallback).
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  li a0, 0
+  li v0, 1
+  syscall
+leaf:
+  jr ra
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  const BasicBlock& ret = block_starting(cfg, program.symbol("leaf"));
+  EXPECT_EQ(ret.exit, BlockExit::kReturn);
+  EXPECT_FALSE(ret.indirect_resolved);
+  EXPECT_TRUE(indirect_targets(cfg).empty());
+}
+
+TEST(CfgTest, AddressTakenResolvesNonReturnIndirects) {
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  la t0, handler
+  jr t0
+handler:
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  const Addr handler = program.symbol("handler");
+  EXPECT_TRUE(cfg.address_taken.count(handler));
+
+  const BasicBlock* jump = cfg.block_at(program.text_base);
+  ASSERT_NE(jump, nullptr);
+  EXPECT_EQ(jump->exit, BlockExit::kIndirect);
+  EXPECT_TRUE(jump->indirect_resolved);
+  ASSERT_EQ(jump->successors.size(), 1u);
+  EXPECT_EQ(jump->successors[0], handler);
+
+  // The address-taken landing pad is a root: it stays reachable.
+  EXPECT_TRUE(cfg.block_at(handler)->reachable);
+}
+
+TEST(CfgTest, UnreachableBlockIsMarked) {
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  j end
+dead:
+  addi t0, t0, 1
+end:
+  li a0, 0
+  li v0, 1
+  syscall
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  EXPECT_FALSE(cfg.block_at(program.symbol("dead"))->reachable);
+  EXPECT_TRUE(cfg.block_at(program.symbol("end"))->reachable);
+  EXPECT_EQ(cfg.reachable_blocks(), 2u);
+}
+
+TEST(CfgTest, CallFallThroughIsReachableAcrossTheCallee) {
+  // Reachability must continue at the call's return site even though the
+  // jal's only static successor is the callee entry.
+  const isa::Program program = isa::assemble(R"(
+.text
+main:
+  jal leaf
+  li a0, 0
+  li v0, 1
+  syscall
+leaf:
+  jr ra
+)");
+  const ControlFlowGraph cfg = build_cfg(program);
+  for (const BasicBlock& block : cfg.blocks) {
+    EXPECT_TRUE(block.reachable) << "block at 0x" << std::hex << block.start;
+  }
+}
+
+}  // namespace
+}  // namespace rse::analysis

@@ -1,0 +1,7 @@
+# Lint fixture: a direct jump whose target lies far outside the text
+# segment — the static shape of a corrupted branch-offset field.  rse_lint
+# must report branch-target-outside-text at error severity and exit nonzero.
+.text
+main:
+  li t0, 1
+  j 0x00500000

@@ -1,0 +1,10 @@
+# Lint fixture: mis-parameterized CHK instructions.  Module #6 names no RSE
+# module (chk-unknown-module), and the framework enable selects module 6 in
+# its imm12 (chk-bad-config) — both error severity, so rse_lint exits 1.
+.text
+main:
+  chk 6, 0, nblk, r0, 0
+  chk frame, 1, nblk, r0, 6
+  li a0, 0
+  li v0, 1
+  syscall

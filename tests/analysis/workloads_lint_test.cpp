@@ -1,0 +1,55 @@
+// Every shipped workload must lint clean at error severity — both the
+// campaign registry's pre-instrumented setups and the raw generator sources
+// after Table 4 instrumentation.  This pins the analyzer's false-positive
+// rate on real programs at zero and keeps future workloads honest.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "campaign/workload.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse::analysis {
+namespace {
+
+void expect_error_free(const std::string& label, const std::string& source) {
+  const isa::Program program = isa::assemble(source);
+  const AnalysisResult result = analyze(program);
+  EXPECT_EQ(result.count(Severity::kError), 0u) << label << " has lint errors:\n"
+                                                << to_json(program, result);
+  // Reachability must cover the whole program: an unreachable-block warning
+  // on shipped code means CFG recovery lost an edge.
+  EXPECT_EQ(result.cfg.reachable_blocks(), result.cfg.blocks.size())
+      << label << " has blocks the analyzer believes are unreachable";
+}
+
+TEST(WorkloadLintTest, CampaignWorkloadsLintClean) {
+  for (const std::string& name : campaign::workload_names()) {
+    expect_error_free("campaign workload '" + name + "'",
+                      campaign::make_workload(name).source);
+  }
+}
+
+TEST(WorkloadLintTest, GeneratorSourcesLintCleanInstrumented) {
+  expect_error_free("kmeans", workloads::instrument_checks(workloads::kmeans_source({})));
+  expect_error_free("server", workloads::instrument_checks(workloads::server_source({})));
+  expect_error_free("vpr_place",
+                    workloads::instrument_checks(workloads::vpr_place_source({})));
+  expect_error_free("vpr_route",
+                    workloads::instrument_checks(workloads::vpr_route_source({})));
+}
+
+TEST(WorkloadLintTest, CallsWorkloadResolvesItsReturns) {
+  // The static-CFC showcase workload: both leaf returns must resolve so the
+  // CFC gets exact successor sets instead of range-check fallbacks.
+  const isa::Program program = isa::assemble(campaign::make_workload("calls").source);
+  const AnalysisResult result = analyze(program);
+  EXPECT_EQ(result.unresolved_indirects, 0u);
+  EXPECT_EQ(result.indirect.size(), 2u);
+  for (const auto& [pc, targets] : result.indirect) {
+    EXPECT_FALSE(targets.empty()) << "empty successor set at 0x" << std::hex << pc;
+  }
+}
+
+}  // namespace
+}  // namespace rse::analysis

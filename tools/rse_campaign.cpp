@@ -27,7 +27,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
-            << "  [--targets reg,instr,data,config] [--hang-factor F]\n"
+            << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
@@ -75,6 +75,8 @@ int main(int argc, char** argv) {
       spec.jobs = static_cast<u32>(std::stoul(value()));
     } else if (arg == "--hang-factor") {
       spec.hang_factor = std::stod(value());
+    } else if (arg == "--static-cfc") {
+      spec.static_cfc = true;
     } else if (arg == "--targets") {
       if (!parse_targets(value(), &spec.targets)) {
         std::cerr << "bad --targets list\n";

@@ -1,0 +1,153 @@
+// rse_lint: static guest-program analyzer (docs/analysis.md).
+//
+//   rse_lint <program.s> [options]
+//   rse_lint --workload <name> [options]
+//     --instrument          insert ICM CHECKs before control flow first
+//     --protected a:b       declare [a, b) as CHECK-protected (labels or hex
+//                           addresses; repeatable)
+//     --no-cfi              do not resolve indirect jumps via the
+//                           address-taken set
+//     --json                machine-readable report on stdout
+//     --cfg                 dump the recovered basic blocks
+//     --quiet               suppress per-diagnostic output (exit code only)
+//
+// Exit codes: 0 = no error-severity findings, 1 = errors found (or the
+// program failed to assemble), 2 = usage.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "campaign/workload.hpp"
+#include "common/error.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rse;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rse_lint <program.s> [--instrument] [--protected LO:HI]...\n"
+            << "       rse_lint --workload NAME\n"
+            << "  [--no-cfi] [--json] [--cfg] [--quiet]\n"
+            << "workloads:";
+  for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
+  std::cerr << "\n";
+  return 2;
+}
+
+/// "label" or hex/decimal address -> Addr.
+bool resolve_bound(const isa::Program& program, const std::string& token, Addr* out) {
+  try {
+    *out = program.symbol(token);
+    return true;
+  } catch (const SimError&) {
+  }
+  try {
+    *out = static_cast<Addr>(std::stoul(token, nullptr, 0));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void dump_cfg(const isa::Program& program, const analysis::ControlFlowGraph& cfg) {
+  for (const analysis::BasicBlock& block : cfg.blocks) {
+    std::cout << "block " << block.index << " [0x" << std::hex << block.start << ", 0x"
+              << block.end << ")" << std::dec;
+    const std::string sym = analysis::symbolize(program, block.start);
+    if (!sym.empty()) std::cout << " " << sym;
+    std::cout << (block.reachable ? "" : " UNREACHABLE");
+    std::cout << " ->";
+    if (!block.indirect_resolved) {
+      std::cout << " <unresolved indirect>";
+    } else {
+      for (Addr succ : block.successors) std::cout << " 0x" << std::hex << succ << std::dec;
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string workload;
+  std::vector<std::string> protected_specs;
+  bool instrument = false, json = false, cfg_dump = false, quiet = false;
+  analysis::AnalysisOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") workload = value();
+    else if (arg == "--protected") protected_specs.push_back(value());
+    else if (arg == "--instrument") instrument = true;
+    else if (arg == "--no-cfi") options.resolve_indirect_address_taken = false;
+    else if (arg == "--json") json = true;
+    else if (arg == "--cfg") cfg_dump = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else path = arg;
+  }
+  if (path.empty() == workload.empty()) return usage();  // exactly one input
+
+  try {
+    std::string source;
+    if (!workload.empty()) {
+      source = campaign::make_workload(workload).source;
+    } else {
+      std::ifstream file(path);
+      if (!file) {
+        std::cerr << "rse_lint: cannot open " << path << "\n";
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      source = buffer.str();
+    }
+    if (instrument) source = workloads::instrument_checks(source);
+
+    const isa::Program program = isa::assemble(source);
+    for (const std::string& spec : protected_specs) {
+      const std::size_t colon = spec.find(':');
+      analysis::ProtectedRegion region;
+      region.name = spec;
+      if (colon == std::string::npos ||
+          !resolve_bound(program, spec.substr(0, colon), &region.lo) ||
+          !resolve_bound(program, spec.substr(colon + 1), &region.hi)) {
+        std::cerr << "rse_lint: bad --protected spec '" << spec << "' (want LO:HI)\n";
+        return usage();
+      }
+      options.protected_regions.push_back(std::move(region));
+    }
+
+    const analysis::AnalysisResult result = analysis::analyze(program, options);
+    if (cfg_dump) dump_cfg(program, result.cfg);
+    if (json) {
+      std::cout << analysis::to_json(program, result);
+    } else if (!quiet) {
+      for (const analysis::Diagnostic& d : result.diagnostics) {
+        std::cout << analysis::format_diagnostic(d) << "\n";
+      }
+      std::cout << "rse_lint: " << result.cfg.blocks.size() << " blocks ("
+                << result.cfg.reachable_blocks() << " reachable), " << result.indirect.size()
+                << " resolved + " << result.unresolved_indirects << " unresolved indirects, "
+                << result.count(analysis::Severity::kError) << " errors, "
+                << result.count(analysis::Severity::kWarning) << " warnings\n";
+    }
+    return result.has_errors() ? 1 : 0;
+  } catch (const SimError& error) {
+    std::cerr << "rse_lint: " << error.what() << "\n";
+    return 1;
+  }
+}

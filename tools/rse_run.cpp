@@ -10,12 +10,17 @@
 //     --requests <n> --io <cycles>   simulated network parameters
 //     --stats               print detailed machine statistics
 //     --trace <n>           print the first n committed instructions
+//     --lint                run the static analyzer first; refuse to run on
+//                           error-severity findings (rse_lint for details)
+//     --static-cfc          precompute the CFG-derived legal-successor table
+//                           at load and hand it to the CFC (implies --cfc)
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "common/error.hpp"
 #include "isa/assembler.hpp"
 #include "os/guest_os.hpp"
@@ -29,7 +34,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
             << "  [--instrument] [--randomize] [--rerand N] [--limit N]\n"
-            << "  [--requests N] [--io N] [--stats] [--trace N]\n";
+            << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n";
   return 2;
 }
 
@@ -73,7 +78,9 @@ void print_stats(os::Machine& machine, os::GuestOs& guest) {
     }
     if (machine.cfc()->enabled()) {
       std::cout << "CFC: " << machine.cfc()->stats().transitions_checked << " transitions, "
-                << machine.cfc()->stats().violations << " violations\n";
+                << machine.cfc()->stats().violations << " violations ("
+                << machine.cfc()->stats().indirect_static_checks << " static / "
+                << machine.cfc()->stats().indirect_range_checks << " range indirect checks)\n";
     }
   }
   if (guest.stats().rerandomizations > 0) {
@@ -94,6 +101,7 @@ int main(int argc, char** argv) {
   u64 trace = 0;
   bool enable_icm = false, enable_mlr = false, enable_ddt = false, enable_ahbm = false;
   bool enable_cfc = false;
+  bool lint = false;
   u32 requests = 0;
   Cycle io_latency = 0;
 
@@ -116,6 +124,11 @@ int main(int argc, char** argv) {
     else if (arg == "--io") io_latency = next_u64(0);
     else if (arg == "--stats") stats = true;
     else if (arg == "--trace") trace = next_u64(0);
+    else if (arg == "--lint") lint = true;
+    else if (arg == "--static-cfc") {
+      os_config.static_cfc = true;
+      enable_cfc = true;
+    }
     else if (!arg.empty() && arg[0] == '-') return usage();
     else path = arg;
   }
@@ -136,6 +149,17 @@ int main(int argc, char** argv) {
   if (instrument) source = workloads::instrument_checks(source);
 
   try {
+    if (lint) {
+      const analysis::AnalysisResult verdict = analysis::analyze(isa::assemble(source));
+      for (const analysis::Diagnostic& d : verdict.diagnostics) {
+        std::cerr << analysis::format_diagnostic(d) << "\n";
+      }
+      if (verdict.has_errors()) {
+        std::cerr << "rse_run: refusing to run — " << verdict.count(analysis::Severity::kError)
+                  << " lint error(s)\n";
+        return 1;
+      }
+    }
     os::Machine machine(machine_config);
     os::GuestOs guest(machine, os_config);
     if (requests > 0 || io_latency > 0) {
