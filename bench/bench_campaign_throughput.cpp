@@ -4,6 +4,7 @@
 // should scale near-linearly until the worker count passes the core count.
 // The golden-run cache is shared across sweep points, so only the first
 // campaign pays for the fault-free baseline.
+#include <algorithm>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -70,5 +71,23 @@ int main(int argc, char** argv) {
     for (auto& row : csv_rows) csv.row(std::move(row));
     csv.flush();
   }
+
+  // Same determinism proof with the static DDT footprint in the loop: the
+  // analyzer runs at load in every worker, so the digest must still be a
+  // pure function of (spec, seed) — never of scheduling.
+  spec.static_ddt = true;
+  spec.runs = std::min(spec.runs, 48u);
+  std::string footprint_digest;
+  for (const u32 jobs : {1u, 4u, 8u}) {
+    spec.jobs = jobs;
+    const std::string digest = campaign::deterministic_digest(runner.run(spec));
+    if (jobs == 1) {
+      footprint_digest = digest;
+    } else if (digest != footprint_digest) {
+      std::cerr << "DETERMINISM VIOLATION (static-ddt) at jobs=" << jobs << "\n";
+      return 1;
+    }
+  }
+  std::cout << "static-ddt digest identical across jobs {1, 4, 8}\n";
   return 0;
 }

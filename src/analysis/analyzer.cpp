@@ -210,6 +210,39 @@ void check_protected_coverage(const isa::Program& p, const AnalysisOptions& opti
   }
 }
 
+// The loader leaves this much scratch below the initial stack pointer
+// (stack_top = (stack_base - 64) & ~15), so sp-relative stores at small
+// positive offsets are legal; anything beyond is a frame overflow.
+constexpr i64 kStackSlackBytes = 64;
+
+void check_footprint(const isa::Program& p, const PageFootprint& fp, const Emitter& emit) {
+  const bool has_data = !p.data.empty();
+  for (const AccessSite& site : fp.sites) {
+    if (!site.is_store) continue;
+    if (site.precision == AccessPrecision::kUnknown) {
+      emit(Severity::kWarning, DiagCode::kUnresolvedAddress, site.pc,
+           "store address cannot be bounded statically; the site is excluded "
+           "from the DDT footprint check");
+      continue;
+    }
+    if (site.base == AddressBase::kAbsolute) {
+      const bool hits_data = has_data && site.hi >= static_cast<i64>(p.data_base) &&
+                             site.lo < static_cast<i64>(p.data_end());
+      const bool hits_text = site.hi >= static_cast<i64>(p.text_base) &&
+                             site.lo < static_cast<i64>(p.text_end());
+      if (!hits_data && !hits_text) {  // store-to-text reports the text case
+        emit(Severity::kError, DiagCode::kStoreOutsideFootprint, site.pc,
+             "resolved store range [" + hex(static_cast<Addr>(site.lo)) + ", " +
+                 hex(static_cast<Addr>(site.hi)) + "] lies outside every mapped segment");
+      }
+    } else if (site.base == AddressBase::kStack && site.lo > kStackSlackBytes - 1) {
+      emit(Severity::kError, DiagCode::kStoreOutsideFootprint, site.pc,
+           "sp-relative store at offset " + std::to_string(site.lo) +
+               " lands above the thread's initial stack pointer");
+    }
+  }
+}
+
 }  // namespace
 
 const char* to_string(Severity severity) {
@@ -233,6 +266,8 @@ const char* to_string(DiagCode code) {
     case DiagCode::kChkChecksNothing: return "chk-checks-nothing";
     case DiagCode::kUnreachableBlock: return "unreachable-block";
     case DiagCode::kMissingChkCoverage: return "missing-chk-coverage";
+    case DiagCode::kStoreOutsideFootprint: return "store-outside-footprint";
+    case DiagCode::kUnresolvedAddress: return "unresolved-address";
   }
   return "?";
 }
@@ -281,6 +316,8 @@ AnalysisResult analyze(const isa::Program& program, const AnalysisOptions& optio
     }
   }
 
+  result.footprint = compute_footprint(program, result.cfg);
+
   const Emitter emit{program, result.diagnostics};
   check_direct_targets(program, result.cfg, emit);
   check_fall_off_end(program, result.cfg, emit);
@@ -289,6 +326,7 @@ AnalysisResult analyze(const isa::Program& program, const AnalysisOptions& optio
   check_chk(program, emit);
   check_unreachable(result.cfg, emit);
   check_protected_coverage(program, options, emit);
+  check_footprint(program, result.footprint, emit);
 
   std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) { return a.addr < b.addr; });
@@ -321,7 +359,27 @@ std::string to_json(const isa::Program& program, const AnalysisResult& result) {
      << ",\n  \"resolved_indirects\": " << result.indirect.size()
      << ",\n  \"unresolved_indirects\": " << result.unresolved_indirects
      << ",\n  \"errors\": " << result.count(Severity::kError)
-     << ",\n  \"warnings\": " << result.count(Severity::kWarning) << ",\n  \"diagnostics\": [";
+     << ",\n  \"warnings\": " << result.count(Severity::kWarning);
+  const PageFootprint& fp = result.footprint;
+  os << ",\n  \"footprint\": {\"exact_sites\": " << fp.exact_sites
+     << ", \"over_sites\": " << fp.over_sites
+     << ", \"unknown_sites\": " << fp.unknown_sites << ", \"pages\": [";
+  for (std::size_t i = 0; i < fp.pages.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << fp.pages[i];
+  }
+  os << "], \"store_pages\": [";
+  for (std::size_t i = 0; i < fp.store_pages.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << fp.store_pages[i];
+  }
+  os << "]";
+  if (fp.has_sp_range) {
+    os << ", \"sp_lo\": " << fp.sp_lo << ", \"sp_hi\": " << fp.sp_hi;
+  }
+  if (fp.has_gp_range) {
+    os << ", \"gp_lo\": " << fp.gp_lo << ", \"gp_hi\": " << fp.gp_hi;
+  }
+  os << "}";
+  os << ",\n  \"diagnostics\": [";
   for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
     const Diagnostic& d = result.diagnostics[i];
     os << (i == 0 ? "" : ",") << "\n    {\"severity\": \"" << to_string(d.severity)

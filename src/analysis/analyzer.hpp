@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/cfg.hpp"
+#include "analysis/footprint.hpp"
 #include "isa/program.hpp"
 
 namespace rse::analysis {
@@ -34,6 +35,11 @@ enum class DiagCode : u8 {
   kUnreachableBlock,         // warning: no path from any root reaches the block
   kMissingChkCoverage,       // warning: control instruction in a declared
                              //          protected region without an ICM CHK
+  kStoreOutsideFootprint,    // error: resolved store outside every mapped
+                             //        segment (wild pointer / bad frame math)
+  kUnresolvedAddress,        // warning: store whose address the data-flow
+                             //          pass cannot bound (excluded from the
+                             //          DDT footprint check)
 };
 const char* to_string(DiagCode code);
 
@@ -65,6 +71,7 @@ struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;
   IndirectTargetTable indirect;  // resolved indirect jumps -> legal targets
   u32 unresolved_indirects = 0;  // blocks the CFC must range-check
+  PageFootprint footprint;       // data-flow page signature (DDT handoff)
 
   bool has_errors() const;
   u32 count(Severity severity) const;

@@ -1,0 +1,648 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "mem/main_memory.hpp"
+
+namespace rse::analysis {
+namespace {
+
+// Register values are modeled as the signed-i32 reinterpretation of the
+// 32-bit register, computed exactly in i64; any operation whose result
+// leaves [-2^31, 2^31) would wrap at runtime and degrades to Unknown.  This
+// matches the core: addresses stay below 0x8000'0000 (kDefaultStackTop
+// guards the signed-compare boundary) and blt/bge compare as i32.
+constexpr i64 kMinVal = -(i64{1} << 31);
+constexpr i64 kMaxVal = (i64{1} << 31) - 1;
+
+// A block whose in-state keeps changing past this many joins has its
+// changing registers widened straight to Unknown, bounding the fixpoint.
+constexpr u32 kMaxBlockVisits = 40;
+
+// A resolved range wider than this is useless as a page prediction (it
+// would whitelist the whole address space); treat the site as unresolved.
+constexpr i64 kMaxSpanBytes = i64{1} << 20;
+
+struct AbsVal {
+  enum class Kind : u8 { kUnknown, kAbs, kSp, kGp };
+  Kind kind = Kind::kUnknown;
+  i64 lo = 0;
+  i64 hi = 0;
+
+  bool operator==(const AbsVal& o) const {
+    if (kind != o.kind) return false;
+    if (kind == Kind::kUnknown) return true;
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+using Kind = AbsVal::Kind;
+
+AbsVal make(Kind kind, i64 lo, i64 hi) {
+  if (kind == Kind::kUnknown || lo > hi || lo < kMinVal || hi > kMaxVal) {
+    return AbsVal{};
+  }
+  return AbsVal{kind, lo, hi};
+}
+
+AbsVal abs_const(i64 v) { return make(Kind::kAbs, v, v); }
+
+bool is_singleton(const AbsVal& v) {
+  return v.kind != Kind::kUnknown && v.lo == v.hi;
+}
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == Kind::kUnknown || b.kind == Kind::kUnknown || a.kind != b.kind) {
+    return AbsVal{};
+  }
+  return make(a.kind, std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+using State = std::array<AbsVal, isa::kNumRegs>;
+
+/// Root state: everything Unknown except the architectural invariants.
+State root_state() {
+  State s{};
+  s[0] = abs_const(0);
+  s[isa::kSp] = make(Kind::kSp, 0, 0);
+  s[isa::kGp] = make(Kind::kGp, 0, 0);
+  return s;
+}
+
+/// The i32 reinterpretation of an exact u32 bit pattern.
+i64 from_u32(u32 v) { return static_cast<i64>(static_cast<i32>(v)); }
+
+void set_dest(State& s, u8 reg, const AbsVal& v) {
+  if (reg != 0) s[reg] = v;
+}
+
+/// Transfer function for one non-control instruction (control effects —
+/// link registers, clobbers, refinement — are handled on edges).
+void transfer(const isa::Instr& in, State& s) {
+  using isa::Op;
+  const AbsVal rs = s[in.rs];
+  const AbsVal rt = s[in.rt];
+  const u32 uimm = static_cast<u32>(in.imm) & 0xFFFFu;
+  const i64 imm = in.imm;
+
+  auto add_vals = [](const AbsVal& a, const AbsVal& b) {
+    if (a.kind == Kind::kAbs && b.kind == Kind::kAbs) {
+      return make(Kind::kAbs, a.lo + b.lo, a.hi + b.hi);
+    }
+    if (a.kind != Kind::kUnknown && b.kind == Kind::kAbs) {
+      return make(a.kind, a.lo + b.lo, a.hi + b.hi);
+    }
+    if (a.kind == Kind::kAbs && b.kind != Kind::kUnknown) {
+      return make(b.kind, a.lo + b.lo, a.hi + b.hi);
+    }
+    return AbsVal{};
+  };
+
+  switch (in.op) {
+    case Op::kAdd: set_dest(s, in.rd, add_vals(rs, rt)); break;
+    case Op::kAddi: set_dest(s, in.rt, add_vals(rs, abs_const(imm))); break;
+    case Op::kSub:
+      if (rt.kind == Kind::kAbs && rs.kind != Kind::kUnknown) {
+        // Abs-Abs stays Abs; Sp-Abs / Gp-Abs keep the base.
+        set_dest(s, in.rd, make(rs.kind, rs.lo - rt.hi, rs.hi - rt.lo));
+      } else if (rs.kind == rt.kind && rs.kind != Kind::kUnknown) {
+        // Same-base difference (Sp-Sp, Gp-Gp): the base cancels.
+        set_dest(s, in.rd, make(Kind::kAbs, rs.lo - rt.hi, rs.hi - rt.lo));
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kLui:
+      set_dest(s, in.rt, abs_const(from_u32(uimm << 16)));
+      break;
+    case Op::kOri:
+      if (is_singleton(rs) && rs.kind == Kind::kAbs) {
+        set_dest(s, in.rt, abs_const(from_u32(static_cast<u32>(rs.lo) | uimm)));
+      } else if (uimm == 0) {
+        set_dest(s, in.rt, rs);
+      } else {
+        set_dest(s, in.rt, AbsVal{});
+      }
+      break;
+    case Op::kAndi:
+      // rs & uimm lands in [0, uimm] whatever rs is (uimm is 16-bit).
+      if (is_singleton(rs) && rs.kind == Kind::kAbs) {
+        set_dest(s, in.rt, abs_const(from_u32(static_cast<u32>(rs.lo) & uimm)));
+      } else {
+        set_dest(s, in.rt, make(Kind::kAbs, 0, static_cast<i64>(uimm)));
+      }
+      break;
+    case Op::kXori:
+      if (is_singleton(rs) && rs.kind == Kind::kAbs) {
+        set_dest(s, in.rt, abs_const(from_u32(static_cast<u32>(rs.lo) ^ uimm)));
+      } else {
+        set_dest(s, in.rt, AbsVal{});
+      }
+      break;
+    case Op::kAnd:
+      if (is_singleton(rs) && is_singleton(rt) && rs.kind == Kind::kAbs &&
+          rt.kind == Kind::kAbs) {
+        set_dest(s, in.rd,
+                 abs_const(from_u32(static_cast<u32>(rs.lo) & static_cast<u32>(rt.lo))));
+      } else if (rt.kind == Kind::kAbs && rt.lo == rt.hi && rt.lo >= 0) {
+        set_dest(s, in.rd, make(Kind::kAbs, 0, rt.lo));  // mask bound
+      } else if (rs.kind == Kind::kAbs && rs.lo == rs.hi && rs.lo >= 0) {
+        set_dest(s, in.rd, make(Kind::kAbs, 0, rs.lo));
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kOr:
+      if (is_singleton(rs) && is_singleton(rt) && rs.kind == Kind::kAbs &&
+          rt.kind == Kind::kAbs) {
+        set_dest(s, in.rd,
+                 abs_const(from_u32(static_cast<u32>(rs.lo) | static_cast<u32>(rt.lo))));
+      } else if (rt.kind == Kind::kAbs && rt.lo == 0 && rt.hi == 0) {
+        set_dest(s, in.rd, rs);  // or rd, rs, r0 — the `move` idiom
+      } else if (rs.kind == Kind::kAbs && rs.lo == 0 && rs.hi == 0) {
+        set_dest(s, in.rd, rt);
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kXor:
+    case Op::kNor:
+      if (is_singleton(rs) && is_singleton(rt) && rs.kind == Kind::kAbs &&
+          rt.kind == Kind::kAbs) {
+        const u32 a = static_cast<u32>(rs.lo);
+        const u32 b = static_cast<u32>(rt.lo);
+        set_dest(s, in.rd, abs_const(from_u32(in.op == Op::kXor ? (a ^ b) : ~(a | b))));
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kSll:
+      if (rt.kind == Kind::kAbs && rt.lo >= 0) {
+        set_dest(s, in.rd,
+                 make(Kind::kAbs, rt.lo << in.shamt, rt.hi << in.shamt));
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kSrl:
+    case Op::kSra:
+      if (rt.kind == Kind::kAbs && rt.lo >= 0) {
+        set_dest(s, in.rd,
+                 make(Kind::kAbs, rt.lo >> in.shamt, rt.hi >> in.shamt));
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kSlt:
+    case Op::kSltu:
+      set_dest(s, in.rd, make(Kind::kAbs, 0, 1));
+      break;
+    case Op::kSlti:
+    case Op::kSltiu:
+      set_dest(s, in.rt, make(Kind::kAbs, 0, 1));
+      break;
+    case Op::kMul:
+      if (is_singleton(rs) && is_singleton(rt) && rs.kind == Kind::kAbs &&
+          rt.kind == Kind::kAbs) {
+        set_dest(s, in.rd, make(Kind::kAbs, rs.lo * rt.lo, rs.lo * rt.lo));
+      } else if (rs.kind == Kind::kAbs && rt.kind == Kind::kAbs && rs.lo >= 0 &&
+                 rt.lo >= 0) {
+        set_dest(s, in.rd, make(Kind::kAbs, rs.lo * rt.lo, rs.hi * rt.hi));
+      } else {
+        set_dest(s, in.rd, AbsVal{});
+      }
+      break;
+    case Op::kSllv:
+    case Op::kSrlv:
+    case Op::kSrav:
+    case Op::kMulh:
+    case Op::kDiv:
+    case Op::kRem:
+      set_dest(s, in.rd, AbsVal{});
+      break;
+    case Op::kLw:
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kLb:
+    case Op::kLbu:
+      set_dest(s, in.rt, AbsVal{});
+      break;
+    default:
+      // Stores, branches, jumps, chk, syscall: no GPR effect here (link
+      // registers and syscall clobbers are applied on the outgoing edge).
+      break;
+  }
+  s[0] = abs_const(0);
+}
+
+/// Caller-saved registers (clobbered across a call's fall-through edge).
+bool caller_saved(u8 reg) {
+  if (reg >= 1 && reg <= 15) return true;            // at, v0-v1, a0-a3, t0-t7
+  if (reg >= 24 && reg <= 27) return true;           // t8-t9, k0-k1
+  return reg == isa::kRa;
+}
+
+State clobber_call(const State& in) {
+  State out = in;
+  for (u8 r = 0; r < isa::kNumRegs; ++r) {
+    if (caller_saved(r)) out[r] = AbsVal{};
+  }
+  out[0] = abs_const(0);
+  return out;
+}
+
+/// Range refinement along a conditional-branch edge.  Only same-kind
+/// operands are comparable (Abs vs Abs, or same-base offsets where the base
+/// cancels); unsigned branches are treated as signed only when both ranges
+/// are provably non-negative (no wrap across the sign boundary).
+void refine_edge(const isa::Instr& in, bool taken, State& s) {
+  using isa::Op;
+  AbsVal a = s[in.rs];
+  AbsVal b = s[in.rt];
+  if (a.kind == Kind::kUnknown || b.kind == Kind::kUnknown || a.kind != b.kind) {
+    return;
+  }
+  const bool unsigned_cmp = in.op == Op::kBltu || in.op == Op::kBgeu;
+  if (unsigned_cmp && (a.lo < 0 || b.lo < 0)) return;
+
+  // Normalize to one of: a < b holds, or a >= b holds, or ==, or !=.
+  enum class Rel { kLt, kGe, kEq, kNe, kNone };
+  Rel rel = Rel::kNone;
+  switch (in.op) {
+    case Op::kBlt:
+    case Op::kBltu:
+      rel = taken ? Rel::kLt : Rel::kGe;
+      break;
+    case Op::kBge:
+    case Op::kBgeu:
+      rel = taken ? Rel::kGe : Rel::kLt;
+      break;
+    case Op::kBeq:
+      rel = taken ? Rel::kEq : Rel::kNe;
+      break;
+    case Op::kBne:
+      rel = taken ? Rel::kNe : Rel::kEq;
+      break;
+    default:
+      return;
+  }
+
+  switch (rel) {
+    case Rel::kLt:  // a < b
+      a.hi = std::min(a.hi, b.hi - 1);
+      b.lo = std::max(b.lo, a.lo + 1);
+      break;
+    case Rel::kGe:  // a >= b
+      a.lo = std::max(a.lo, b.lo);
+      b.hi = std::min(b.hi, a.hi);
+      break;
+    case Rel::kEq: {  // intersect
+      const i64 lo = std::max(a.lo, b.lo);
+      const i64 hi = std::min(a.hi, b.hi);
+      a.lo = b.lo = lo;
+      a.hi = b.hi = hi;
+      break;
+    }
+    case Rel::kNe:  // shave a singleton off a matching endpoint
+      if (is_singleton(b)) {
+        if (a.lo == b.lo) a.lo += 1;
+        if (a.hi == b.lo) a.hi -= 1;
+      }
+      if (is_singleton(a)) {
+        if (b.lo == a.lo) b.lo += 1;
+        if (b.hi == a.lo) b.hi -= 1;
+      }
+      break;
+    case Rel::kNone:
+      return;
+  }
+  // An empty refined range marks the edge statically infeasible; the caller
+  // detects it via the sentinel and skips propagation.
+  s[in.rs] = (a.lo > a.hi) ? AbsVal{Kind::kAbs, 1, 0} : make(a.kind, a.lo, a.hi);
+  s[in.rt] = (b.lo > b.hi) ? AbsVal{Kind::kAbs, 1, 0} : make(b.kind, b.lo, b.hi);
+  s[0] = abs_const(0);
+}
+
+bool infeasible(const State& s) {
+  for (const AbsVal& v : s) {
+    if (v.kind != Kind::kUnknown && v.lo > v.hi) return true;
+  }
+  return false;
+}
+
+u32 access_size(isa::Op op) {
+  using isa::Op;
+  switch (op) {
+    case Op::kLw:
+    case Op::kSw:
+      return 4;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+bool is_load(isa::Op op) {
+  using isa::Op;
+  return op == Op::kLw || op == Op::kLh || op == Op::kLhu || op == Op::kLb ||
+         op == Op::kLbu;
+}
+
+bool is_store(isa::Op op) {
+  using isa::Op;
+  return op == Op::kSw || op == Op::kSh || op == Op::kSb;
+}
+
+void add_page_range(std::set<u32>& pages, Addr lo, Addr hi) {
+  for (u32 page = mem::page_of(lo); page <= mem::page_of(hi); ++page) {
+    pages.insert(page);
+  }
+}
+
+}  // namespace
+
+std::vector<Addr> PageFootprint::checked_pcs() const {
+  std::vector<Addr> pcs;
+  for (const AccessSite& site : sites) {
+    if (site.precision != AccessPrecision::kUnknown) pcs.push_back(site.pc);
+  }
+  std::sort(pcs.begin(), pcs.end());
+  return pcs;
+}
+
+PageFootprint compute_footprint(const isa::Program& program,
+                                const ControlFlowGraph& cfg) {
+  PageFootprint fp;
+  if (cfg.blocks.empty()) return fp;
+
+  // --- Fixpoint over block in-states. ---------------------------------
+  const size_t n = cfg.blocks.size();
+  std::vector<State> in_state(n);
+  std::vector<bool> has_state(n, false);
+  std::vector<u32> visits(n, 0);
+  std::deque<u32> worklist;
+  std::vector<bool> queued(n, false);
+
+  auto block_index_at = [&](Addr pc) -> const BasicBlock* {
+    const BasicBlock* b = cfg.block_at(pc);
+    return (b != nullptr && b->start == pc) ? b : nullptr;
+  };
+
+  auto enqueue = [&](u32 index) {
+    if (!queued[index]) {
+      queued[index] = true;
+      worklist.push_back(index);
+    }
+  };
+
+  auto propagate = [&](Addr target, const State& s) {
+    const BasicBlock* b = block_index_at(target);
+    if (b == nullptr) return;  // mid-block or out-of-text target: ignore
+    if (infeasible(s)) return;
+    const u32 i = b->index;
+    if (!has_state[i]) {
+      in_state[i] = s;
+      has_state[i] = true;
+      enqueue(i);
+      return;
+    }
+    State merged;
+    for (u8 r = 0; r < isa::kNumRegs; ++r) {
+      merged[r] = join(in_state[i][r], s[r]);
+    }
+    merged[0] = abs_const(0);
+    if (merged == in_state[i]) return;
+    if (visits[i] >= kMaxBlockVisits) {
+      // Widen: any register still changing goes straight to Unknown.
+      for (u8 r = 1; r < isa::kNumRegs; ++r) {
+        if (!(merged[r] == in_state[i][r])) merged[r] = AbsVal{};
+      }
+      if (merged == in_state[i]) return;
+    }
+    in_state[i] = merged;
+    enqueue(i);
+  };
+
+  // Roots: the entry point and every address-taken text address (thread
+  // entries and jump-table targets enter execution without a static edge).
+  propagate(program.entry, root_state());
+  for (Addr addr : cfg.address_taken) {
+    propagate(addr, root_state());
+  }
+
+  while (!worklist.empty()) {
+    const u32 i = worklist.front();
+    worklist.pop_front();
+    queued[i] = false;
+    const BasicBlock& block = cfg.blocks[i];
+    visits[i] += 1;
+
+    State out = in_state[i];
+    for (Addr pc = block.start; pc + 4 < block.end; pc += 4) {
+      transfer(isa::decode(program.text_word(pc)), out);
+    }
+    const isa::Instr term = isa::decode(program.text_word(block.terminator_pc()));
+
+    switch (block.exit) {
+      case BlockExit::kFallThrough: {
+        transfer(term, out);
+        propagate(block.end, out);
+        break;
+      }
+      case BlockExit::kBranch: {
+        const Addr target =
+            block.terminator_pc() + 4 + (static_cast<Addr>(term.imm) << 2);
+        const Addr fall = block.end;
+        for (Addr succ : block.successors) {
+          State edge = out;
+          if (target != fall) refine_edge(term, /*taken=*/succ == target, edge);
+          propagate(succ, edge);
+        }
+        break;
+      }
+      case BlockExit::kJump: {
+        for (Addr succ : block.successors) propagate(succ, out);
+        break;
+      }
+      case BlockExit::kCall: {
+        // Into the callee with the return address bound...
+        State callee = out;
+        callee[isa::kRa] = abs_const(from_u32(block.terminator_pc() + 4));
+        for (Addr succ : block.successors) propagate(succ, callee);
+        // ...and across the call: caller-saved clobbered, sp/gp/s* kept
+        // (ABI assumption, documented in docs/analysis.md).
+        propagate(block.terminator_pc() + 4, clobber_call(out));
+        break;
+      }
+      case BlockExit::kIndirect: {
+        if (term.op == isa::Op::kJalr) {
+          State callee = out;
+          callee[isa::kRa] = AbsVal{};
+          callee[term.rd] = abs_const(from_u32(block.terminator_pc() + 4));
+          for (Addr succ : block.successors) propagate(succ, callee);
+          propagate(block.terminator_pc() + 4, clobber_call(out));
+        } else {
+          for (Addr succ : block.successors) propagate(succ, out);
+        }
+        break;
+      }
+      case BlockExit::kReturn: {
+        // Return edges are modeled at the call site (the kCall
+        // fall-through clobber), not here: propagating the callee's exit
+        // state to every return site would mix unrelated call chains.
+        break;
+      }
+      case BlockExit::kSyscall: {
+        State next = out;
+        next[isa::kV0] = AbsVal{};
+        next[isa::kV1] = AbsVal{};
+        for (Addr succ : block.successors) propagate(succ, next);
+        break;
+      }
+    }
+  }
+
+  // --- Collect access sites from reachable blocks. --------------------
+  std::set<u32> pages;
+  std::set<u32> store_pages;
+  struct FnAcc {
+    std::set<u32> pages;
+    std::set<u32> store_pages;
+    u32 exact = 0, over = 0, unknown = 0;
+  };
+  std::map<Addr, FnAcc> fn_acc;
+
+  // Function-entry candidates, as in the CFG's return-site inference.
+  std::set<Addr> entries;
+  entries.insert(program.entry);
+  for (const CallEdge& call : cfg.calls) entries.insert(call.callee);
+  for (Addr addr : cfg.address_taken) entries.insert(addr);
+  auto function_of = [&](Addr pc) {
+    auto it = entries.upper_bound(pc);
+    return (it == entries.begin()) ? program.entry : *std::prev(it);
+  };
+
+  auto record_envelope = [](bool& has, i64& env_lo, i64& env_hi, i64 lo, i64 hi) {
+    if (!has) {
+      has = true;
+      env_lo = lo;
+      env_hi = hi;
+    } else {
+      env_lo = std::min(env_lo, lo);
+      env_hi = std::max(env_hi, hi);
+    }
+  };
+
+  for (const BasicBlock& block : cfg.blocks) {
+    if (!block.reachable) continue;
+    // No abstract state means every edge into the block was proven
+    // infeasible (the roots cover the entry and all address-taken targets),
+    // i.e. the block is dead code under the concrete semantics too — its
+    // sites can never commit, so they contribute nothing to the footprint.
+    if (!has_state[block.index]) continue;
+    State s = in_state[block.index];
+    for (Addr pc = block.start; pc < block.end; pc += 4) {
+      const isa::Instr in = isa::decode(program.text_word(pc));
+      const bool load = is_load(in.op);
+      const bool store = is_store(in.op);
+      if (load || store) {
+        AccessSite site;
+        site.pc = pc;
+        site.is_store = store;
+        const AbsVal base = s[in.rs];
+        const u32 size = access_size(in.op);
+        const i64 lo = base.lo + in.imm;
+        const i64 hi = base.hi + in.imm + size - 1;
+        const bool resolvable =
+            base.kind != Kind::kUnknown && hi - lo <= kMaxSpanBytes;
+        if (!resolvable) {
+          site.base = AddressBase::kUnknown;
+          site.precision = AccessPrecision::kUnknown;
+        } else {
+          site.lo = lo;
+          site.hi = hi;
+          site.precision =
+              is_singleton(base) ? AccessPrecision::kExact : AccessPrecision::kOver;
+          switch (base.kind) {
+            case Kind::kAbs:
+              if (lo < 0 || hi > kMaxVal) {
+                site.base = AddressBase::kUnknown;
+                site.precision = AccessPrecision::kUnknown;
+              } else {
+                site.base = AddressBase::kAbsolute;
+              }
+              break;
+            case Kind::kSp:
+              site.base = AddressBase::kStack;
+              break;
+            case Kind::kGp:
+              site.base = AddressBase::kGlobal;
+              break;
+            default:
+              site.base = AddressBase::kUnknown;
+              site.precision = AccessPrecision::kUnknown;
+              break;
+          }
+        }
+
+        FnAcc& fn = fn_acc[function_of(pc)];
+        switch (site.precision) {
+          case AccessPrecision::kExact:
+            fp.exact_sites += 1;
+            fn.exact += 1;
+            break;
+          case AccessPrecision::kOver:
+            fp.over_sites += 1;
+            fn.over += 1;
+            break;
+          case AccessPrecision::kUnknown:
+            fp.unknown_sites += 1;
+            fn.unknown += 1;
+            break;
+        }
+        if (site.base == AddressBase::kAbsolute) {
+          add_page_range(pages, static_cast<Addr>(site.lo), static_cast<Addr>(site.hi));
+          add_page_range(fn.pages, static_cast<Addr>(site.lo),
+                         static_cast<Addr>(site.hi));
+          if (store) {
+            add_page_range(store_pages, static_cast<Addr>(site.lo),
+                           static_cast<Addr>(site.hi));
+            add_page_range(fn.store_pages, static_cast<Addr>(site.lo),
+                           static_cast<Addr>(site.hi));
+          }
+        } else if (site.base == AddressBase::kStack) {
+          record_envelope(fp.has_sp_range, fp.sp_lo, fp.sp_hi, site.lo, site.hi);
+        } else if (site.base == AddressBase::kGlobal) {
+          record_envelope(fp.has_gp_range, fp.gp_lo, fp.gp_hi, site.lo, site.hi);
+        }
+        fp.sites.push_back(site);
+      }
+      if (pc + 4 < block.end) transfer(in, s);
+    }
+  }
+
+  fp.pages.assign(pages.begin(), pages.end());
+  fp.store_pages.assign(store_pages.begin(), store_pages.end());
+  for (auto& [entry, acc] : fn_acc) {
+    FunctionFootprint fn;
+    fn.entry = entry;
+    fn.pages.assign(acc.pages.begin(), acc.pages.end());
+    fn.store_pages.assign(acc.store_pages.begin(), acc.store_pages.end());
+    fn.exact_sites = acc.exact;
+    fn.over_sites = acc.over;
+    fn.unknown_sites = acc.unknown;
+    fp.functions.push_back(std::move(fn));
+  }
+  std::sort(fp.sites.begin(), fp.sites.end(),
+            [](const AccessSite& a, const AccessSite& b) { return a.pc < b.pc; });
+  return fp;
+}
+
+}  // namespace rse::analysis

@@ -1,0 +1,107 @@
+// Static data-flow page-footprint signatures (the DDT analogue of the CFC
+// successor-table handoff).  A per-block abstract interpreter over register
+// values propagates constants (lui/ori materializations) and sp/gp-relative
+// offsets along CFG edges and derives, for every reachable load/store site,
+// the set of byte addresses it can touch.  Folded to 4 KB page granularity
+// the result is a footprint signature the loader hands to the DDT
+// (`DdtModule::set_footprint_table`): the DDT pre-reserves PST entries for
+// the predicted store pages and raises a footprint-violation detection when
+// a committed access at a statically resolved site lands outside the
+// predicted page set.
+//
+// Abstract domain (documented in docs/analysis.md):
+//   * a register value is Unknown, Abs[lo,hi] (a signed-i32 constant range),
+//     Sp[lo,hi] (offset from the executing thread's initial stack pointer)
+//     or Gp[lo,hi] (offset from the initial global pointer);
+//   * roots (the entry point and every address-taken block) seed all
+//     registers Unknown except r0 = 0, sp = Sp[0,0], gp = Gp[0,0];
+//   * call edges enter the callee with ra bound to the return site; the
+//     call's fall-through clobbers the caller-saved set (at, v0/v1, a0-a3,
+//     t0-t9, ra) and assumes sp/gp/fp/s0-s7 are preserved (ABI assumption);
+//   * conditional-branch edges refine operand ranges (loop bounds such as
+//     `blt t0, t2` with a constant t2 become finite index ranges);
+//   * joins widen to Unknown after a per-block visit budget, so the
+//     fixpoint always terminates.
+//
+// Soundness contract (pinned by tests/analysis/footprint_property_test.cpp):
+// every page a program dynamically touches from a *resolved* site is inside
+// the static footprint; unresolved sites are excluded from checking rather
+// than guessed at.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "common/types.hpp"
+#include "isa/program.hpp"
+
+namespace rse::analysis {
+
+/// How precisely a memory-access site's address set was resolved.
+enum class AccessPrecision : u8 {
+  kExact,    // a single address (possibly spanning 2 pages for a word)
+  kOver,     // a finite over-approximate range
+  kUnknown,  // not statically resolvable; excluded from DDT checking
+};
+
+/// Which base the resolved range is relative to.
+enum class AddressBase : u8 {
+  kAbsolute,  // [lo, hi] are byte addresses
+  kStack,     // [lo, hi] are offsets from the thread's initial sp
+  kGlobal,    // [lo, hi] are offsets from the initial gp
+  kUnknown,
+};
+
+/// One reachable load/store instruction and its derived address range.
+struct AccessSite {
+  Addr pc = 0;
+  bool is_store = false;
+  AddressBase base = AddressBase::kUnknown;
+  AccessPrecision precision = AccessPrecision::kUnknown;
+  i64 lo = 0;  // first byte the access can touch (inclusive)
+  i64 hi = 0;  // last byte the access can touch (inclusive)
+};
+
+/// Per-function fold of the absolute sites (function = nearest preceding
+/// entry candidate, as in the CFG's return-site inference).
+struct FunctionFootprint {
+  Addr entry = 0;
+  std::vector<u32> pages;        // absolute pages touched, sorted
+  std::vector<u32> store_pages;  // subset with at least one store, sorted
+  u32 exact_sites = 0;
+  u32 over_sites = 0;
+  u32 unknown_sites = 0;
+};
+
+/// Program-wide page-granularity footprint signature.
+struct PageFootprint {
+  std::vector<AccessSite> sites;             // every reachable site, by pc
+  std::vector<FunctionFootprint> functions;  // sorted by entry
+  std::vector<u32> pages;        // union of absolute pages, sorted
+  std::vector<u32> store_pages;  // subset with at least one store, sorted
+  // Envelope of sp-relative accesses (byte offsets from the thread's
+  // initial sp; the loader resolves them against each thread's stack top).
+  bool has_sp_range = false;
+  i64 sp_lo = 0;
+  i64 sp_hi = 0;
+  // Envelope of gp-relative accesses (offsets from the initial gp).
+  bool has_gp_range = false;
+  i64 gp_lo = 0;
+  i64 gp_hi = 0;
+  u32 exact_sites = 0;
+  u32 over_sites = 0;
+  u32 unknown_sites = 0;
+
+  /// PCs of all resolved (non-Unknown) sites, sorted — the DDT checks
+  /// exactly these and leaves unresolved sites alone (sound under partial
+  /// resolution).
+  std::vector<Addr> checked_pcs() const;
+
+  bool empty() const { return sites.empty(); }
+};
+
+/// Runs the abstract interpreter over an already-recovered CFG.
+PageFootprint compute_footprint(const isa::Program& program,
+                                const ControlFlowGraph& cfg);
+
+}  // namespace rse::analysis

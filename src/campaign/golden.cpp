@@ -28,6 +28,9 @@ GoldenRun simulate_golden(const WorkloadSetup& setup) {
   if (auto* icm = machine.icm()) golden.icm_mismatches = icm->stats().mismatches;
   if (auto* cfc = machine.cfc()) golden.cfc_violations = cfc->stats().violations;
   if (auto* fw = machine.framework()) golden.selfcheck_trips = fw->stats().selfcheck_trips;
+  if (auto* ddt = machine.ddt()) {
+    golden.ddt_footprint_violations = ddt->stats().footprint_violations;
+  }
   golden.os_recoveries = guest.stats().recoveries;
   golden.ioq_slots = setup.machine.core.ruu_size;
   return golden;
@@ -37,7 +40,8 @@ std::string GoldenCache::key_of(const WorkloadSetup& setup) {
   std::ostringstream key;
   key << setup.name << '|' << std::hash<std::string>{}(setup.source) << '|'
       << setup.machine.framework_present << '|' << setup.machine.core.ruu_size << '|'
-      << setup.os.seed << '|' << setup.os.run_limit << '|' << setup.os.static_cfc;
+      << setup.os.seed << '|' << setup.os.run_limit << '|' << setup.os.static_cfc << '|'
+      << setup.os.static_ddt;
   for (isa::ModuleId id : setup.host_enables) key << '|' << static_cast<int>(id);
   return key.str();
 }

@@ -27,6 +27,7 @@ struct GoldenRun {
   u64 cfc_violations = 0;
   u64 selfcheck_trips = 0;
   u64 os_recoveries = 0;
+  u64 ddt_footprint_violations = 0;
   u32 ioq_slots = 16;  // RUU/IOQ size, bounds kConfigBit slot sampling
 };
 

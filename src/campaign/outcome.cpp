@@ -36,6 +36,9 @@ Outcome classify(const RunEvidence& run, const GoldenRun& golden) {
   if (run.icm_mismatches > golden.icm_mismatches) return Outcome::kDetectedIcm;
   if (run.cfc_violations > golden.cfc_violations) return Outcome::kDetectedCfc;
   if (run.selfcheck_trips > golden.selfcheck_trips) return Outcome::kDetectedSelfCheck;
+  if (run.ddt_footprint_violations > golden.ddt_footprint_violations) {
+    return Outcome::kDetectedDdt;  // static-footprint detection (--static-ddt)
+  }
   if (run.recoveries > golden.os_recoveries) return Outcome::kDetectedDdt;
   if (run.crashes > 0 || run.illegal_traps > 0 || run.exit_code == 139) return Outcome::kCrash;
   if (run.output != golden.output || run.exit_code != golden.exit_code) return Outcome::kSdc;

@@ -42,6 +42,7 @@ struct RunEvidence {
   u64 cfc_violations = 0;
   u64 selfcheck_trips = 0;
   u64 recoveries = 0;  // DDT-driven thread-recovery invocations
+  u64 ddt_footprint_violations = 0;  // static-footprint detections (--static-ddt)
   u64 crashes = 0;     // thread crashes (illegal instruction, kCrash, CFC kill)
   u64 illegal_traps = 0;
 };

@@ -114,7 +114,8 @@ std::string deterministic_digest(const CampaignReport& report) {
   std::ostringstream os;
   os << report.spec.workload << '|' << report.spec.seed << '|' << report.results.size() << '|'
      << report.golden_cycles << '|' << report.faults_applied << '|'
-     << (report.spec.static_cfc ? "static-cfc" : "range-cfc") << '\n';
+     << (report.spec.static_cfc ? "static-cfc" : "range-cfc") << '|'
+     << (report.spec.static_ddt ? "static-ddt" : "dynamic-ddt") << '\n';
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     os << to_string(static_cast<Outcome>(o)) << '=' << report.by_outcome[o] << '\n';
   }
@@ -133,6 +134,7 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"seed\": " << report.spec.seed << ",\n";
   os << "  \"jobs\": " << report.spec.jobs << ",\n";
   os << "  \"static_cfc\": " << (report.spec.static_cfc ? "true" : "false") << ",\n";
+  os << "  \"static_ddt\": " << (report.spec.static_ddt ? "true" : "false") << ",\n";
   os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
   os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";
   os << "  \"faults_applied\": " << report.faults_applied << ",\n";

@@ -32,6 +32,9 @@ struct CampaignSpec {
   /// Precompute the static CFC legal-successor table at load for the golden
   /// and every faulty run (OsConfig::static_cfc).
   bool static_cfc = false;
+  /// Precompute the static DDT page footprint at load for the golden and
+  /// every faulty run (OsConfig::static_ddt); implies enabling the DDT.
+  bool static_ddt = false;
   std::vector<InjectTarget> targets = {
       InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
       InjectTarget::kDataWord, InjectTarget::kConfigBit};

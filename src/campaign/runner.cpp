@@ -1,5 +1,6 @@
 #include "campaign/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -118,6 +119,9 @@ RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
   if (auto* icm = machine.icm()) evidence.icm_mismatches = icm->stats().mismatches;
   if (auto* cfc = machine.cfc()) evidence.cfc_violations = cfc->stats().violations;
   if (auto* fw = machine.framework()) evidence.selfcheck_trips = fw->stats().selfcheck_trips;
+  if (auto* ddt = machine.ddt()) {
+    evidence.ddt_footprint_violations = ddt->stats().footprint_violations;
+  }
   evidence.recoveries = guest.stats().recoveries;
   evidence.crashes = guest.stats().crashes + (host_trap ? 1 : 0);
   evidence.illegal_traps = guest.stats().illegal_traps;
@@ -131,6 +135,13 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   if (spec.runs == 0) throw ConfigError("campaign needs at least one run");
   WorkloadSetup setup = make_workload(spec.workload);
   setup.os.static_cfc = spec.static_cfc;
+  setup.os.static_ddt = spec.static_ddt;
+  if (spec.static_ddt && std::find(setup.host_enables.begin(), setup.host_enables.end(),
+                                   isa::ModuleId::kDdt) == setup.host_enables.end()) {
+    // The footprint check rides the DDT's commit taps: the mode implies
+    // enabling the module for the golden and every faulty run.
+    setup.host_enables.push_back(isa::ModuleId::kDdt);
+  }
   const std::shared_ptr<const GoldenRun> golden = cache_->get(setup);
   const InjectionPlan plan = plan_for(spec, *golden, setup);
   const Cycle budget = budget_for(*golden, spec.hang_factor);

@@ -106,8 +106,10 @@ std::optional<Cycle> AhbmModule::timeout_of(u32 entity) const {
 }
 
 void AhbmModule::reset() {
+  // Uniform module-reset semantics: dynamic state and statistics clear.
   for (Slot& slot : slots_) slot = Slot{};
   next_sample_ = 0;
+  stats_ = AhbmStats{};
 }
 
 }  // namespace rse::modules

@@ -78,7 +78,12 @@ class CfcModule : public engine::Module {
   bool has_successor_table() const { return !successors_.empty(); }
 
   void on_commit(const engine::CommitInfo& info, Cycle now) override;
-  void reset() override { last_.clear(); }
+  // Uniform module-reset semantics: dynamic state and statistics clear;
+  // load-time configuration (text range, successor table) survives.
+  void reset() override {
+    last_.clear();
+    stats_ = CfcStats{};
+  }
 
   /// Forget a terminated thread's stream state.
   void forget_thread(ThreadId thread) { last_.erase(thread); }

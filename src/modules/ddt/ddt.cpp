@@ -55,11 +55,60 @@ void DdtModule::write_matrix_to_guest(Addr dest, Cycle now, const engine::InstrT
                     });
 }
 
+void DdtModule::set_footprint_table(DdtFootprint footprint) {
+  footprint_ = std::move(footprint);
+  std::sort(footprint_.checked_pcs.begin(), footprint_.checked_pcs.end());
+  std::sort(footprint_.pages.begin(), footprint_.pages.end());
+  std::sort(footprint_.store_pages.begin(), footprint_.store_pages.end());
+  allowed_pages_.clear();
+  allowed_pages_.insert(footprint_.pages.begin(), footprint_.pages.end());
+  apply_prereservation();
+}
+
+void DdtModule::add_footprint_pages(const std::vector<u32>& pages) {
+  if (footprint_.empty() || pages.empty()) return;
+  for (u32 page : pages) {
+    if (allowed_pages_.insert(page).second) footprint_.pages.push_back(page);
+  }
+  std::sort(footprint_.pages.begin(), footprint_.pages.end());
+}
+
+void DdtModule::apply_prereservation() {
+  // Activation benefit of the static signature: PST entries for every
+  // statically predicted store page are allocated up front, so the first
+  // store to each pays no insertion/eviction work.  Bounded by the LRU cap.
+  for (u32 page : footprint_.store_pages) {
+    if (config_.pst_entries != 0 && pst_.size() >= config_.pst_entries) break;
+    auto [it, inserted] = pst_.try_emplace(page);
+    if (inserted) {
+      it->second.lru = ++pst_stamp_;
+      it->second.prereserved = true;
+      ++stats_.pst_prereserved;
+    }
+  }
+}
+
+void DdtModule::check_footprint(const engine::CommitInfo& info, u32 page, bool is_store,
+                                Cycle now) {
+  if (footprint_.empty()) return;
+  if (!std::binary_search(footprint_.checked_pcs.begin(), footprint_.checked_pcs.end(),
+                          info.pc)) {
+    return;  // statically unresolved site: never checked (soundness)
+  }
+  ++stats_.footprint_checks;
+  if (allowed_pages_.count(page) != 0) return;
+  ++stats_.footprint_violations;
+  if (on_footprint_violation_) {
+    on_footprint_violation_(info.pc, page, info.thread, is_store, now);
+  }
+}
+
 void DdtModule::on_commit(const engine::CommitInfo& info, Cycle now) {
   if (info.instr.op_class() != isa::OpClass::kLoad) return;
   if (info.thread >= config_.max_threads) return;
   ++stats_.tracked_loads;
   const u32 page = mem::page_of(info.eff_addr);
+  check_footprint(info, page, /*is_store=*/false, now);
   PstEntry& entry = pst_lookup(page);
   const ThreadId t = info.thread;
   if (entry.read_owner == kNoThread) {
@@ -96,7 +145,12 @@ Cycle DdtModule::on_store_commit(const engine::CommitInfo& info, Cycle now) {
   if (info.thread >= config_.max_threads) return 0;
   ++stats_.tracked_stores;
   const u32 page = mem::page_of(info.eff_addr);
+  check_footprint(info, page, /*is_store=*/true, now);
   PstEntry& entry = pst_lookup(page);
+  if (entry.prereserved) {
+    entry.prereserved = false;
+    ++stats_.prereserve_hits;
+  }
   const ThreadId t = info.thread;
   Cycle stall = 0;
   if (entry.write_owner == kNoThread) {
@@ -172,9 +226,25 @@ void DdtModule::forget_threads(const std::vector<ThreadId>& threads) {
   }
 }
 
+std::vector<u32> DdtModule::tracked_pages() const {
+  std::vector<u32> pages;
+  pages.reserve(pst_.size());
+  for (const auto& [page, entry] : pst_) pages.push_back(page);
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
 void DdtModule::reset() {
+  // Uniform module-reset semantics: dynamic state AND statistics go back to
+  // zero; load-time configuration (the footprint table, like the ICM's
+  // checker memory or the CFC's successor table) survives, and its PST
+  // pre-reservation is re-applied to the fresh table.
+  stats_ = DdtStats{};
   pst_.clear();
+  pst_stamp_ = 0;
+  last_dep_logged_at_ = 0;
   std::fill(ddm_.begin(), ddm_.end(), 0);
+  apply_prereservation();
 }
 
 }  // namespace rse::modules

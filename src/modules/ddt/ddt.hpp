@@ -17,6 +17,7 @@
 #include <functional>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mem/main_memory.hpp"
@@ -41,6 +42,23 @@ struct DdtStats {
   u64 save_page_exceptions = 0;
   u64 pst_evictions = 0;
   u64 lag_missed_dependencies = 0;
+  // Static-footprint mode (set_footprint_table):
+  u64 footprint_checks = 0;      // committed accesses at statically resolved sites
+  u64 footprint_violations = 0;  // such accesses landing outside the predicted set
+  u64 pst_prereserved = 0;       // PST entries pre-reserved at activation
+  u64 prereserve_hits = 0;       // first store touch that found its entry waiting
+};
+
+/// Static page-access signature handed down by the loader (the analyzer's
+/// `PageFootprint` resolved against the process layout).  Only accesses whose
+/// commit PC is in `checked_pcs` are checked — sites the data-flow pass could
+/// not bound stay unchecked, so partial resolution never false-positives.
+struct DdtFootprint {
+  std::vector<Addr> checked_pcs;  // sorted PCs of statically resolved sites
+  std::vector<u32> pages;         // sorted allowed pages (data + stack + gp)
+  std::vector<u32> store_pages;   // sorted subset to pre-reserve PST entries for
+
+  bool empty() const { return checked_pcs.empty(); }
 };
 
 class DdtModule : public engine::Module {
@@ -48,6 +66,12 @@ class DdtModule : public engine::Module {
   /// SavePage handler: the OS checkpoints `page` (content is still
   /// pre-store) and returns the number of cycles the process is suspended.
   using SavePageHandler = std::function<Cycle(u32 page, ThreadId new_writer, Cycle now)>;
+  /// Footprint-violation observer: a committed access at a statically
+  /// resolved site (`pc`) landed on a page outside the predicted set.  The
+  /// access itself still completes — the OS decides the response (crash
+  /// containment, like a CFC violation).
+  using FootprintViolationHandler =
+      std::function<void(Addr pc, u32 page, ThreadId thread, bool is_store, Cycle now)>;
 
   DdtModule(engine::Framework& framework, DdtConfig config = {});
 
@@ -55,6 +79,19 @@ class DdtModule : public engine::Module {
   const char* name() const override { return "DDT"; }
 
   void set_save_page_handler(SavePageHandler handler) { on_save_page_ = std::move(handler); }
+  void set_footprint_violation_handler(FootprintViolationHandler handler) {
+    on_footprint_violation_ = std::move(handler);
+  }
+
+  /// Install (or clear, with an empty table) the static footprint.  Survives
+  /// reset() like other load-time configuration; activation pre-reserves PST
+  /// entries for the predicted store pages.
+  void set_footprint_table(DdtFootprint footprint);
+  /// Whitelist additional pages resolved only at run time (per-thread stack
+  /// envelopes).  No-op until a footprint table is installed.
+  void add_footprint_pages(const std::vector<u32>& pages);
+  bool has_footprint() const { return !footprint_.empty(); }
+  const DdtFootprint& footprint() const { return footprint_; }
 
   void on_dispatch(const engine::DispatchInfo& info, Cycle now) override;
   void on_commit(const engine::CommitInfo& info, Cycle now) override;
@@ -75,6 +112,8 @@ class DdtModule : public engine::Module {
   /// Clear the DDM rows/columns of terminated threads and forget their page
   /// ownership (post-recovery cleanup).
   void forget_threads(const std::vector<ThreadId>& threads);
+  /// Sorted pages currently resident in the PST (test/diagnostic view).
+  std::vector<u32> tracked_pages() const;
 
   const DdtStats& stats() const { return stats_; }
   const DdtConfig& config() const { return config_; }
@@ -84,15 +123,22 @@ class DdtModule : public engine::Module {
     ThreadId read_owner = kNoThread;
     ThreadId write_owner = kNoThread;
     u64 lru = 0;
+    bool prereserved = false;  // allocated from the static footprint, untouched
   };
 
   PstEntry& pst_lookup(u32 page);
   void maybe_evict();
   void write_matrix_to_guest(Addr dest, Cycle now, const engine::InstrTag& tag);
+  void check_footprint(const engine::CommitInfo& info, u32 page, bool is_store, Cycle now);
+  void apply_prereservation();
 
   DdtConfig config_;
   DdtStats stats_;
   SavePageHandler on_save_page_;
+  FootprintViolationHandler on_footprint_violation_;
+
+  DdtFootprint footprint_;                 // load-time config; survives reset()
+  std::unordered_set<u32> allowed_pages_;  // footprint_.pages as a hash set
 
   std::unordered_map<u32, PstEntry> pst_;
   u64 pst_stamp_ = 0;

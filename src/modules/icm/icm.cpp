@@ -182,8 +182,11 @@ void IcmModule::on_squash(const engine::InstrTag& tag, Cycle now) {
 }
 
 void IcmModule::reset() {
+  // Uniform module-reset semantics: dynamic state and statistics clear;
+  // load-time configuration (CheckerMemory contents) survives.
   pending_.clear();
   mau_busy_ = false;
+  stats_ = IcmStats{};
 }
 
 }  // namespace rse::modules

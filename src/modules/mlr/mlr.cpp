@@ -196,8 +196,10 @@ void MlrModule::on_squash(const engine::InstrTag& tag, Cycle now) {
 }
 
 void MlrModule::reset() {
+  // Uniform module-reset semantics: dynamic state and statistics clear.
   blocking_live_ = false;
   state_ = OpState::kIdle;
+  stats_ = MlrStats{};
 }
 
 }  // namespace rse::modules

@@ -27,6 +27,13 @@ GuestOs::GuestOs(Machine& machine, OsConfig config)
   if (auto* ddt = machine_->ddt()) {
     ddt->set_save_page_handler(
         [this](u32 page, ThreadId writer, Cycle now) { return save_page(page, writer, now); });
+    ddt->set_footprint_violation_handler(
+        [this](Addr, u32, ThreadId thread, bool, Cycle) {
+          // An access outside the static footprint means the thread is
+          // operating on corrupted address data: treat it like a crash of
+          // that thread so the DDT recovery (or kill-all) contains it.
+          inject_crash(thread);
+        });
   }
 }
 
@@ -105,15 +112,18 @@ void GuestOs::load(const isa::Program& program) {
 
   machine_->core().set_text_range(program.text_base, program.text_end());
   analysis_.reset();
-  if (config_.static_cfc) {
+  if (config_.static_cfc || config_.static_ddt) {
     analysis_ = std::make_unique<analysis::AnalysisResult>(analysis::analyze(program));
   }
   if (auto* cfc = machine_->cfc()) {
     cfc->set_text_range(program.text_base, program.text_end());
     // Stale tables from a previous load must not constrain this program.
-    cfc->set_successor_table(analysis_ != nullptr ? analysis_->indirect
-                                                  : modules::CfcSuccessorTable{});
+    cfc->set_successor_table(analysis_ != nullptr && config_.static_cfc
+                                 ? analysis_->indirect
+                                 : modules::CfcSuccessorTable{});
   }
+  install_ddt_footprint(program);
+  register_stack_footprint(threads_[0]);
   machine_->core().set_context(main_thread.ctx, 0);
   machine_->core().resume();
   threads_[0].state = ThreadState::kRunning;
@@ -386,6 +396,7 @@ OsClient::SyscallResult GuestOs::on_syscall(Cycle now) {
           (stack_base_ - 64 - t.id * config_.thread_stack_bytes) & ~Addr{15};
       t.ctx.regs[isa::kSp] = t.stack_top;
       threads_.push_back(t);
+      register_stack_footprint(threads_.back());
       make_ready(t.id);
       core.set_reg(isa::kV0, t.id);
       return {cost, false};
@@ -485,6 +496,50 @@ Cycle GuestOs::save_page(u32 page, ThreadId writer, Cycle now) {
   checkpoints_.add(page, writer, now, machine_->memory().snapshot_page(page));
   ++stats_.pages_saved;
   return machine_->bus().timing().transfer_cycles(mem::kPageBytes);
+}
+
+void GuestOs::install_ddt_footprint(const isa::Program& program) {
+  (void)program;
+  auto* ddt = machine_->ddt();
+  if (ddt == nullptr) return;
+  modules::DdtFootprint fp;
+  if (config_.static_ddt && analysis_ != nullptr) {
+    const analysis::PageFootprint& pf = analysis_->footprint;
+    fp.checked_pcs = pf.checked_pcs();
+    fp.pages = pf.pages;
+    fp.store_pages = pf.store_pages;
+    // gp-relative sites resolve against the initial global pointer, which
+    // is 0 in a fresh context: the offsets are absolute addresses.
+    if (pf.has_gp_range && pf.gp_hi >= 0) {
+      std::vector<u32> gp_pages;
+      const Addr lo = static_cast<Addr>(std::max<i64>(pf.gp_lo, 0));
+      for (u32 page = mem::page_of(lo); page <= mem::page_of(static_cast<Addr>(pf.gp_hi));
+           ++page) {
+        gp_pages.push_back(page);
+      }
+      fp.pages.insert(fp.pages.end(), gp_pages.begin(), gp_pages.end());
+    }
+  }
+  // Installing an empty table clears any stale footprint from a previous
+  // load; set_footprint_table sorts and dedups internally.
+  ddt->set_footprint_table(std::move(fp));
+}
+
+void GuestOs::register_stack_footprint(const Thread& thread) {
+  auto* ddt = machine_->ddt();
+  if (ddt == nullptr || !ddt->has_footprint() || analysis_ == nullptr) return;
+  const analysis::PageFootprint& pf = analysis_->footprint;
+  if (!pf.has_sp_range) return;
+  // The sp envelope is the hull of every resolved sp-relative site, as an
+  // offset from the thread's initial stack pointer: whitelist exactly the
+  // pages those sites can touch on this thread's stack.
+  const Addr lo = thread.stack_top + static_cast<Addr>(pf.sp_lo);
+  const Addr hi = thread.stack_top + static_cast<Addr>(pf.sp_hi);
+  std::vector<u32> pages;
+  for (u32 page = mem::page_of(lo); page <= mem::page_of(hi); ++page) {
+    pages.push_back(page);
+  }
+  ddt->add_footprint_pages(pages);
 }
 
 Cycle GuestOs::rerandomize_now(Cycle now) {

@@ -75,6 +75,11 @@ struct OsConfig {
   /// legal-successor table into the CFC module, tightening its indirect-jump
   /// check from "in text range" to "in the statically computed target set".
   bool static_cfc = false;
+  /// Run the static analyzer at load and hand the DDT the data-flow page
+  /// footprint: PST entries are pre-reserved for the predicted store pages
+  /// and a committed access at a statically resolved site landing outside
+  /// the predicted page set raises a footprint-violation detection.
+  bool static_ddt = false;
 };
 
 struct RecoveryReport {
@@ -156,7 +161,7 @@ class GuestOs : public cpu::OsClient {
   Addr got_location() const { return got_addr_; }
 
   /// Static analysis of the loaded program; null unless OsConfig::static_cfc
-  /// asked the loader to lint-and-precompute.
+  /// or OsConfig::static_ddt asked the loader to lint-and-precompute.
   const analysis::AnalysisResult* program_analysis() const { return analysis_.get(); }
 
   // ---- cpu::OsClient ----
@@ -183,6 +188,8 @@ class GuestOs : public cpu::OsClient {
   void handle_crash(ThreadId tid, Cycle now);
   RecoveryReport recover(ThreadId faulty, Cycle now);
   Cycle save_page(u32 page, ThreadId writer, Cycle now);
+  void install_ddt_footprint(const isa::Program& program);
+  void register_stack_footprint(const Thread& thread);
   void wake_joiners(ThreadId dead);
   Cycle rerandomize_now(Cycle now);
   void note_slice_start(Cycle now);

@@ -1,0 +1,11 @@
+# Lint fixture: a store above the thread's initial stack pointer.  The
+# loader leaves only a small alignment slack above sp, so a positive
+# sp-relative store beyond it clobbers memory the thread does not own.
+# rse_lint must report store-outside-footprint at error severity.
+.text
+main:
+  li t0, 7
+  sw t0, 100(sp)
+  li v0, 1
+  li a0, 0
+  syscall

@@ -1,0 +1,15 @@
+# Lint fixture: a store through a constant pointer that lands between the
+# text and data segments — the static shape of a corrupted base address.
+# The data-flow pass resolves the address exactly, so rse_lint must report
+# store-outside-footprint at error severity and exit nonzero.
+.data
+.align 4
+buf: .space 16
+.text
+main:
+  li t0, 0x00F00000
+  li t1, 1
+  sw t1, 0(t0)
+  li v0, 1
+  li a0, 0
+  syscall

@@ -1,0 +1,117 @@
+// Differential property harness for the static data-flow footprint
+// (docs/analysis.md): randomized guest programs are analyzed statically and
+// then executed with the DDT tracking pages dynamically.  Soundness demands
+// that every page the program actually touches was predicted — a dynamic
+// page outside the static set would mean the abstract interpreter under-
+// approximated an address range, exactly the bug class this harness exists
+// to catch.  The second half runs the same programs under --static-ddt and
+// pins the end-to-end agreement: zero footprint violations on clean runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "../support/random_program.hpp"
+#include "../support/sim_runner.hpp"
+#include "analysis/analyzer.hpp"
+#include "isa/assembler.hpp"
+#include "modules/ddt/ddt.hpp"
+
+namespace rse::analysis {
+namespace {
+
+constexpr u64 kPrograms = 50;  // per generator configuration
+
+testing::RandomProgramOptions options_for(u64 seed) {
+  testing::RandomProgramOptions options;
+  options.with_calls = seed % 2 == 0;  // alternate leaf-call programs in
+  return options;
+}
+
+/// Every page the DDT saw at run time must be inside the static prediction.
+TEST(FootprintPropertyTest, DynamicPagesStayInsideStaticFootprint) {
+  u64 static_pages_total = 0, dynamic_pages_total = 0;
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source = testing::generate_random_program(seed, options_for(seed));
+    const isa::Program program = isa::assemble(source);
+    const AnalysisResult result = analyze(program);
+    ASSERT_FALSE(result.has_errors()) << "seed " << seed << ":\n"
+                                      << to_json(program, result);
+    // The generator forms every address from a la-materialized arena base,
+    // so the data-flow pass must bound every access site.
+    EXPECT_EQ(result.footprint.unknown_sites, 0u) << "seed " << seed;
+    ASSERT_FALSE(result.footprint.pages.empty()) << "seed " << seed;
+
+    os::MachineConfig machine_config;
+    machine_config.framework_present = true;
+    testing::SimRunner runner(machine_config);
+    runner.load_source(source);
+    runner.os().enable_module(isa::ModuleId::kDdt);
+    runner.run();
+    ASSERT_TRUE(runner.os().finished()) << "seed " << seed;
+
+    const modules::DdtModule* ddt = runner.machine().ddt();
+    ASSERT_NE(ddt, nullptr);
+    const std::vector<u32> touched = ddt->tracked_pages();
+    ASSERT_FALSE(touched.empty()) << "seed " << seed << " exercised no memory";
+    for (u32 page : touched) {
+      EXPECT_TRUE(std::binary_search(result.footprint.pages.begin(),
+                                     result.footprint.pages.end(), page))
+          << "seed " << seed << ": dynamically touched page 0x" << std::hex << page
+          << " missing from the static footprint (soundness violation)";
+    }
+    static_pages_total += result.footprint.pages.size();
+    dynamic_pages_total += touched.size();
+  }
+  // Precision: the static prediction may over-approximate, but not wildly —
+  // the generator's arena spans at most two pages.
+  ASSERT_GT(dynamic_pages_total, 0u);
+  const double over_approx = static_cast<double>(static_pages_total) /
+                             static_cast<double>(dynamic_pages_total);
+  RecordProperty("over_approx_ratio", std::to_string(over_approx));
+  EXPECT_LE(over_approx, 3.0) << "static footprint is " << over_approx
+                              << "x the dynamically touched page set";
+}
+
+/// End-to-end agreement: the same random programs run under --static-ddt
+/// raise zero footprint violations, while actually checking accesses.
+TEST(FootprintPropertyTest, StaticDdtCleanOnRandomPrograms) {
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source = testing::generate_random_program(seed, options_for(seed));
+    os::MachineConfig machine_config;
+    machine_config.framework_present = true;
+    os::OsConfig os_config;
+    os_config.static_ddt = true;
+    testing::SimRunner runner(machine_config, os_config);
+    runner.load_source(source);
+    runner.os().enable_module(isa::ModuleId::kDdt);
+    runner.run();
+    ASSERT_TRUE(runner.os().finished()) << "seed " << seed;
+
+    const modules::DdtModule* ddt = runner.machine().ddt();
+    ASSERT_NE(ddt, nullptr);
+    EXPECT_GT(ddt->stats().footprint_checks, 0u) << "seed " << seed;
+    EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+        << "seed " << seed << ": static footprint disagrees with a clean run";
+  }
+}
+
+/// The harness itself must be reproducible: same seed, same program, same
+/// footprint — byte for byte.
+TEST(FootprintPropertyTest, SeedDeterminism) {
+  for (u64 seed : {1, 17, 42}) {
+    const std::string a = testing::generate_random_program(seed, options_for(seed));
+    const std::string b = testing::generate_random_program(seed, options_for(seed));
+    ASSERT_EQ(a, b) << "generator is not seed-deterministic";
+    const isa::Program program = isa::assemble(a);
+    const AnalysisResult first = analyze(program);
+    const AnalysisResult second = analyze(program);
+    EXPECT_EQ(first.footprint.pages, second.footprint.pages);
+    EXPECT_EQ(first.footprint.store_pages, second.footprint.store_pages);
+    EXPECT_EQ(first.footprint.checked_pcs(), second.footprint.checked_pcs());
+  }
+}
+
+}  // namespace
+}  // namespace rse::analysis

@@ -39,6 +39,35 @@ TEST(WorkloadLintTest, GeneratorSourcesLintCleanInstrumented) {
                     workloads::instrument_checks(workloads::vpr_route_source({})));
 }
 
+TEST(WorkloadLintTest, ShippedWorkloadsLintFootprintClean) {
+  // No shipped workload stores outside its own footprint — a
+  // store-outside-footprint diagnostic on real code would mean the data-flow
+  // pass resolved an address wrongly (it is an error, so expect_error_free
+  // would also trip, but this pins the specific code for clearer failures).
+  for (const std::string& name : campaign::workload_names()) {
+    const isa::Program program = isa::assemble(campaign::make_workload(name).source);
+    const AnalysisResult result = analyze(program);
+    for (const Diagnostic& d : result.diagnostics) {
+      EXPECT_NE(d.code, DiagCode::kStoreOutsideFootprint)
+          << "workload '" << name << "': " << format_diagnostic(d);
+    }
+  }
+}
+
+TEST(WorkloadLintTest, ResolvedWorkloadsPredictPages) {
+  // The static-DDT showcase workloads: their resolved store sites must fold
+  // to a non-empty page prediction, or --static-ddt silently degrades to the
+  // dynamic-only DDT.
+  for (const char* name : {"kmeans", "server"}) {
+    const isa::Program program = isa::assemble(campaign::make_workload(name).source);
+    const AnalysisResult result = analyze(program);
+    EXPECT_FALSE(result.footprint.pages.empty()) << name;
+    EXPECT_FALSE(result.footprint.store_pages.empty()) << name;
+    EXPECT_FALSE(result.footprint.checked_pcs().empty()) << name;
+    EXPECT_GT(result.footprint.exact_sites, 0u) << name;
+  }
+}
+
 TEST(WorkloadLintTest, CallsWorkloadResolvesItsReturns) {
   // The static-CFC showcase workload: both leaf returns must resolve so the
   // CFC gets exact successor sets instead of range-check fallbacks.

@@ -1,0 +1,156 @@
+// Static DDT footprint end-to-end: the loader runs the data-flow pass
+// (OsConfig::static_ddt), hands the DDT the page-footprint signature, and
+// the DDT raises footprint-violation detections for committed accesses at
+// statically resolved sites that land outside the predicted page set.
+// These tests pin: no false positives on clean runs, unperturbed golden
+// timing, PST pre-reservation actually firing, the campaign digest
+// recording the mode, and digest determinism across worker counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "campaign/runner.hpp"
+#include "isa/assembler.hpp"
+#include "os/guest_os.hpp"
+#include "os/machine.hpp"
+
+namespace rse::campaign {
+namespace {
+
+/// Run a workload fault-free with the static footprint installed and return
+/// the DDT for inspection.
+const modules::DdtModule* run_clean(const WorkloadSetup& setup, os::Machine& machine) {
+  os::OsConfig os_config = setup.os;
+  os_config.static_ddt = true;
+  os::GuestOs guest(machine, os_config);
+  guest.load(isa::assemble(setup.source));
+  for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+  guest.enable_module(isa::ModuleId::kDdt);
+  guest.run();
+  EXPECT_TRUE(guest.finished()) << setup.name << " did not finish";
+  EXPECT_NE(guest.program_analysis(), nullptr);
+  return machine.ddt();
+}
+
+TEST(StaticDdtTest, CleanRunsProduceNoFootprintViolations) {
+  for (const char* name : {"loop", "calls", "kmeans", "server"}) {
+    const WorkloadSetup setup = make_workload(name);
+    os::Machine machine(setup.machine);
+    const modules::DdtModule* ddt = run_clean(setup, machine);
+    ASSERT_NE(ddt, nullptr) << name;
+    EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+        << name << ": static footprint false-positived on a clean run";
+  }
+}
+
+TEST(StaticDdtTest, ResolvedWorkloadsExerciseTheFootprintCheck) {
+  // kmeans and server both have statically resolved store sites, so a clean
+  // run must actually consult the footprint and hit its pre-reserved PST
+  // entries — otherwise the mode is silently off.
+  for (const char* name : {"kmeans", "server"}) {
+    const WorkloadSetup setup = make_workload(name);
+    os::Machine machine(setup.machine);
+    const modules::DdtModule* ddt = run_clean(setup, machine);
+    ASSERT_NE(ddt, nullptr) << name;
+    EXPECT_TRUE(ddt->has_footprint()) << name;
+    EXPECT_GT(ddt->stats().footprint_checks, 0u) << name;
+    EXPECT_GT(ddt->stats().pst_prereserved, 0u) << name;
+    EXPECT_GT(ddt->stats().prereserve_hits, 0u) << name;
+  }
+}
+
+TEST(StaticDdtTest, FootprintDoesNotPerturbGoldenTiming) {
+  CampaignRunner runner;
+  for (const char* name : {"loop", "kmeans", "server"}) {
+    WorkloadSetup base = make_workload(name);
+    WorkloadSetup tight = base;
+    tight.os.static_ddt = true;
+    const auto golden_base = runner.cache().get(base);
+    const auto golden_tight = runner.cache().get(tight);
+    EXPECT_EQ(golden_base->cycles, golden_tight->cycles)
+        << name << ": the footprint check must not perturb fault-free execution";
+    EXPECT_EQ(golden_base->output, golden_tight->output) << name;
+    EXPECT_EQ(golden_tight->ddt_footprint_violations, 0u) << name;
+  }
+}
+
+TEST(StaticDdtTest, CampaignDigestRecordsTheMode) {
+  CampaignRunner runner;
+  CampaignSpec spec;
+  spec.workload = "kmeans";
+  spec.runs = 16;
+  spec.seed = 11;
+  spec.jobs = 1;
+  const CampaignReport dynamic_report = runner.run(spec);
+  spec.static_ddt = true;
+  const CampaignReport static_report = runner.run(spec);
+
+  EXPECT_NE(deterministic_digest(dynamic_report), deterministic_digest(static_report));
+  EXPECT_NE(deterministic_digest(static_report).find("static-ddt"), std::string::npos);
+  EXPECT_NE(deterministic_digest(dynamic_report).find("dynamic-ddt"), std::string::npos);
+  EXPECT_NE(to_json(static_report).find("\"static_ddt\": true"), std::string::npos);
+}
+
+TEST(StaticDdtTest, DigestIsIdenticalAcrossWorkerCounts) {
+  CampaignRunner runner;
+  CampaignSpec spec;
+  spec.workload = "kmeans";
+  spec.runs = 48;
+  spec.seed = 23;
+  spec.static_ddt = true;
+
+  std::string baseline;
+  for (u32 jobs : {1u, 4u, 8u}) {
+    spec.jobs = jobs;
+    const std::string digest = deterministic_digest(runner.run(spec));
+    if (jobs == 1) {
+      baseline = digest;
+    } else {
+      EXPECT_EQ(digest, baseline) << "digest diverged at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(StaticDdtTest, DetectsBaseRegisterCorruptionDynamicDdtMisses) {
+  // Corrupt a high bit of an address base register: the next store at a
+  // statically resolved site lands pages away from the predicted set.  The
+  // dynamic DDT happily tracks the bogus page; only the footprint check can
+  // call it out.
+  CampaignRunner runner;
+  // kmeans: single-threaded, so an injected register corruption is never
+  // masked by a context-switch restore before the next resolved store.
+  WorkloadSetup base = make_workload("kmeans");
+  if (std::find(base.host_enables.begin(), base.host_enables.end(), isa::ModuleId::kDdt) ==
+      base.host_enables.end()) {
+    base.host_enables.push_back(isa::ModuleId::kDdt);
+  }
+  WorkloadSetup tight = base;
+  tight.os.static_ddt = true;
+  const auto golden_base = runner.cache().get(base);
+  const auto golden_tight = runner.cache().get(tight);
+  ASSERT_EQ(golden_base->cycles, golden_tight->cycles);
+
+  InjectionRecord record;
+  record.target = InjectTarget::kRegisterBit;
+
+  u32 injected = 0, tight_detected = 0, base_detected = 0, index = 0;
+  const Cycle stride = std::max<Cycle>(1, golden_base->cycles / 96);
+  for (Cycle cycle = 20; cycle + 20 < golden_base->cycles; cycle += stride, ++index) {
+    record.inject_cycle = cycle;
+    record.reg = static_cast<u8>(8 + (index % 16));  // rotate t0..t7, s0..s7
+    record.bit = static_cast<u8>(14 + (index % 8));  // 16 KB .. 2 MB off target
+    record.mask = Word{1} << record.bit;
+    const RunResult rb = runner.run_one(base, *golden_base, record);
+    const RunResult rt = runner.run_one(tight, *golden_tight, record);
+    if (!rt.fault_applied) continue;
+    ++injected;
+    if (rb.outcome == Outcome::kDetectedDdt) ++base_detected;
+    if (rt.outcome == Outcome::kDetectedDdt) ++tight_detected;
+  }
+  ASSERT_GT(injected, 10u);
+  EXPECT_GT(tight_detected, base_detected)
+      << "the static footprint detected nothing the dynamic DDT missed";
+}
+
+}  // namespace
+}  // namespace rse::campaign

@@ -170,6 +170,106 @@ TEST_F(DdtFixture, ResetClearsMatrixAndPst) {
   EXPECT_EQ(ddt->page_owners(1).write_owner, kNoThread);
 }
 
+TEST_F(DdtFixture, FootprintViolationRaisedOnlyAtCheckedSites) {
+  DdtFootprint footprint;
+  footprint.checked_pcs = {0x400010};
+  footprint.pages = {mem::page_of(0x1000)};
+  footprint.store_pages = {mem::page_of(0x1000)};
+  ddt->set_footprint_table(footprint);
+
+  std::vector<std::pair<Addr, u32>> violations;
+  ddt->set_footprint_violation_handler(
+      [&](Addr pc, u32 page, ThreadId, bool, Cycle) { violations.push_back({pc, page}); });
+
+  auto store_at = [&](Addr pc, Addr addr) {
+    engine::CommitInfo info = mem_op(1, isa::Op::kSw, addr);
+    info.pc = pc;
+    ddt->on_store_commit(info, 0);
+  };
+  store_at(0x400010, 0x1004);  // checked site, predicted page: clean
+  store_at(0x400010, 0x5000);  // checked site, outside the footprint
+  store_at(0x400020, 0x9000);  // unresolved site: never checked
+  EXPECT_EQ(ddt->stats().footprint_checks, 2u);
+  EXPECT_EQ(ddt->stats().footprint_violations, 1u);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].first, 0x400010u);
+  EXPECT_EQ(violations[0].second, mem::page_of(0x5000));
+}
+
+TEST_F(DdtFixture, FootprintPrereservesPstEntriesAndCountsFirstTouch) {
+  DdtFootprint footprint;
+  footprint.checked_pcs = {0x400010};
+  footprint.pages = {mem::page_of(0x1000), mem::page_of(0x2000)};
+  footprint.store_pages = {mem::page_of(0x1000), mem::page_of(0x2000)};
+  ddt->set_footprint_table(footprint);
+  EXPECT_EQ(ddt->stats().pst_prereserved, 2u);
+  EXPECT_EQ(ddt->tracked_pages(),
+            (std::vector<u32>{mem::page_of(0x1000), mem::page_of(0x2000)}));
+
+  store(1, 0x1000);
+  store(1, 0x1004);  // same page: only the first touch is a prereserve hit
+  EXPECT_EQ(ddt->stats().prereserve_hits, 1u);
+  EXPECT_TRUE(saves.empty()) << "a pre-reserved entry must not raise SavePage";
+}
+
+TEST_F(DdtFixture, AddFootprintPagesWhitelistsRuntimePages) {
+  DdtFootprint footprint;
+  footprint.checked_pcs = {0x400010};
+  footprint.pages = {mem::page_of(0x1000)};
+  ddt->set_footprint_table(footprint);
+  ddt->add_footprint_pages({mem::page_of(0x7000)});
+
+  engine::CommitInfo info = mem_op(1, isa::Op::kSw, 0x7004);
+  info.pc = 0x400010;
+  ddt->on_store_commit(info, 0);
+  EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+      << "a page whitelisted at run time must not violate";
+}
+
+TEST_F(DdtFixture, ResetClearsStatsButKeepsFootprintConfig) {
+  DdtFootprint footprint;
+  footprint.checked_pcs = {0x400010};
+  footprint.pages = {mem::page_of(0x1000)};
+  footprint.store_pages = {mem::page_of(0x1000)};
+  ddt->set_footprint_table(footprint);
+  engine::CommitInfo info = mem_op(1, isa::Op::kSw, 0x5000);
+  info.pc = 0x400010;
+  ddt->on_store_commit(info, 0);
+  EXPECT_EQ(ddt->stats().footprint_violations, 1u);
+
+  ddt->reset();
+  EXPECT_EQ(ddt->stats().footprint_violations, 0u);
+  EXPECT_TRUE(ddt->has_footprint()) << "the footprint is load-time config: survives reset";
+  EXPECT_EQ(ddt->stats().pst_prereserved, 1u)
+      << "reset re-applies pre-reservation to the fresh PST";
+}
+
+TEST_F(DdtFixture, ReenableClearsEvictionCount) {
+  // Regression: pst_evictions survived a disable/re-enable cycle while the
+  // PST itself was cleared, so stats disagreed with the table they describe.
+  // Module reset semantics are uniform now: dynamic state AND stats go back
+  // to zero together.
+  DdtConfig config;
+  config.pst_entries = 2;
+  auto module = std::make_unique<DdtModule>(fw, config);
+  DdtModule* small = module.get();
+  small->set_enabled(true);
+  engine::CommitInfo info;
+  info.instr.op = isa::Op::kSw;
+  info.thread = 1;
+  for (Addr a : {0x1000u, 0x2000u, 0x3000u}) {
+    info.eff_addr = a;
+    small->on_store_commit(info, 0);
+  }
+  ASSERT_EQ(small->stats().pst_evictions, 1u);
+
+  small->set_enabled(false);  // disable resets the module
+  small->set_enabled(true);
+  EXPECT_EQ(small->stats().pst_evictions, 0u);
+  EXPECT_EQ(small->stats().tracked_stores, 0u);
+  EXPECT_TRUE(small->tracked_pages().empty());
+}
+
 TEST_F(DdtFixture, QueryMatrixWritesDdmToGuestMemory) {
   store(2, 0x1000);
   load(1, 0x1000);  // DDM row 2 has bit 1 set

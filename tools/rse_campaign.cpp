@@ -28,6 +28,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
+            << "  [--static-ddt]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
@@ -77,6 +78,8 @@ int main(int argc, char** argv) {
       spec.hang_factor = std::stod(value());
     } else if (arg == "--static-cfc") {
       spec.static_cfc = true;
+    } else if (arg == "--static-ddt") {
+      spec.static_ddt = true;
     } else if (arg == "--targets") {
       if (!parse_targets(value(), &spec.targets)) {
         std::cerr << "bad --targets list\n";

@@ -54,6 +54,30 @@ bool resolve_bound(const isa::Program& program, const std::string& token, Addr* 
   }
 }
 
+void dump_footprint(const isa::Program& program, const analysis::PageFootprint& fp) {
+  std::cout << "footprint: " << fp.exact_sites << " exact + " << fp.over_sites
+            << " over-approximate + " << fp.unknown_sites << " unknown sites\n";
+  std::cout << "  pages:";
+  for (u32 page : fp.pages) std::cout << " 0x" << std::hex << page << std::dec;
+  std::cout << "\n  store pages:";
+  for (u32 page : fp.store_pages) std::cout << " 0x" << std::hex << page << std::dec;
+  std::cout << "\n";
+  if (fp.has_sp_range) {
+    std::cout << "  sp envelope: [" << fp.sp_lo << ", " << fp.sp_hi << "]\n";
+  }
+  if (fp.has_gp_range) {
+    std::cout << "  gp envelope: [" << fp.gp_lo << ", " << fp.gp_hi << "]\n";
+  }
+  for (const analysis::FunctionFootprint& fn : fp.functions) {
+    std::cout << "  fn 0x" << std::hex << fn.entry << std::dec;
+    const std::string sym = analysis::symbolize(program, fn.entry);
+    if (!sym.empty()) std::cout << " " << sym;
+    std::cout << ": " << fn.pages.size() << " pages (" << fn.store_pages.size()
+              << " written), " << fn.exact_sites << "/" << fn.over_sites << "/"
+              << fn.unknown_sites << " exact/over/unknown\n";
+  }
+}
+
 void dump_cfg(const isa::Program& program, const analysis::ControlFlowGraph& cfg) {
   for (const analysis::BasicBlock& block : cfg.blocks) {
     std::cout << "block " << block.index << " [0x" << std::hex << block.start << ", 0x"
@@ -132,7 +156,10 @@ int main(int argc, char** argv) {
     }
 
     const analysis::AnalysisResult result = analysis::analyze(program, options);
-    if (cfg_dump) dump_cfg(program, result.cfg);
+    if (cfg_dump) {
+      dump_cfg(program, result.cfg);
+      dump_footprint(program, result.footprint);
+    }
     if (json) {
       std::cout << analysis::to_json(program, result);
     } else if (!quiet) {
@@ -142,6 +169,8 @@ int main(int argc, char** argv) {
       std::cout << "rse_lint: " << result.cfg.blocks.size() << " blocks ("
                 << result.cfg.reachable_blocks() << " reachable), " << result.indirect.size()
                 << " resolved + " << result.unresolved_indirects << " unresolved indirects, "
+                << result.footprint.pages.size() << " footprint pages ("
+                << result.footprint.unknown_sites << " unknown sites), "
                 << result.count(analysis::Severity::kError) << " errors, "
                 << result.count(analysis::Severity::kWarning) << " warnings\n";
     }

@@ -13,6 +13,7 @@
 //     --lint                run the static analyzer first; refuse to run on
 //                           error-severity findings (rse_lint for details)
 //     --static-cfc          precompute the CFG-derived legal-successor table
+//     --static-ddt          hand the DDT the static data-flow page footprint
 //                           at load and hand it to the CFC (implies --cfc)
 #include <fstream>
 #include <iomanip>
@@ -34,7 +35,8 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
             << "  [--instrument] [--randomize] [--rerand N] [--limit N]\n"
-            << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n";
+            << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n"
+            << "  [--static-ddt]\n";
   return 2;
 }
 
@@ -71,6 +73,13 @@ void print_stats(os::Machine& machine, os::GuestOs& guest) {
     if (machine.ddt()->enabled()) {
       std::cout << "DDT: " << machine.ddt()->stats().dependencies_logged << " dependencies, "
                 << machine.ddt()->stats().save_page_exceptions << " SavePages\n";
+      if (machine.ddt()->has_footprint()) {
+        std::cout << "DDT footprint: " << machine.ddt()->stats().footprint_checks
+                  << " checks, " << machine.ddt()->stats().footprint_violations
+                  << " violations, " << machine.ddt()->stats().pst_prereserved
+                  << " pre-reserved, " << machine.ddt()->stats().prereserve_hits
+                  << " prereserve hits\n";
+      }
     }
     if (machine.ahbm()->enabled()) {
       std::cout << "AHBM: " << machine.ahbm()->stats().beats_received << " beats, "
@@ -128,6 +137,10 @@ int main(int argc, char** argv) {
     else if (arg == "--static-cfc") {
       os_config.static_cfc = true;
       enable_cfc = true;
+    }
+    else if (arg == "--static-ddt") {
+      os_config.static_ddt = true;
+      enable_ddt = true;
     }
     else if (!arg.empty() && arg[0] == '-') return usage();
     else path = arg;
