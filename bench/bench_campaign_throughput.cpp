@@ -74,20 +74,35 @@ int main(int argc, char** argv) {
 
   // Same determinism proof with the static DDT footprint in the loop: the
   // analyzer runs at load in every worker, so the digest must still be a
-  // pure function of (spec, seed) — never of scheduling.
+  // pure function of (spec, seed) — never of scheduling.  Both analyzer
+  // call models are swept; their digests must differ from each other (the
+  // summary flag is part of the digest header — the two modes check
+  // different site sets) but be jobs-invariant within a mode.
   spec.static_ddt = true;
   spec.runs = std::min(spec.runs, 48u);
-  std::string footprint_digest;
-  for (const u32 jobs : {1u, 4u, 8u}) {
-    spec.jobs = jobs;
-    const std::string digest = campaign::deterministic_digest(runner.run(spec));
-    if (jobs == 1) {
-      footprint_digest = digest;
-    } else if (digest != footprint_digest) {
-      std::cerr << "DETERMINISM VIOLATION (static-ddt) at jobs=" << jobs << "\n";
+  std::string summary_digest;
+  for (const bool summaries : {true, false}) {
+    spec.footprint_summaries = summaries;
+    const char* label = summaries ? "static-ddt-summary" : "static-ddt-flat";
+    std::string footprint_digest;
+    for (const u32 jobs : {1u, 4u, 8u}) {
+      spec.jobs = jobs;
+      const std::string digest = campaign::deterministic_digest(runner.run(spec));
+      if (jobs == 1) {
+        footprint_digest = digest;
+      } else if (digest != footprint_digest) {
+        std::cerr << "DETERMINISM VIOLATION (" << label << ") at jobs=" << jobs << "\n";
+        return 1;
+      }
+    }
+    std::cout << label << " digest identical across jobs {1, 4, 8}\n";
+    if (summaries) {
+      summary_digest = footprint_digest;
+    } else if (footprint_digest == summary_digest) {
+      std::cerr << "summary and flat modes produced identical digests — the "
+                   "mode flag is not reaching the digest\n";
       return 1;
     }
   }
-  std::cout << "static-ddt digest identical across jobs {1, 4, 8}\n";
   return 0;
 }

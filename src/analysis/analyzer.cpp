@@ -316,7 +316,9 @@ AnalysisResult analyze(const isa::Program& program, const AnalysisOptions& optio
     }
   }
 
-  result.footprint = compute_footprint(program, result.cfg);
+  FootprintOptions fp_options;
+  fp_options.interprocedural = options.interprocedural_footprint;
+  result.footprint = compute_footprint(program, result.cfg, fp_options);
 
   const Emitter emit{program, result.diagnostics};
   check_direct_targets(program, result.cfg, emit);
@@ -361,7 +363,9 @@ std::string to_json(const isa::Program& program, const AnalysisResult& result) {
      << ",\n  \"errors\": " << result.count(Severity::kError)
      << ",\n  \"warnings\": " << result.count(Severity::kWarning);
   const PageFootprint& fp = result.footprint;
-  os << ",\n  \"footprint\": {\"exact_sites\": " << fp.exact_sites
+  os << ",\n  \"footprint\": {\"mode\": \""
+     << (fp.interprocedural ? "interprocedural" : "flat")
+     << "\", \"exact_sites\": " << fp.exact_sites
      << ", \"over_sites\": " << fp.over_sites
      << ", \"unknown_sites\": " << fp.unknown_sites << ", \"pages\": [";
   for (std::size_t i = 0; i < fp.pages.size(); ++i) {
@@ -377,6 +381,14 @@ std::string to_json(const isa::Program& program, const AnalysisResult& result) {
   }
   if (fp.has_gp_range) {
     os << ", \"gp_lo\": " << fp.gp_lo << ", \"gp_hi\": " << fp.gp_hi;
+  }
+  if (fp.interprocedural) {
+    u32 summarized = 0;
+    for (const FunctionSummary& sum : fp.summaries) {
+      if (sum.summarized) ++summarized;
+    }
+    os << ", \"functions\": " << fp.summaries.size()
+       << ", \"summarized_functions\": " << summarized;
   }
   os << "}";
   os << ",\n  \"diagnostics\": [";

@@ -64,6 +64,10 @@ struct AnalysisOptions {
   /// Resolve non-return indirect jumps to the address-taken set (coarse
   /// CFI).  Off: such blocks always fall back to the CFC range check.
   bool resolve_indirect_address_taken = true;
+  /// Compute per-function parametric summaries and refine call
+  /// fall-throughs with them (see FootprintOptions::interprocedural).
+  /// Off: the flat PR 3 call model (`--flat-footprint` on the tools).
+  bool interprocedural_footprint = true;
 };
 
 struct AnalysisResult {

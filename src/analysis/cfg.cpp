@@ -219,10 +219,16 @@ ControlFlowGraph build_cfg(const isa::Program& program) {
     frontier.pop_front();
     const BasicBlock* block = cfg.block_at(start);
     for (Addr succ : block->successors) mark(succ);
-    // A call returns: the instruction after the jal is reachable once the
-    // callee is (approximated as always — exactness needs interprocedural
-    // may-return analysis).
-    if (block->exit == BlockExit::kCall) mark(block->end);
+    // A call returns: the instruction after the jal/jalr is reachable once
+    // the callee is (approximated as always — exactness needs
+    // interprocedural may-return analysis).
+    if (block->exit == BlockExit::kCall) {
+      mark(block->end);
+    } else if (block->exit == BlockExit::kIndirect &&
+               decoded[(block->terminator_pc() - cfg.text_base) / 4].op ==
+                   isa::Op::kJalr) {
+      mark(block->end);
+    }
   }
 
   return cfg;

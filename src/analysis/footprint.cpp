@@ -80,6 +80,20 @@ void set_dest(State& s, u8 reg, const AbsVal& v) {
   if (reg != 0) s[reg] = v;
 }
 
+/// Interval addition; keeps the (at most one) relative base.
+AbsVal add_vals(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == Kind::kAbs && b.kind == Kind::kAbs) {
+    return make(Kind::kAbs, a.lo + b.lo, a.hi + b.hi);
+  }
+  if (a.kind != Kind::kUnknown && b.kind == Kind::kAbs) {
+    return make(a.kind, a.lo + b.lo, a.hi + b.hi);
+  }
+  if (a.kind == Kind::kAbs && b.kind != Kind::kUnknown) {
+    return make(b.kind, a.lo + b.lo, a.hi + b.hi);
+  }
+  return AbsVal{};
+}
+
 /// Transfer function for one non-control instruction (control effects —
 /// link registers, clobbers, refinement — are handled on edges).
 void transfer(const isa::Instr& in, State& s) {
@@ -88,19 +102,6 @@ void transfer(const isa::Instr& in, State& s) {
   const AbsVal rt = s[in.rt];
   const u32 uimm = static_cast<u32>(in.imm) & 0xFFFFu;
   const i64 imm = in.imm;
-
-  auto add_vals = [](const AbsVal& a, const AbsVal& b) {
-    if (a.kind == Kind::kAbs && b.kind == Kind::kAbs) {
-      return make(Kind::kAbs, a.lo + b.lo, a.hi + b.hi);
-    }
-    if (a.kind != Kind::kUnknown && b.kind == Kind::kAbs) {
-      return make(a.kind, a.lo + b.lo, a.hi + b.hi);
-    }
-    if (a.kind == Kind::kAbs && b.kind != Kind::kUnknown) {
-      return make(b.kind, a.lo + b.lo, a.hi + b.hi);
-    }
-    return AbsVal{};
-  };
 
   switch (in.op) {
     case Op::kAdd: set_dest(s, in.rd, add_vals(rs, rt)); break;
@@ -255,6 +256,85 @@ State clobber_call(const State& in) {
   return out;
 }
 
+u32 caller_saved_mask() {
+  u32 mask = 0;
+  for (u8 r = 1; r < isa::kNumRegs; ++r) {
+    if (caller_saved(r)) mask |= (1u << r);
+  }
+  return mask;
+}
+
+/// Registers a call's fall-through may refine from a callee summary.  The
+/// flat model already assumes everything outside the caller-saved set is
+/// ABI-preserved, so summaries only ever *improve* on it for caller-saved
+/// registers — plus sp/gp, whose clobber bits the summary clears only under
+/// an arithmetic restore proof (see summarize_function).
+u32 refinable_mask() {
+  return caller_saved_mask() | (1u << isa::kSp) | (1u << isa::kGp);
+}
+
+/// Syntactic register-write mask of one instruction (jal links ra, syscall
+/// clobbers v0/v1; r0 writes are discarded by dest_reg()).
+u32 write_mask(const isa::Instr& in) {
+  u32 mask = 0;
+  if (const auto rd = in.dest_reg()) mask |= (1u << *rd);
+  if (in.op == isa::Op::kSyscall) {
+    mask |= (1u << isa::kV0) | (1u << isa::kV1);
+  }
+  return mask;
+}
+
+/// Re-expresses a value computed against a callee's entry sp/gp in the
+/// caller's frame: the callee entered with sp == sp_at_call and
+/// gp == gp_at_call, so Sp[lo,hi] becomes sp_at_call + [lo,hi] (same for
+/// Gp); absolute values carry over unchanged.
+AbsVal rebase(const AbsVal& v, const AbsVal& sp_at_call, const AbsVal& gp_at_call) {
+  switch (v.kind) {
+    case Kind::kAbs:
+      return v;
+    case Kind::kSp:
+      return add_vals(sp_at_call, make(Kind::kAbs, v.lo, v.hi));
+    case Kind::kGp:
+      return add_vals(gp_at_call, make(Kind::kAbs, v.lo, v.hi));
+    default:
+      return AbsVal{};
+  }
+}
+
+/// Internal parametric function summary (exported as FunctionSummary).
+/// Everything is relative to the function's own entry sp/gp.
+struct Summary {
+  Addr entry = 0;
+  bool summarized = false;
+  u32 clobbered = 0;  // see FunctionSummary::clobbered_regs
+  bool returns = false;
+  std::set<u32> pages;
+  std::set<u32> store_pages;
+  bool has_sp = false;
+  i64 sp_lo = 0;
+  i64 sp_hi = 0;
+  bool has_gp = false;
+  i64 gp_lo = 0;
+  i64 gp_hi = 0;
+  u32 unknown = 0;
+  // Joined v0/v1 over all return paths, vs. the entry sp/gp (Unknown when
+  // the function doesn't produce a trackable result).
+  AbsVal ret_v0;
+  AbsVal ret_v1;
+
+  bool operator==(const Summary& o) const {
+    return entry == o.entry && summarized == o.summarized &&
+           clobbered == o.clobbered && returns == o.returns &&
+           pages == o.pages && store_pages == o.store_pages &&
+           has_sp == o.has_sp && (!has_sp || (sp_lo == o.sp_lo && sp_hi == o.sp_hi)) &&
+           has_gp == o.has_gp && (!has_gp || (gp_lo == o.gp_lo && gp_hi == o.gp_hi)) &&
+           unknown == o.unknown && ret_v0 == o.ret_v0 && ret_v1 == o.ret_v1;
+  }
+  bool operator!=(const Summary& o) const { return !(*this == o); }
+};
+
+using SummaryMap = std::map<Addr, Summary>;
+
 /// Range refinement along a conditional-branch edge.  Only same-kind
 /// operands are comparable (Abs vs Abs, or same-base offsets where the base
 /// cancels); unsigned branches are treated as signed only when both ranges
@@ -366,46 +446,237 @@ void add_page_range(std::set<u32>& pages, Addr lo, Addr hi) {
   }
 }
 
-}  // namespace
-
-std::vector<Addr> PageFootprint::checked_pcs() const {
-  std::vector<Addr> pcs;
-  for (const AccessSite& site : sites) {
-    if (site.precision != AccessPrecision::kUnknown) pcs.push_back(site.pc);
+void record_envelope(bool& has, i64& env_lo, i64& env_hi, i64 lo, i64 hi) {
+  if (!has) {
+    has = true;
+    env_lo = lo;
+    env_hi = hi;
+  } else {
+    env_lo = std::min(env_lo, lo);
+    env_hi = std::max(env_hi, hi);
   }
-  std::sort(pcs.begin(), pcs.end());
-  return pcs;
 }
 
-PageFootprint compute_footprint(const isa::Program& program,
-                                const ControlFlowGraph& cfg) {
-  PageFootprint fp;
-  if (cfg.blocks.empty()) return fp;
-
-  // --- Fixpoint over block in-states. ---------------------------------
-  const size_t n = cfg.blocks.size();
-  std::vector<State> in_state(n);
-  std::vector<bool> has_state(n, false);
-  std::vector<u32> visits(n, 0);
-  std::deque<u32> worklist;
-  std::vector<bool> queued(n, false);
-
-  auto block_index_at = [&](Addr pc) -> const BasicBlock* {
-    const BasicBlock* b = cfg.block_at(pc);
-    return (b != nullptr && b->start == pc) ? b : nullptr;
+/// Widening thresholds: the i32 constants the program can materialize
+/// (immediates plus li/la lui+ori expansions).  Loop bounds and data
+/// segment base addresses are exactly these, so jumping a growing bound to
+/// the nearest threshold first — and to the domain limit only when no
+/// threshold fits or the bound already sits on one — keeps loop counters
+/// and outer-loop-carried pointers finite where a straight jump to the
+/// domain limit would overflow follow-on arithmetic into Unknown.
+std::vector<i64> collect_thresholds(const isa::Program& program,
+                                    const ControlFlowGraph& cfg) {
+  std::set<i64> out;
+  auto add = [&](i64 v) {
+    if (v >= kMinVal && v <= kMaxVal) out.insert(v);
   };
+  for (const BasicBlock& block : cfg.blocks) {
+    bool have_lui = false;
+    u8 lui_rt = 0;
+    u32 lui_val = 0;
+    for (Addr pc = block.start; pc < block.end; pc += 4) {
+      const isa::Instr in = isa::decode(program.text_word(pc));
+      const u32 uimm = static_cast<u32>(in.imm) & 0xFFFFu;
+      switch (in.op) {
+        case isa::Op::kAddi:
+          add(in.imm);
+          break;
+        case isa::Op::kLui:
+          add(from_u32(uimm << 16));
+          break;
+        case isa::Op::kOri:
+          if (in.rs == 0) add(static_cast<i64>(uimm));
+          if (have_lui && in.rs == lui_rt) add(from_u32(lui_val | uimm));
+          break;
+        default:
+          break;
+      }
+      if (in.op == isa::Op::kLui) {
+        have_lui = true;
+        lui_rt = in.rt;
+        lui_val = uimm << 16;
+      } else if (const auto rd = in.dest_reg(); rd.has_value() && have_lui &&
+                 *rd == lui_rt && in.op != isa::Op::kOri) {
+        have_lui = false;
+      }
+    }
+  }
+  return std::vector<i64>(out.begin(), out.end());
+}
 
-  auto enqueue = [&](u32 index) {
+/// Classified byte range of one access site given the base register value.
+struct SiteRange {
+  AddressBase base = AddressBase::kUnknown;
+  AccessPrecision precision = AccessPrecision::kUnknown;
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+SiteRange classify_site(const AbsVal& base, i64 imm, u32 size) {
+  SiteRange r;
+  if (base.kind == Kind::kUnknown) return r;
+  const i64 lo = base.lo + imm;
+  const i64 hi = base.hi + imm + static_cast<i64>(size) - 1;
+  if (hi - lo > kMaxSpanBytes) return r;
+  // Unified wrap guard for every base kind: an interval that leaves the
+  // signed-i32 domain would wrap at runtime, so it must demote to Unknown —
+  // folding it into a page index or sp/gp envelope would whitelist (or
+  // later u32-cast to) the wrong pages.  Absolute addresses additionally
+  // may not be negative.
+  if (lo < kMinVal || hi > kMaxVal) return r;
+  if (base.kind == Kind::kAbs && lo < 0) return r;
+  r.lo = lo;
+  r.hi = hi;
+  r.precision =
+      is_singleton(base) ? AccessPrecision::kExact : AccessPrecision::kOver;
+  switch (base.kind) {
+    case Kind::kAbs: r.base = AddressBase::kAbsolute; break;
+    case Kind::kSp: r.base = AddressBase::kStack; break;
+    case Kind::kGp: r.base = AddressBase::kGlobal; break;
+    default: break;
+  }
+  return r;
+}
+
+/// Worklist data-flow engine over block in-states.  Two modes share it:
+/// the program-wide pass (enter_callees = true, call fall-throughs refined
+/// from summaries when available) and the per-function summary pass
+/// (region-restricted, parametric entry state, callees modeled only by
+/// their summaries).
+struct FixpointPass {
+  FixpointPass(const isa::Program& p, const ControlFlowGraph& g)
+      : program(p), cfg(g) {}
+
+  const isa::Program& program;
+  const ControlFlowGraph& cfg;
+  bool interprocedural = false;
+  const SummaryMap* summaries = nullptr;
+  // Summary mode: [region_lo, region_hi) bounds the function; propagation
+  // to a target outside it is not followed and sets left_region (the
+  // function cannot be summarized).  region_hi == 0 means unrestricted.
+  Addr region_lo = 0;
+  Addr region_hi = 0;
+  bool enter_callees = true;
+  const std::vector<i64>* thresholds = nullptr;  // sorted; ipa mode only
+
+  std::vector<State> in_state;
+  std::vector<bool> has_state;
+  bool left_region = false;
+
+  std::vector<u32> visits;
+  std::deque<u32> worklist;
+  std::vector<bool> queued;
+  std::vector<u32> in_degree;
+  // Per-block, per-register widening strikes (ipa mode): 1 = jumped to a
+  // threshold, 2 = jumped to the domain limits, 3 = forced Unknown.
+  std::vector<std::array<u8, isa::kNumRegs>> strikes;
+
+  bool in_region(Addr pc) const {
+    return region_hi == 0 || (pc >= region_lo && pc < region_hi);
+  }
+
+  /// Smallest threshold covering the grown bound (domain limit when none).
+  i64 threshold_hi(i64 grown) const {
+    if (thresholds != nullptr) {
+      const auto it =
+          std::lower_bound(thresholds->begin(), thresholds->end(), grown);
+      if (it != thresholds->end()) return *it;
+    }
+    return kMaxVal;
+  }
+
+  i64 threshold_lo(i64 shrunk) const {
+    if (thresholds != nullptr) {
+      const auto it =
+          std::upper_bound(thresholds->begin(), thresholds->end(), shrunk);
+      if (it != thresholds->begin()) return *std::prev(it);
+    }
+    return kMinVal;
+  }
+
+  const Summary* summary_of(Addr callee) const {
+    if (summaries == nullptr) return nullptr;
+    const auto it = summaries->find(callee);
+    return it == summaries->end() ? nullptr : &it->second;
+  }
+
+  /// True when every call candidate is known and carries a usable summary.
+  bool all_summarized(const std::vector<Addr>& targets) const {
+    if (!interprocedural || targets.empty()) return false;
+    for (Addr t : targets) {
+      const Summary* s = summary_of(t);
+      if (s == nullptr || !s->summarized) return false;
+    }
+    return true;
+  }
+
+  /// Whether the call's fall-through is reachable at all.  Only provable
+  /// when every candidate is summarized and none reaches a return.
+  bool may_return(const std::vector<Addr>& targets) const {
+    if (!all_summarized(targets)) return true;
+    for (Addr t : targets) {
+      if (summary_of(t)->returns) return true;
+    }
+    return false;
+  }
+
+  /// Caller state after a call returns.  With full candidate summaries the
+  /// fall-through keeps every refinable register whose joined clobber bit
+  /// is clear (the flat caller-saved wipe restricted to the actually
+  /// clobbered set); otherwise the flat clobber applies.  `link` is the
+  /// call's link register (ra for jal, rd for jalr).
+  State call_fallthrough(const State& at_call, const std::vector<Addr>& targets,
+                         Addr ret, u8 link) const {
+    if (!all_summarized(targets)) return clobber_call(at_call);
+    u32 clob = 0;
+    for (Addr t : targets) clob |= summary_of(t)->clobbered;
+    State next = at_call;
+    const u32 refinable = refinable_mask();
+    for (u8 r = 1; r < isa::kNumRegs; ++r) {
+      const u32 bit = 1u << r;
+      if ((refinable & bit) == 0) continue;  // ABI-preserved, as in flat mode
+      if ((clob & bit) != 0) next[r] = AbsVal{};
+    }
+    // The call wrote the return address into `link`; candidates that
+    // provably never touch it leave it holding that constant.
+    if (link != 0 && (clob & (1u << link)) == 0) {
+      next[link] = abs_const(from_u32(static_cast<u32>(ret)));
+    }
+    // Return-value binding: a v0/v1 the callees write folds to the join of
+    // the summary return values, rebased into this caller's frame.
+    for (const u8 v : {isa::kV0, isa::kV1}) {
+      if ((clob & (1u << v)) == 0) continue;  // not written: kept above
+      AbsVal joined;
+      bool first = true;
+      for (Addr t : targets) {
+        const Summary* s = summary_of(t);
+        const AbsVal rv = rebase(v == isa::kV0 ? s->ret_v0 : s->ret_v1,
+                                 at_call[isa::kSp], at_call[isa::kGp]);
+        joined = first ? rv : join(joined, rv);
+        first = false;
+        if (joined.kind == Kind::kUnknown) break;
+      }
+      next[v] = joined;
+    }
+    next[0] = abs_const(0);
+    return next;
+  }
+
+  void enqueue(u32 index) {
     if (!queued[index]) {
       queued[index] = true;
       worklist.push_back(index);
     }
-  };
+  }
 
-  auto propagate = [&](Addr target, const State& s) {
-    const BasicBlock* b = block_index_at(target);
-    if (b == nullptr) return;  // mid-block or out-of-text target: ignore
+  void propagate(Addr target, const State& s) {
     if (infeasible(s)) return;
+    if (!in_region(target)) {
+      left_region = true;
+      return;
+    }
+    const BasicBlock* b = cfg.block_at(target);
+    if (b == nullptr || b->start != target) return;  // mid-block/out-of-text
     const u32 i = b->index;
     if (!has_state[i]) {
       in_state[i] = s;
@@ -419,32 +690,95 @@ PageFootprint compute_footprint(const isa::Program& program,
     }
     merged[0] = abs_const(0);
     if (merged == in_state[i]) return;
-    if (visits[i] >= kMaxBlockVisits) {
-      // Widen: any register still changing goes straight to Unknown.
+    // Interprocedural mode widens only at join points (>= 2 in-edges):
+    // every reachable CFG cycle contains one (a cycle needs an entry edge
+    // from outside plus its in-cycle edge), so the fixpoint still
+    // terminates, while single-predecessor loop-body blocks keep the
+    // refined bounds flowing out of the header's branch instead of
+    // re-widening them.  Flat mode keeps the PR 3 behavior: every
+    // still-changing register goes straight to Unknown at the budget.
+    const bool widen_here =
+        visits[i] >= kMaxBlockVisits && (!interprocedural || in_degree[i] >= 2);
+    if (widen_here) {
       for (u8 r = 1; r < isa::kNumRegs; ++r) {
-        if (!(merged[r] == in_state[i][r])) merged[r] = AbsVal{};
+        if (merged[r] == in_state[i][r]) continue;
+        u8& strike = strikes[i][r];
+        const u8 max_strikes = static_cast<u8>(std::min<std::size_t>(
+            200, 2 * (thresholds != nullptr ? thresholds->size() : 0) + 4));
+        if (interprocedural && strike < max_strikes &&
+            merged[r].kind != Kind::kUnknown &&
+            merged[r].kind == in_state[i][r].kind) {
+          // Kind-preserving threshold widening: every widening event jumps
+          // the changing bound(s) to the nearest enclosing materializable
+          // constant, climbing one rung of the threshold ladder at a time
+          // (a bound that outgrows the largest threshold lands on the
+          // domain limit); refine_edge re-narrows loop indices from their
+          // branch bounds on the way back in.  Each event strictly moves a
+          // bound within the finite threshold set, so at most
+          // 2*|thresholds|+2 events fire per (block, register); the strike
+          // cap is a defensive backstop on top of that.
+          AbsVal w = merged[r];
+          if (w.lo != in_state[i][r].lo) w.lo = threshold_lo(w.lo);
+          if (w.hi != in_state[i][r].hi) w.hi = threshold_hi(w.hi);
+          merged[r] = w;
+        } else {
+          merged[r] = AbsVal{};
+        }
+        if (strike < max_strikes) strike += 1;
       }
       if (merged == in_state[i]) return;
     }
     in_state[i] = merged;
     enqueue(i);
-  };
-
-  // Roots: the entry point and every address-taken text address (thread
-  // entries and jump-table targets enter execution without a static edge).
-  propagate(program.entry, root_state());
-  for (Addr addr : cfg.address_taken) {
-    propagate(addr, root_state());
   }
 
-  while (!worklist.empty()) {
-    const u32 i = worklist.front();
-    worklist.pop_front();
-    queued[i] = false;
-    const BasicBlock& block = cfg.blocks[i];
-    visits[i] += 1;
+  void run(Addr root, const State& root_in) {
+    const size_t n = cfg.blocks.size();
+    in_state.assign(n, State{});
+    has_state.assign(n, false);
+    visits.assign(n, 0);
+    queued.assign(n, false);
+    in_degree.assign(n, 0);
+    strikes.assign(n, {});
+    left_region = false;
 
-    State out = in_state[i];
+    // In-edge counts feed the widening criterion.  This mirrors step()'s
+    // propagation targets (over-counting is harmless — it only adds
+    // widening points).
+    auto bump = [&](Addr a) {
+      const BasicBlock* b = cfg.block_at(a);
+      if (b != nullptr && b->start == a) in_degree[b->index] += 1;
+    };
+    bump(root);
+    for (Addr addr : cfg.address_taken) bump(addr);
+    for (const BasicBlock& block : cfg.blocks) {
+      if (block.exit == BlockExit::kReturn) continue;
+      for (Addr succ : block.successors) bump(succ);
+      const isa::Instr term =
+          isa::decode(program.text_word(block.terminator_pc()));
+      if (block.exit == BlockExit::kCall ||
+          (block.exit == BlockExit::kIndirect && term.op == isa::Op::kJalr)) {
+        bump(block.terminator_pc() + 4);
+      }
+    }
+
+    propagate(root, root_in);
+    if (region_hi == 0) {
+      // Program-wide pass: address-taken targets enter execution without a
+      // static edge (thread entries, jump tables) and are extra roots.
+      for (Addr addr : cfg.address_taken) propagate(addr, root_state());
+    }
+    while (!worklist.empty()) {
+      const u32 i = worklist.front();
+      worklist.pop_front();
+      queued[i] = false;
+      step(cfg.blocks[i]);
+    }
+  }
+
+  void step(const BasicBlock& block) {
+    visits[block.index] += 1;
+    State out = in_state[block.index];
     for (Addr pc = block.start; pc + 4 < block.end; pc += 4) {
       transfer(isa::decode(program.text_word(pc)), out);
     }
@@ -472,31 +806,44 @@ PageFootprint compute_footprint(const isa::Program& program,
         break;
       }
       case BlockExit::kCall: {
-        // Into the callee with the return address bound...
-        State callee = out;
-        callee[isa::kRa] = abs_const(from_u32(block.terminator_pc() + 4));
-        for (Addr succ : block.successors) propagate(succ, callee);
-        // ...and across the call: caller-saved clobbered, sp/gp/s* kept
-        // (ABI assumption, documented in docs/analysis.md).
-        propagate(block.terminator_pc() + 4, clobber_call(out));
+        const Addr ret = block.terminator_pc() + 4;
+        if (enter_callees) {
+          // Into the callee with the return address bound...
+          State callee = out;
+          callee[isa::kRa] = abs_const(from_u32(static_cast<u32>(ret)));
+          for (Addr succ : block.successors) propagate(succ, callee);
+        }
+        // ...and across the call.  Candidates proven to never reach a
+        // return have no fall-through at all.
+        if (may_return(block.successors)) {
+          propagate(ret, call_fallthrough(out, block.successors, ret, isa::kRa));
+        }
         break;
       }
       case BlockExit::kIndirect: {
         if (term.op == isa::Op::kJalr) {
-          State callee = out;
-          callee[isa::kRa] = AbsVal{};
-          callee[term.rd] = abs_const(from_u32(block.terminator_pc() + 4));
-          for (Addr succ : block.successors) propagate(succ, callee);
-          propagate(block.terminator_pc() + 4, clobber_call(out));
+          const Addr ret = block.terminator_pc() + 4;
+          if (enter_callees) {
+            State callee = out;
+            callee[isa::kRa] = AbsVal{};
+            callee[term.rd] = abs_const(from_u32(static_cast<u32>(ret)));
+            for (Addr succ : block.successors) propagate(succ, callee);
+          }
+          if (may_return(block.successors)) {
+            propagate(ret, call_fallthrough(out, block.successors, ret, term.rd));
+          }
         } else {
+          // Computed jump (jr non-ra).  Unresolved: in summary mode the
+          // function's control can go anywhere — it cannot be summarized.
+          if (block.successors.empty() && region_hi != 0) left_region = true;
           for (Addr succ : block.successors) propagate(succ, out);
         }
         break;
       }
       case BlockExit::kReturn: {
         // Return edges are modeled at the call site (the kCall
-        // fall-through clobber), not here: propagating the callee's exit
-        // state to every return site would mix unrelated call chains.
+        // fall-through), not here: propagating the callee's exit state to
+        // every return site would mix unrelated call chains.
         break;
       }
       case BlockExit::kSyscall: {
@@ -508,16 +855,306 @@ PageFootprint compute_footprint(const isa::Program& program,
       }
     }
   }
+};
 
-  // --- Collect access sites from reachable blocks. --------------------
-  std::set<u32> pages;
-  std::set<u32> store_pages;
-  struct FnAcc {
-    std::set<u32> pages;
-    std::set<u32> store_pages;
-    u32 exact = 0, over = 0, unknown = 0;
+/// Computes one function's parametric summary against the current summary
+/// map (Gauss-Seidel: callee entries may hold this round's values already).
+Summary summarize_function(const isa::Program& program,
+                           const ControlFlowGraph& cfg, Addr lo, Addr hi,
+                           const SummaryMap& summaries,
+                           const std::vector<i64>& thresholds) {
+  Summary sum;
+  sum.entry = lo;
+
+  FixpointPass pass{program, cfg};
+  pass.interprocedural = true;
+  pass.summaries = &summaries;
+  pass.region_lo = lo;
+  pass.region_hi = hi;
+  pass.enter_callees = false;
+  pass.thresholds = &thresholds;
+  pass.run(lo, root_state());
+
+  const BasicBlock* entry_block = cfg.block_at(lo);
+  const bool entry_ok = entry_block != nullptr && entry_block->start == lo &&
+                        pass.has_state[entry_block->index];
+  if (pass.left_region || !entry_ok) {
+    sum.summarized = false;  // callers fall back to the flat call model
+    return sum;
+  }
+  sum.summarized = true;
+
+  // Syntactic clobber mask over the whole region, independent of local
+  // reachability: any register the region can write counts as clobbered
+  // unless proven restored below.
+  for (const BasicBlock& block : cfg.blocks) {
+    if (block.start < lo || block.start >= hi) continue;
+    for (Addr pc = block.start; pc < block.end; pc += 4) {
+      sum.clobbered |= write_mask(isa::decode(program.text_word(pc)));
+    }
+  }
+
+  const u32 cs_mask = caller_saved_mask();
+  bool sp_restored = true;
+  bool gp_restored = true;
+  bool first_return = true;
+
+  auto instantiate_envelope = [&](bool has, i64 elo, i64 ehi,
+                                  const AbsVal& base) {
+    if (!has) return;
+    if (base.kind == Kind::kUnknown) {
+      sum.unknown += 1;
+      return;
+    }
+    const i64 rlo = base.lo + elo;
+    const i64 rhi = base.hi + ehi;
+    if (rhi - rlo > kMaxSpanBytes || rlo < kMinVal || rhi > kMaxVal ||
+        (base.kind == Kind::kAbs && rlo < 0)) {
+      sum.unknown += 1;
+      return;
+    }
+    switch (base.kind) {
+      case Kind::kAbs:
+        add_page_range(sum.pages, static_cast<Addr>(rlo), static_cast<Addr>(rhi));
+        break;
+      case Kind::kSp:
+        record_envelope(sum.has_sp, sum.sp_lo, sum.sp_hi, rlo, rhi);
+        break;
+      case Kind::kGp:
+        record_envelope(sum.has_gp, sum.gp_lo, sum.gp_hi, rlo, rhi);
+        break;
+      default:
+        break;
+    }
   };
-  std::map<Addr, FnAcc> fn_acc;
+
+  for (const BasicBlock& block : cfg.blocks) {
+    if (block.start < lo || block.start >= hi) continue;
+    if (!pass.has_state[block.index]) continue;  // unreached from the entry
+    State s = pass.in_state[block.index];
+    for (Addr pc = block.start; pc < block.end; pc += 4) {
+      const isa::Instr in = isa::decode(program.text_word(pc));
+      if (is_load(in.op) || is_store(in.op)) {
+        const SiteRange r = classify_site(s[in.rs], in.imm, access_size(in.op));
+        switch (r.base) {
+          case AddressBase::kAbsolute:
+            add_page_range(sum.pages, static_cast<Addr>(r.lo),
+                           static_cast<Addr>(r.hi));
+            if (is_store(in.op)) {
+              add_page_range(sum.store_pages, static_cast<Addr>(r.lo),
+                             static_cast<Addr>(r.hi));
+            }
+            break;
+          case AddressBase::kStack:
+            record_envelope(sum.has_sp, sum.sp_lo, sum.sp_hi, r.lo, r.hi);
+            break;
+          case AddressBase::kGlobal:
+            record_envelope(sum.has_gp, sum.gp_lo, sum.gp_hi, r.lo, r.hi);
+            break;
+          default:
+            sum.unknown += 1;
+            break;
+        }
+      }
+      if (pc + 4 < block.end) transfer(in, s);
+    }
+    // `s` is now the state before the terminator (terminators have no
+    // register transfer of their own).
+    const isa::Instr term = isa::decode(program.text_word(block.terminator_pc()));
+    const bool is_call =
+        block.exit == BlockExit::kCall ||
+        (block.exit == BlockExit::kIndirect && term.op == isa::Op::kJalr);
+    if (is_call) {
+      if (block.successors.empty()) {
+        // Unresolved indirect call: flat model (full caller-saved clobber,
+        // footprint unknown, assumed to return).
+        sum.unknown += 1;
+        sum.clobbered |= cs_mask;
+      }
+      for (Addr t : block.successors) {
+        const auto it = summaries.find(t);
+        const Summary* c = (it == summaries.end()) ? nullptr : &it->second;
+        if (c == nullptr || !c->summarized) {
+          sum.unknown += 1;
+          sum.clobbered |= cs_mask;
+          continue;
+        }
+        // Instantiate: pages carry over, envelopes rebase by this call
+        // site's sp/gp, unknown contributions accumulate, clobbers are
+        // transitive.
+        sum.clobbered |= c->clobbered;
+        sum.unknown += c->unknown;
+        sum.pages.insert(c->pages.begin(), c->pages.end());
+        sum.store_pages.insert(c->store_pages.begin(), c->store_pages.end());
+        instantiate_envelope(c->has_sp, c->sp_lo, c->sp_hi, s[isa::kSp]);
+        instantiate_envelope(c->has_gp, c->gp_lo, c->gp_hi, s[isa::kGp]);
+      }
+    }
+    if (block.exit == BlockExit::kReturn) {
+      sum.returns = true;
+      if (!(s[isa::kSp] == make(Kind::kSp, 0, 0))) sp_restored = false;
+      if (!(s[isa::kGp] == make(Kind::kGp, 0, 0))) gp_restored = false;
+      sum.ret_v0 = first_return ? s[isa::kV0] : join(sum.ret_v0, s[isa::kV0]);
+      sum.ret_v1 = first_return ? s[isa::kV1] : join(sum.ret_v1, s[isa::kV1]);
+      first_return = false;
+    }
+  }
+
+  // Arithmetic restore proof: sp/gp bits clear only when every reachable
+  // return leaves them exactly at their entry values.
+  if (sum.returns && sp_restored) sum.clobbered &= ~(1u << isa::kSp);
+  if (sum.returns && gp_restored) sum.clobbered &= ~(1u << isa::kGp);
+  if (!sum.returns) {
+    sum.ret_v0 = AbsVal{};
+    sum.ret_v1 = AbsVal{};
+  }
+  // Saturate the unknown-contribution count: a recursive function feeds its
+  // own count back through the self-call and would otherwise grow it by one
+  // every fixpoint round, never converging.  The count is diagnostic (the
+  // page/envelope/clobber components carry the soundness); capping it keeps
+  // the summary monotone AND bounded.
+  constexpr u32 kMaxSummaryUnknown = 8;
+  sum.unknown = std::min(sum.unknown, kMaxSummaryUnknown);
+  return sum;
+}
+
+/// Bottom-up fixpoint over the call graph.  Bottom-initialized summaries
+/// (touch nothing, return nowhere) iterate Gauss-Seidel until stable; the
+/// summary components grow monotonically except envelopes and return
+/// values under recursion (a self-call rebasing its own frame grows them
+/// every round), which a small widening ladder drops after a few moves.
+SummaryMap compute_summaries(const isa::Program& program,
+                             const ControlFlowGraph& cfg,
+                             const std::set<Addr>& entries,
+                             const std::vector<i64>& thresholds) {
+  SummaryMap summaries;
+  struct Region {
+    Addr lo;
+    Addr hi;
+  };
+  std::vector<Region> regions;
+  Addr text_end = 0;
+  for (const BasicBlock& b : cfg.blocks) text_end = std::max(text_end, b.end);
+  const std::vector<Addr> sorted(entries.begin(), entries.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const Addr rlo = sorted[i];
+    const Addr rhi = (i + 1 < sorted.size()) ? sorted[i + 1] : text_end;
+    if (rlo >= rhi) continue;  // entry outside the decoded text
+    regions.push_back(Region{rlo, rhi});
+    Summary bottom;
+    bottom.entry = rlo;
+    bottom.summarized = true;
+    summaries.emplace(rlo, std::move(bottom));
+  }
+
+  constexpr u32 kMaxComponentMoves = 3;
+  std::map<Addr, u32> sp_moves;
+  std::map<Addr, u32> gp_moves;
+  std::map<Addr, u32> ret_moves;
+  std::set<Addr> sp_dropped;
+  std::set<Addr> gp_dropped;
+  std::set<Addr> ret_dropped;
+  // A summary that keeps changing after its envelope/return components were
+  // already dropped is feeding on itself through a recursion cycle (e.g. its
+  // unknown-site count grows by its own previous value every round).  Pin
+  // such a function to unsummarized — callers fall back to the flat call
+  // model for it — instead of letting it drag the whole map to the global
+  // bail-out below.
+  // Generous: every component is individually bounded (monotone masks and
+  // page sets, ladder-dropped envelopes, the saturated unknown count), so a
+  // converging summary moves at most a few dozen times; only genuine
+  // divergence can exceed this.
+  const u32 max_summary_moves = static_cast<u32>(regions.size()) + 48;
+  std::map<Addr, u32> total_moves;
+  std::set<Addr> force_flat;
+
+  const size_t rounds_cap = 3 * regions.size() + 8;
+  bool stable = false;
+  for (size_t round = 0; round < rounds_cap && !stable; ++round) {
+    stable = true;
+    // Helpers usually sit after their callers, so reverse address order
+    // makes the first sweep roughly bottom-up.
+    for (auto it = regions.rbegin(); it != regions.rend(); ++it) {
+      Summary& cur = summaries.at(it->lo);
+      if (force_flat.count(it->lo) != 0) continue;  // pinned unsummarized
+      Summary next =
+          summarize_function(program, cfg, it->lo, it->hi, summaries, thresholds);
+      if (next.summarized) {
+        if (sp_dropped.count(it->lo) != 0 && next.has_sp) {
+          next.has_sp = false;
+          next.unknown += 1;
+        }
+        if (gp_dropped.count(it->lo) != 0 && next.has_gp) {
+          next.has_gp = false;
+          next.unknown += 1;
+        }
+        if (ret_dropped.count(it->lo) != 0) {
+          next.ret_v0 = AbsVal{};
+          next.ret_v1 = AbsVal{};
+        }
+        if (next.has_sp &&
+            (!cur.has_sp || next.sp_lo != cur.sp_lo || next.sp_hi != cur.sp_hi)) {
+          if (++sp_moves[it->lo] > kMaxComponentMoves) {
+            sp_dropped.insert(it->lo);
+            next.has_sp = false;
+            next.unknown += 1;
+          }
+        }
+        if (next.has_gp &&
+            (!cur.has_gp || next.gp_lo != cur.gp_lo || next.gp_hi != cur.gp_hi)) {
+          if (++gp_moves[it->lo] > kMaxComponentMoves) {
+            gp_dropped.insert(it->lo);
+            next.has_gp = false;
+            next.unknown += 1;
+          }
+        }
+        if (!(next.ret_v0 == cur.ret_v0) || !(next.ret_v1 == cur.ret_v1)) {
+          if (++ret_moves[it->lo] > kMaxComponentMoves) {
+            ret_dropped.insert(it->lo);
+            next.ret_v0 = AbsVal{};
+            next.ret_v1 = AbsVal{};
+          }
+        }
+      }
+      if (next != cur) {
+        if (++total_moves[it->lo] > max_summary_moves) {
+          force_flat.insert(it->lo);
+          next = Summary{};
+          next.entry = it->lo;
+        }
+        cur = next;
+        stable = false;
+      }
+    }
+  }
+  if (!stable) {
+    // The safety net should be unreachable (each component is monotone or
+    // ladder-bounded), but if it ever trips, fall back to the flat model.
+    for (auto& [entry, sum] : summaries) {
+      sum = Summary{};
+      sum.entry = entry;
+    }
+  }
+  return summaries;
+}
+
+}  // namespace
+
+std::vector<Addr> PageFootprint::checked_pcs() const {
+  std::vector<Addr> pcs;
+  for (const AccessSite& site : sites) {
+    if (site.precision != AccessPrecision::kUnknown) pcs.push_back(site.pc);
+  }
+  std::sort(pcs.begin(), pcs.end());
+  return pcs;
+}
+
+PageFootprint compute_footprint(const isa::Program& program,
+                                const ControlFlowGraph& cfg,
+                                const FootprintOptions& options) {
+  PageFootprint fp;
+  fp.interprocedural = options.interprocedural;
+  if (cfg.blocks.empty()) return fp;
 
   // Function-entry candidates, as in the CFG's return-site inference.
   std::set<Addr> entries;
@@ -529,16 +1166,36 @@ PageFootprint compute_footprint(const isa::Program& program,
     return (it == entries.begin()) ? program.entry : *std::prev(it);
   };
 
-  auto record_envelope = [](bool& has, i64& env_lo, i64& env_hi, i64 lo, i64 hi) {
-    if (!has) {
-      has = true;
-      env_lo = lo;
-      env_hi = hi;
-    } else {
-      env_lo = std::min(env_lo, lo);
-      env_hi = std::max(env_hi, hi);
-    }
+  // --- Parametric per-function summaries (interprocedural mode). ------
+  SummaryMap summaries;
+  std::vector<i64> thresholds;
+  if (options.interprocedural) {
+    thresholds = collect_thresholds(program, cfg);
+    summaries = compute_summaries(program, cfg, entries, thresholds);
+  }
+
+  // --- Program-wide fixpoint over block in-states.  Still enters callees
+  // with the caller's context (which keeps argument-register precision
+  // inside helpers); summaries refine what survives a call's fall-through
+  // and whether the fall-through is reachable at all. -------------------
+  FixpointPass pass{program, cfg};
+  pass.interprocedural = options.interprocedural;
+  pass.summaries = options.interprocedural ? &summaries : nullptr;
+  pass.enter_callees = true;
+  if (options.interprocedural) pass.thresholds = &thresholds;
+  pass.run(program.entry, root_state());
+  const std::vector<State>& in_state = pass.in_state;
+  const std::vector<bool>& has_state = pass.has_state;
+
+  // --- Collect access sites from reachable blocks. --------------------
+  std::set<u32> pages;
+  std::set<u32> store_pages;
+  struct FnAcc {
+    std::set<u32> pages;
+    std::set<u32> store_pages;
+    u32 exact = 0, over = 0, unknown = 0;
   };
+  std::map<Addr, FnAcc> fn_acc;
 
   for (const BasicBlock& block : cfg.blocks) {
     if (!block.reachable) continue;
@@ -556,40 +1213,12 @@ PageFootprint compute_footprint(const isa::Program& program,
         AccessSite site;
         site.pc = pc;
         site.is_store = store;
-        const AbsVal base = s[in.rs];
-        const u32 size = access_size(in.op);
-        const i64 lo = base.lo + in.imm;
-        const i64 hi = base.hi + in.imm + size - 1;
-        const bool resolvable =
-            base.kind != Kind::kUnknown && hi - lo <= kMaxSpanBytes;
-        if (!resolvable) {
-          site.base = AddressBase::kUnknown;
-          site.precision = AccessPrecision::kUnknown;
-        } else {
-          site.lo = lo;
-          site.hi = hi;
-          site.precision =
-              is_singleton(base) ? AccessPrecision::kExact : AccessPrecision::kOver;
-          switch (base.kind) {
-            case Kind::kAbs:
-              if (lo < 0 || hi > kMaxVal) {
-                site.base = AddressBase::kUnknown;
-                site.precision = AccessPrecision::kUnknown;
-              } else {
-                site.base = AddressBase::kAbsolute;
-              }
-              break;
-            case Kind::kSp:
-              site.base = AddressBase::kStack;
-              break;
-            case Kind::kGp:
-              site.base = AddressBase::kGlobal;
-              break;
-            default:
-              site.base = AddressBase::kUnknown;
-              site.precision = AccessPrecision::kUnknown;
-              break;
-          }
+        const SiteRange range = classify_site(s[in.rs], in.imm, access_size(in.op));
+        site.base = range.base;
+        site.precision = range.precision;
+        if (range.base != AddressBase::kUnknown) {
+          site.lo = range.lo;
+          site.hi = range.hi;
         }
 
         FnAcc& fn = fn_acc[function_of(pc)];
@@ -642,6 +1271,24 @@ PageFootprint compute_footprint(const isa::Program& program,
   }
   std::sort(fp.sites.begin(), fp.sites.end(),
             [](const AccessSite& a, const AccessSite& b) { return a.pc < b.pc; });
+
+  for (const auto& [entry, sum] : summaries) {
+    FunctionSummary out;
+    out.entry = entry;
+    out.summarized = sum.summarized;
+    out.clobbered_regs = sum.clobbered;
+    out.returns = sum.returns;
+    out.pages.assign(sum.pages.begin(), sum.pages.end());
+    out.store_pages.assign(sum.store_pages.begin(), sum.store_pages.end());
+    out.has_sp_range = sum.has_sp;
+    out.sp_lo = sum.sp_lo;
+    out.sp_hi = sum.sp_hi;
+    out.has_gp_range = sum.has_gp;
+    out.gp_lo = sum.gp_lo;
+    out.gp_hi = sum.gp_hi;
+    out.unknown_sites = sum.unknown;
+    fp.summaries.push_back(std::move(out));
+  }
   return fp;
 }
 

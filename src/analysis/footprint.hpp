@@ -16,12 +16,20 @@
 //   * roots (the entry point and every address-taken block) seed all
 //     registers Unknown except r0 = 0, sp = Sp[0,0], gp = Gp[0,0];
 //   * call edges enter the callee with ra bound to the return site; the
-//     call's fall-through clobbers the caller-saved set (at, v0/v1, a0-a3,
-//     t0-t9, ra) and assumes sp/gp/fp/s0-s7 are preserved (ABI assumption);
+//     call's fall-through applies the callee's FunctionSummary in the
+//     default interprocedural mode (preserved registers flow through,
+//     summary pages/envelopes join in rebased against the caller's sp), or
+//     clobbers the full caller-saved set (at, v0/v1, a0-a3, t0-t9, ra) in
+//     flat mode, assuming sp/gp/fp/s0-s7 preserved (ABI assumption);
+//   * summaries are computed bottom-up over the call graph with a bounded
+//     fixpoint for recursion; indirect calls join over the address-taken
+//     candidate set;
 //   * conditional-branch edges refine operand ranges (loop bounds such as
 //     `blt t0, t2` with a constant t2 become finite index ranges);
-//   * joins widen to Unknown after a per-block visit budget, so the
-//     fixpoint always terminates.
+//   * joins widen after a per-block visit budget: straight to Unknown in
+//     flat mode, one rung at a time up the program's own materialized-
+//     constant ladder at interprocedural join points (with a strike-count
+//     backstop), so the fixpoint always terminates.
 //
 // Soundness contract (pinned by tests/analysis/footprint_property_test.cpp):
 // every page a program dynamically touches from a *resolved* site is inside
@@ -73,6 +81,46 @@ struct FunctionFootprint {
   u32 unknown_sites = 0;
 };
 
+/// Parametric per-function summary (interprocedural mode).  Everything is
+/// expressed against the function's *own* entry sp/gp, so one summary serves
+/// every call site: instantiation rebases the envelopes by the caller's
+/// sp/gp state at the call, and joins over the address-taken candidate set
+/// for indirect calls.
+struct FunctionSummary {
+  Addr entry = 0;
+  /// False: the function contains a construct the summary cannot cover
+  /// (control leaves the function region other than by call or return, or
+  /// the recursion fixpoint had to be force-widened) — callers fall back to
+  /// the flat full-clobber call model and count one unknown contribution.
+  bool summarized = false;
+  /// Bit r set: a call to this function may leave register r holding a value
+  /// different from the one at the call site (transitively through its
+  /// callees).  A call's fall-through keeps every caller-saved register
+  /// whose bit is clear; sp/gp bits are cleared only when every return path
+  /// provably restores them by arithmetic.
+  u32 clobbered_regs = 0;
+  bool returns = false;          // a `jr $ra` is reachable from the entry
+  std::vector<u32> pages;        // absolute pages, incl. instantiated callees
+  std::vector<u32> store_pages;  // subset with at least one store
+  bool has_sp_range = false;
+  i64 sp_lo = 0;
+  i64 sp_hi = 0;  // envelope of sp-relative accesses vs. the entry sp
+  bool has_gp_range = false;
+  i64 gp_lo = 0;
+  i64 gp_hi = 0;  // envelope of gp-relative accesses vs. the entry gp
+  u32 unknown_sites = 0;  // own + callee contributions the summary can't place
+};
+
+/// Knobs for `compute_footprint`.
+struct FootprintOptions {
+  /// Compute parametric per-function summaries bottom-up over the call
+  /// graph and use them to refine call fall-through states (clobber masks,
+  /// return-value ranges) instead of the flat full-caller-saved-clobber
+  /// model.  Off = exact PR 3 behavior (kept reachable as `--flat-footprint`
+  /// for differential measurement).
+  bool interprocedural = true;
+};
+
 /// Program-wide page-granularity footprint signature.
 struct PageFootprint {
   std::vector<AccessSite> sites;             // every reachable site, by pc
@@ -92,6 +140,13 @@ struct PageFootprint {
   u32 over_sites = 0;
   u32 unknown_sites = 0;
 
+  /// Which call model produced this footprint (FootprintOptions mirror).
+  bool interprocedural = false;
+  /// Per-function parametric summaries, sorted by entry.  Empty in flat
+  /// mode.  Informational for callers (rse_lint dumps them); the global
+  /// site pass above is what the DDT's soundness rests on.
+  std::vector<FunctionSummary> summaries;
+
   /// PCs of all resolved (non-Unknown) sites, sorted — the DDT checks
   /// exactly these and leaves unresolved sites alone (sound under partial
   /// resolution).
@@ -102,6 +157,7 @@ struct PageFootprint {
 
 /// Runs the abstract interpreter over an already-recovered CFG.
 PageFootprint compute_footprint(const isa::Program& program,
-                                const ControlFlowGraph& cfg);
+                                const ControlFlowGraph& cfg,
+                                const FootprintOptions& options = {});
 
 }  // namespace rse::analysis

@@ -115,7 +115,10 @@ std::string deterministic_digest(const CampaignReport& report) {
   os << report.spec.workload << '|' << report.spec.seed << '|' << report.results.size() << '|'
      << report.golden_cycles << '|' << report.faults_applied << '|'
      << (report.spec.static_cfc ? "static-cfc" : "range-cfc") << '|'
-     << (report.spec.static_ddt ? "static-ddt" : "dynamic-ddt") << '\n';
+     << (report.spec.static_ddt
+             ? (report.spec.footprint_summaries ? "static-ddt-summary" : "static-ddt-flat")
+             : "dynamic-ddt")
+     << '\n';
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     os << to_string(static_cast<Outcome>(o)) << '=' << report.by_outcome[o] << '\n';
   }
@@ -135,6 +138,8 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"jobs\": " << report.spec.jobs << ",\n";
   os << "  \"static_cfc\": " << (report.spec.static_cfc ? "true" : "false") << ",\n";
   os << "  \"static_ddt\": " << (report.spec.static_ddt ? "true" : "false") << ",\n";
+  os << "  \"footprint_summaries\": " << (report.spec.footprint_summaries ? "true" : "false")
+     << ",\n";
   os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
   os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";
   os << "  \"faults_applied\": " << report.faults_applied << ",\n";

@@ -35,6 +35,11 @@ struct CampaignSpec {
   /// Precompute the static DDT page footprint at load for the golden and
   /// every faulty run (OsConfig::static_ddt); implies enabling the DDT.
   bool static_ddt = false;
+  /// Analyzer call model for static_cfc/static_ddt
+  /// (OsConfig::footprint_summaries): interprocedural summaries (default)
+  /// vs. the flat model.  Part of the golden-cache key and the
+  /// deterministic digest — the two modes check different site sets.
+  bool footprint_summaries = true;
   std::vector<InjectTarget> targets = {
       InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
       InjectTarget::kDataWord, InjectTarget::kConfigBit};

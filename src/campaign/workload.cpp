@@ -53,16 +53,24 @@ inner:
   syscall
 )";
 
-// Call/return-dominated compute: every loop trip makes two leaf calls that
+// Call/return-dominated compute: every loop trip makes three calls that
 // return with `jr ra`.  The workload where the static CFC successor table
 // (docs/analysis.md) separates from the range-check baseline — a corrupted
 // return target that stays inside text passes the range check but misses
-// the statically inferred return-site set.
+// the statically inferred return-site set.  It also separates the
+// interprocedural footprint from the flat one: the table pointer in t2 is
+// live across the calls (none of the callees touch it), so the indexed
+// store and `accum`'s pointer-parameter accesses only resolve when the call
+// fall-through keeps registers the callee summaries prove preserved.
 constexpr const char* kCallsProgram = R"(
+.data
+table: .space 256
+
 .text
 main:
   li s0, 0          # i
   li s1, 0          # acc
+  la t2, table
 trip:
   li t0, 40
   bge s0, t0, done
@@ -72,6 +80,14 @@ trip:
   move a0, s1
   jal mix
   move s1, v1
+  andi t3, s0, 63
+  sll t3, t3, 2
+  add t3, t3, t2
+  sw s1, 0(t3)
+  move a0, t3
+  move a1, s0
+  jal accum
+  add s1, s1, v1
   addi s0, s0, 1
   b trip
 done:
@@ -92,6 +108,17 @@ mix:
   xor v1, a0, t1
   srl t1, v1, 5
   add v1, v1, t1
+  jr ra
+
+accum:
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  sw a1, 0(sp)
+  lw t1, 0(a0)
+  lw t4, 0(sp)
+  add v1, t1, t4
+  lw ra, 4(sp)
+  addi sp, sp, 8
   jr ra
 )";
 

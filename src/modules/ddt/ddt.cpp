@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <iterator>
 
 namespace rse::modules {
 
@@ -62,6 +63,14 @@ void DdtModule::set_footprint_table(DdtFootprint footprint) {
   std::sort(footprint_.store_pages.begin(), footprint_.store_pages.end());
   allowed_pages_.clear();
   allowed_pages_.insert(footprint_.pages.begin(), footprint_.pages.end());
+  // Replacing the table (a new program load) must not inherit the previous
+  // program's speculative PST entries: drop every entry that is still
+  // pre-reserved (never confirmed by a real store) so the new table's
+  // pre-reservation starts from its own prediction, not a merge of both.
+  // Entries a store did touch are live dynamic state and stay.
+  for (auto it = pst_.begin(); it != pst_.end();) {
+    it = it->second.prereserved ? pst_.erase(it) : std::next(it);
+  }
   apply_prereservation();
 }
 

@@ -113,7 +113,10 @@ void GuestOs::load(const isa::Program& program) {
   machine_->core().set_text_range(program.text_base, program.text_end());
   analysis_.reset();
   if (config_.static_cfc || config_.static_ddt) {
-    analysis_ = std::make_unique<analysis::AnalysisResult>(analysis::analyze(program));
+    analysis::AnalysisOptions options;
+    options.interprocedural_footprint = config_.footprint_summaries;
+    analysis_ = std::make_unique<analysis::AnalysisResult>(
+        analysis::analyze(program, options));
   }
   if (auto* cfc = machine_->cfc()) {
     cfc->set_text_range(program.text_base, program.text_end());
@@ -532,9 +535,17 @@ void GuestOs::register_stack_footprint(const Thread& thread) {
   if (!pf.has_sp_range) return;
   // The sp envelope is the hull of every resolved sp-relative site, as an
   // offset from the thread's initial stack pointer: whitelist exactly the
-  // pages those sites can touch on this thread's stack.
-  const Addr lo = thread.stack_top + static_cast<Addr>(pf.sp_lo);
-  const Addr hi = thread.stack_top + static_cast<Addr>(pf.sp_hi);
+  // pages those sites can touch on this thread's stack.  The offsets are
+  // i64 and may be negative; resolve in i64 and clamp to the 32-bit
+  // address space instead of letting the u32 addition wrap (a wrapped lo
+  // above hi would whitelist nothing — or, worse, the wrong pages).
+  const i64 lo64 = std::clamp<i64>(
+      static_cast<i64>(thread.stack_top) + pf.sp_lo, 0, 0xFFFFFFFFll);
+  const i64 hi64 = std::clamp<i64>(
+      static_cast<i64>(thread.stack_top) + pf.sp_hi, 0, 0xFFFFFFFFll);
+  if (hi64 < lo64) return;
+  const Addr lo = static_cast<Addr>(lo64);
+  const Addr hi = static_cast<Addr>(hi64);
   std::vector<u32> pages;
   for (u32 page = mem::page_of(lo); page <= mem::page_of(hi); ++page) {
     pages.push_back(page);

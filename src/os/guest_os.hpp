@@ -80,6 +80,12 @@ struct OsConfig {
   /// and a committed access at a statically resolved site landing outside
   /// the predicted page set raises a footprint-violation detection.
   bool static_ddt = false;
+  /// Analyzer call model behind static_cfc/static_ddt: interprocedural
+  /// per-function summaries (default) vs. the flat full-clobber model
+  /// (`--flat-footprint` on the tools).  Summaries resolve more sites, so
+  /// the DDT checks more accesses; the flag feeds the campaign golden-run
+  /// cache key and determinism digest.
+  bool footprint_summaries = true;
 };
 
 struct RecoveryReport {

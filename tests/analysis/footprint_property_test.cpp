@@ -97,6 +97,61 @@ TEST(FootprintPropertyTest, StaticDdtCleanOnRandomPrograms) {
   }
 }
 
+testing::RandomProgramOptions call_heavy_options() {
+  testing::RandomProgramOptions options;
+  options.with_calls = true;
+  options.call_heavy = true;
+  return options;
+}
+
+/// Interprocedural soundness on call-heavy programs (framed helpers,
+/// bounded recursion, jalr calls through la-materialized pointers): under
+/// --static-ddt with summaries on, clean runs raise zero footprint
+/// violations while actually checking accesses — every site the summaries
+/// resolve (including stores through a register proven call-preserved)
+/// agrees with execution.  The aggregate also pins the precision claim:
+/// summaries must resolve strictly more sites than the flat call model.
+TEST(FootprintPropertyTest, StaticDdtCleanOnCallHeavyPrograms) {
+  u64 ipa_unknown = 0, flat_unknown = 0, checks = 0;
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source =
+        testing::generate_random_program(seed + 1000, call_heavy_options());
+    const isa::Program program = isa::assemble(source);
+
+    const AnalysisResult ipa = analyze(program);
+    ASSERT_FALSE(ipa.has_errors()) << "seed " << seed << ":\n"
+                                   << to_json(program, ipa);
+    AnalysisOptions flat_options;
+    flat_options.interprocedural_footprint = false;
+    const AnalysisResult flat = analyze(program, flat_options);
+    ipa_unknown += ipa.footprint.unknown_sites;
+    flat_unknown += flat.footprint.unknown_sites;
+    // Refinement only ever resolves more: a site the flat model bounds must
+    // stay bounded under summaries.
+    EXPECT_LE(ipa.footprint.unknown_sites, flat.footprint.unknown_sites)
+        << "seed " << seed;
+
+    os::MachineConfig machine_config;
+    machine_config.framework_present = true;
+    os::OsConfig os_config;
+    os_config.static_ddt = true;  // footprint_summaries defaults to true
+    testing::SimRunner runner(machine_config, os_config);
+    runner.load_source(source);
+    runner.os().enable_module(isa::ModuleId::kDdt);
+    runner.run();
+    ASSERT_TRUE(runner.os().finished()) << "seed " << seed;
+
+    const modules::DdtModule* ddt = runner.machine().ddt();
+    ASSERT_NE(ddt, nullptr);
+    checks += ddt->stats().footprint_checks;
+    EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+        << "seed " << seed << ": summary-resolved site disagrees with a clean run";
+  }
+  EXPECT_GT(checks, 0u) << "no site resolved across any call-heavy program";
+  EXPECT_LT(ipa_unknown, flat_unknown)
+      << "summaries resolved nothing the flat model missed";
+}
+
 /// The harness itself must be reproducible: same seed, same program, same
 /// footprint — byte for byte.
 TEST(FootprintPropertyTest, SeedDeterminism) {

@@ -69,12 +69,13 @@ TEST(WorkloadLintTest, ResolvedWorkloadsPredictPages) {
 }
 
 TEST(WorkloadLintTest, CallsWorkloadResolvesItsReturns) {
-  // The static-CFC showcase workload: both leaf returns must resolve so the
-  // CFC gets exact successor sets instead of range-check fallbacks.
+  // The static-CFC showcase workload: all three callee returns (square, mix,
+  // accum) must resolve so the CFC gets exact successor sets instead of
+  // range-check fallbacks.
   const isa::Program program = isa::assemble(campaign::make_workload("calls").source);
   const AnalysisResult result = analyze(program);
   EXPECT_EQ(result.unresolved_indirects, 0u);
-  EXPECT_EQ(result.indirect.size(), 2u);
+  EXPECT_EQ(result.indirect.size(), 3u);
   for (const auto& [pc, targets] : result.indirect) {
     EXPECT_FALSE(targets.empty()) << "empty successor set at 0x" << std::hex << pc;
   }

@@ -244,6 +244,44 @@ TEST_F(DdtFixture, ResetClearsStatsButKeepsFootprintConfig) {
       << "reset re-applies pre-reservation to the fresh PST";
 }
 
+TEST_F(DdtFixture, ReplacingFootprintTableRebuildsPrereservation) {
+  // Regression: installing a second footprint table (a new program load)
+  // merged the new pre-reservation into the previous table's speculative
+  // PST entries instead of replacing them — the old program's predicted
+  // pages stayed resident, consuming PST capacity and counting as tracked.
+  DdtFootprint first;
+  first.checked_pcs = {0x400010};
+  first.pages = {mem::page_of(0x1000), mem::page_of(0x2000)};
+  first.store_pages = {mem::page_of(0x1000), mem::page_of(0x2000)};
+  ddt->set_footprint_table(first);
+  EXPECT_EQ(ddt->tracked_pages(),
+            (std::vector<u32>{mem::page_of(0x1000), mem::page_of(0x2000)}));
+
+  // One prediction is confirmed by a real store before the replacement: the
+  // entry holds live dependence state and must survive.
+  store(1, 0x1000);
+
+  DdtFootprint second;
+  second.checked_pcs = {0x400020};
+  second.pages = {mem::page_of(0x3000)};
+  second.store_pages = {mem::page_of(0x3000)};
+  ddt->set_footprint_table(second);
+
+  // The unconfirmed 0x2000 prediction is gone; the confirmed 0x1000 entry
+  // and the new table's 0x3000 pre-reservation remain.
+  EXPECT_EQ(ddt->tracked_pages(),
+            (std::vector<u32>{mem::page_of(0x1000), mem::page_of(0x3000)}));
+  EXPECT_EQ(ddt->page_owners(mem::page_of(0x1000)).write_owner, 1u)
+      << "a store-confirmed entry is live dynamic state and survives";
+
+  // The old table's page set must no longer whitelist accesses.
+  engine::CommitInfo info = mem_op(1, isa::Op::kSw, 0x2000);
+  info.pc = 0x400020;
+  ddt->on_store_commit(info, 0);
+  EXPECT_EQ(ddt->stats().footprint_violations, 1u)
+      << "the replaced table's pages must not leak into the new whitelist";
+}
+
 TEST_F(DdtFixture, ReenableClearsEvictionCount) {
   // Regression: pst_evictions survived a disable/re-enable cycle while the
   // PST itself was cleared, so stats disagreed with the table they describe.

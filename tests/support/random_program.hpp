@@ -20,6 +20,12 @@ struct RandomProgramOptions {
   bool with_memory = true;  // loads/stores on the arena
   bool with_loops = true;   // bounded counted loops
   bool with_calls = false;  // jal/jr leaf calls
+  /// Call-heavy shape for interprocedural-footprint testing: framed helpers
+  /// (real sp frames), bounded recursion, indirect calls through a
+  /// la-materialized function pointer, and an arena base kept live in t8
+  /// across the calls (resolvable only when callee summaries prove t8
+  /// preserved).  Implies with_calls-style callees at the bottom.
+  bool call_heavy = false;
   u32 arena_words = 64;
 };
 
@@ -37,6 +43,7 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
   s << ".data\n.align 4\narena: .space "
     << (options.arena_words + kDumpOffsetWords + 16) * 4 << "\n";
   s << ".text\nmain:\n  la s0, arena\n";
+  if (options.call_heavy) s << "  la t8, arena\n";
   for (const std::string& r : regs) {
     s << "  li " << r << ", " << static_cast<i64>(rng.next_in(-40000, 40000)) << "\n";
   }
@@ -98,6 +105,26 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     if (options.with_calls && rng.next_below(3) == 0) {
       s << "  jal leaf_" << rng.next_below(3) << "\n";
     }
+    if (options.call_heavy && rng.next_below(2) == 0) {
+      switch (rng.next_below(3)) {
+        case 0:  // framed helper, direct
+          s << "  move a0, " << reg() << "\n";
+          s << "  jal helper_" << rng.next_below(3) << "\n";
+          break;
+        case 1:  // indirect call through a la-materialized pointer
+          s << "  la t9, ptr_helper_" << rng.next_below(3) << "\n";
+          s << "  move a0, " << reg() << "\n";
+          s << "  jalr t9\n";
+          break;
+        case 2:  // bounded recursion
+          s << "  li a0, " << 1 + rng.next_below(5) << "\n";
+          s << "  jal rec\n";
+          break;
+      }
+      // The arena base in t8 is live across the call: this store resolves
+      // only if the analysis proves the callee leaves t8 alone.
+      s << "  sw " << reg() << ", " << rng.next_below(options.arena_words) * 4 << "(t8)\n";
+    }
   }
 
   // Epilogue: dump every working register into the arena, then exit.
@@ -107,11 +134,30 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
   }
   s << "  li a0, 0\n  li v0, 1\n  syscall\n";
 
-  if (options.with_calls) {
+  if (options.with_calls || options.call_heavy) {
     for (int leaf = 0; leaf < 3; ++leaf) {
       s << "leaf_" << leaf << ":\n";
       s << "  xor t0, t1, t2\n  addi t3, t3, " << leaf + 1 << "\n  jr ra\n";
     }
+  }
+  if (options.call_heavy) {
+    for (int h = 0; h < 3; ++h) {
+      // Framed helpers: spill ra and a scratch word, compute into v1.
+      s << "helper_" << h << ":\n";
+      s << "  addi sp, sp, -8\n  sw ra, 4(sp)\n  sw a0, 0(sp)\n";
+      s << "  sll v1, a0, " << h + 1 << "\n  xor v1, v1, a0\n";
+      s << "  lw ra, 4(sp)\n  addi sp, sp, 8\n  jr ra\n";
+      // Leaf variants reachable only through jalr (address-taken).
+      s << "ptr_helper_" << h << ":\n";
+      s << "  addi v1, a0, " << 7 * (h + 1) << "\n  jr ra\n";
+    }
+    // Bounded recursion: depth = initial a0 (the generator keeps it small).
+    s << "rec:\n";
+    s << "  addi sp, sp, -8\n  sw ra, 4(sp)\n  sw a0, 0(sp)\n";
+    s << "  bge r0, a0, rec_done\n";
+    s << "  addi a0, a0, -1\n  jal rec\n";
+    s << "rec_done:\n";
+    s << "  lw a0, 0(sp)\n  lw ra, 4(sp)\n  addi sp, sp, 8\n  jr ra\n";
   }
   return s.str();
 }

@@ -10,6 +10,7 @@
 //     --hang-factor <f>     cycle budget = f x golden cycles       (8)
 //     --runs-csv <path>     per-run CSV export
 //     --json <path|->       JSON report ('-' = stdout)
+//     --flat-footprint      static analysis without interprocedural summaries
 //     --describe <index>    print one run's injection point and exit
 //     --digest              print the deterministic digest instead of the
 //                           summary (for cross---jobs comparisons)
@@ -28,7 +29,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
-            << "  [--static-ddt]\n"
+            << "  [--static-ddt] [--flat-footprint]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
@@ -80,6 +81,8 @@ int main(int argc, char** argv) {
       spec.static_cfc = true;
     } else if (arg == "--static-ddt") {
       spec.static_ddt = true;
+    } else if (arg == "--flat-footprint") {
+      spec.footprint_summaries = false;
     } else if (arg == "--targets") {
       if (!parse_targets(value(), &spec.targets)) {
         std::cerr << "bad --targets list\n";

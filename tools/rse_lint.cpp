@@ -5,6 +5,7 @@
 //     --instrument          insert ICM CHECKs before control flow first
 //     --protected a:b       declare [a, b) as CHECK-protected (labels or hex
 //                           addresses; repeatable)
+//     --flat-footprint      disable interprocedural footprint summaries
 //     --no-cfi              do not resolve indirect jumps via the
 //                           address-taken set
 //     --json                machine-readable report on stdout
@@ -32,7 +33,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_lint <program.s> [--instrument] [--protected LO:HI]...\n"
             << "       rse_lint --workload NAME\n"
-            << "  [--no-cfi] [--json] [--cfg] [--quiet]\n"
+            << "  [--no-cfi] [--flat-footprint] [--json] [--cfg] [--quiet]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
   std::cerr << "\n";
@@ -55,7 +56,8 @@ bool resolve_bound(const isa::Program& program, const std::string& token, Addr* 
 }
 
 void dump_footprint(const isa::Program& program, const analysis::PageFootprint& fp) {
-  std::cout << "footprint: " << fp.exact_sites << " exact + " << fp.over_sites
+  std::cout << "footprint (" << (fp.interprocedural ? "interprocedural" : "flat")
+            << "): " << fp.exact_sites << " exact + " << fp.over_sites
             << " over-approximate + " << fp.unknown_sites << " unknown sites\n";
   std::cout << "  pages:";
   for (u32 page : fp.pages) std::cout << " 0x" << std::hex << page << std::dec;
@@ -75,6 +77,26 @@ void dump_footprint(const isa::Program& program, const analysis::PageFootprint& 
     std::cout << ": " << fn.pages.size() << " pages (" << fn.store_pages.size()
               << " written), " << fn.exact_sites << "/" << fn.over_sites << "/"
               << fn.unknown_sites << " exact/over/unknown\n";
+  }
+  for (const analysis::FunctionSummary& sum : fp.summaries) {
+    std::cout << "  summary 0x" << std::hex << sum.entry << std::dec;
+    const std::string sym = analysis::symbolize(program, sum.entry);
+    if (!sym.empty()) std::cout << " " << sym;
+    if (!sum.summarized) {
+      std::cout << ": <not summarizable>\n";
+      continue;
+    }
+    std::cout << ": clobbers 0x" << std::hex << sum.clobbered_regs << std::dec
+              << (sum.returns ? "" : ", no-return") << ", " << sum.pages.size()
+              << " pages";
+    if (sum.has_sp_range) {
+      std::cout << ", sp [" << sum.sp_lo << ", " << sum.sp_hi << "]";
+    }
+    if (sum.has_gp_range) {
+      std::cout << ", gp [" << sum.gp_lo << ", " << sum.gp_hi << "]";
+    }
+    if (sum.unknown_sites != 0) std::cout << ", " << sum.unknown_sites << " unknown";
+    std::cout << "\n";
   }
 }
 
@@ -117,6 +139,7 @@ int main(int argc, char** argv) {
     else if (arg == "--protected") protected_specs.push_back(value());
     else if (arg == "--instrument") instrument = true;
     else if (arg == "--no-cfi") options.resolve_indirect_address_taken = false;
+    else if (arg == "--flat-footprint") options.interprocedural_footprint = false;
     else if (arg == "--json") json = true;
     else if (arg == "--cfg") cfg_dump = true;
     else if (arg == "--quiet") quiet = true;

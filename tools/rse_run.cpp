@@ -13,6 +13,7 @@
 //     --lint                run the static analyzer first; refuse to run on
 //                           error-severity findings (rse_lint for details)
 //     --static-cfc          precompute the CFG-derived legal-successor table
+//     --flat-footprint      static analysis without interprocedural summaries
 //     --static-ddt          hand the DDT the static data-flow page footprint
 //                           at load and hand it to the CFC (implies --cfc)
 #include <fstream>
@@ -36,7 +37,7 @@ int usage() {
   std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
             << "  [--instrument] [--randomize] [--rerand N] [--limit N]\n"
             << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n"
-            << "  [--static-ddt]\n";
+            << "  [--static-ddt] [--flat-footprint]\n";
   return 2;
 }
 
@@ -134,6 +135,7 @@ int main(int argc, char** argv) {
     else if (arg == "--stats") stats = true;
     else if (arg == "--trace") trace = next_u64(0);
     else if (arg == "--lint") lint = true;
+    else if (arg == "--flat-footprint") os_config.footprint_summaries = false;
     else if (arg == "--static-cfc") {
       os_config.static_cfc = true;
       enable_cfc = true;
