@@ -74,16 +74,27 @@ int main(int argc, char** argv) {
 
   // Same determinism proof with the static DDT footprint in the loop: the
   // analyzer runs at load in every worker, so the digest must still be a
-  // pure function of (spec, seed) — never of scheduling.  Both analyzer
-  // call models are swept; their digests must differ from each other (the
-  // summary flag is part of the digest header — the two modes check
-  // different site sets) but be jobs-invariant within a mode.
+  // pure function of (spec, seed) — never of scheduling.  Three analyzer
+  // modes are swept — flat, summaries at context depth 0, and summaries at
+  // the default depth 1.  Their digests must differ pairwise (the mode and
+  // the depth are both part of the digest header — each checks a different
+  // site set) but be jobs-invariant within a mode.
   spec.static_ddt = true;
   spec.runs = std::min(spec.runs, 48u);
-  std::string summary_digest;
-  for (const bool summaries : {true, false}) {
-    spec.footprint_summaries = summaries;
-    const char* label = summaries ? "static-ddt-summary" : "static-ddt-flat";
+  struct FootprintMode {
+    const char* label;
+    bool summaries;
+    u32 context_depth;
+  };
+  const FootprintMode modes[] = {
+      {"static-ddt-flat", false, 1},
+      {"static-ddt-summary-ctx0", true, 0},
+      {"static-ddt-summary-ctx1", true, 1},
+  };
+  std::vector<std::string> mode_digests;
+  for (const FootprintMode& mode : modes) {
+    spec.footprint_summaries = mode.summaries;
+    spec.context_depth = mode.context_depth;
     std::string footprint_digest;
     for (const u32 jobs : {1u, 4u, 8u}) {
       spec.jobs = jobs;
@@ -91,18 +102,21 @@ int main(int argc, char** argv) {
       if (jobs == 1) {
         footprint_digest = digest;
       } else if (digest != footprint_digest) {
-        std::cerr << "DETERMINISM VIOLATION (" << label << ") at jobs=" << jobs << "\n";
+        std::cerr << "DETERMINISM VIOLATION (" << mode.label << ") at jobs=" << jobs
+                  << "\n";
         return 1;
       }
     }
-    std::cout << label << " digest identical across jobs {1, 4, 8}\n";
-    if (summaries) {
-      summary_digest = footprint_digest;
-    } else if (footprint_digest == summary_digest) {
-      std::cerr << "summary and flat modes produced identical digests — the "
-                   "mode flag is not reaching the digest\n";
-      return 1;
+    std::cout << mode.label << " digest identical across jobs {1, 4, 8}\n";
+    for (const std::string& other : mode_digests) {
+      if (footprint_digest == other) {
+        std::cerr << "two footprint modes produced identical digests — the mode "
+                     "or depth flag is not reaching the digest (" << mode.label
+                  << ")\n";
+        return 1;
+      }
     }
+    mode_digests.push_back(footprint_digest);
   }
   return 0;
 }

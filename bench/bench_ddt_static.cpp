@@ -9,7 +9,11 @@
 //
 // The sweep also quantifies the activation benefit: the fraction of first
 // store touches that found their PST entry pre-reserved (SavePage setup
-// work paid at load instead of in the middle of the run).
+// work paid at load instead of in the middle of the run) — and the
+// context-sensitivity gain: a third mode runs the footprint at
+// --context-depth 0, so "static-footprint minus static-ctx0" counts the
+// detections only the per-call-site page tables provide
+// (usage: bench_ddt_static [workload] [samples] [--expect-context-gain]).
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -93,9 +97,15 @@ void report_prereservation(const campaign::WorkloadSetup& setup) {
 int main(int argc, char** argv) {
   // kmeans is the showcase: single-threaded (a register fault is never
   // masked by a context-switch restore) with statically resolved store
-  // kernels the corrupted base registers feed into.
+  // kernels the corrupted base registers feed into.  The args workload is
+  // the context-sensitivity showcase: its callee accesses only resolve
+  // under --context-depth > 0, so the depth-0 sweep cannot check them.
   const std::string workload = argc > 1 ? argv[1] : "kmeans";
   const u32 samples = argc > 2 ? static_cast<u32>(std::stoul(argv[2])) : 96;
+  bool expect_context_gain = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--expect-context-gain") expect_context_gain = true;
+  }
 
   campaign::CampaignRunner runner;
   campaign::WorkloadSetup base = campaign::make_workload(workload);
@@ -103,16 +113,22 @@ int main(int argc, char** argv) {
       base.host_enables.end()) {
     base.host_enables.push_back(isa::ModuleId::kDdt);  // dynamic-only baseline
   }
+  campaign::WorkloadSetup ctx0 = base;
+  ctx0.os.static_ddt = true;
+  ctx0.os.context_depth = 0;  // context-insensitive footprint
   campaign::WorkloadSetup tight = base;
-  tight.os.static_ddt = true;
+  tight.os.static_ddt = true;  // default context depth
 
   const auto golden_base = runner.cache().get(base);
+  const auto golden_ctx0 = runner.cache().get(ctx0);
   const auto golden_tight = runner.cache().get(tight);
-  if (golden_base->cycles != golden_tight->cycles) {
+  if (golden_base->cycles != golden_tight->cycles ||
+      golden_base->cycles != golden_ctx0->cycles) {
     std::cerr << "golden runs diverge between DDT modes\n";
     return 1;
   }
-  if (golden_tight->ddt_footprint_violations != 0) {
+  if (golden_tight->ddt_footprint_violations != 0 ||
+      golden_ctx0->ddt_footprint_violations != 0) {
     std::cerr << "static footprint false-positives on the fault-free run\n";
     return 1;
   }
@@ -123,8 +139,9 @@ int main(int argc, char** argv) {
   // a page-significant bit — the corrupted base sends the next resolved
   // store pages off target.  Data faults flip one bit of a data word.
   const Cycle stride = std::max<Cycle>(1, (golden_base->cycles - 40) / samples);
-  ModeTally reg_base, reg_tight, data_base, data_tight;
-  u32 gap = 0;  // faults only the footprint check caught
+  ModeTally reg_base, reg_ctx0, reg_tight, data_base, data_ctx0, data_tight;
+  u32 gap = 0;          // faults only the footprint check caught
+  u32 context_gain = 0; // faults only the context-sensitive footprint caught
 
   u32 index = 0;
   for (Cycle cycle = 20; cycle + 20 < golden_base->cycles; cycle += stride, ++index) {
@@ -135,12 +152,18 @@ int main(int argc, char** argv) {
     reg_fault.bit = static_cast<u8>(14 + (index % 8));  // 16 KB .. 2 MB off
     reg_fault.mask = Word{1} << reg_fault.bit;
     const campaign::RunResult rb = runner.run_one(base, *golden_base, reg_fault);
+    const campaign::RunResult rc = runner.run_one(ctx0, *golden_ctx0, reg_fault);
     const campaign::RunResult rt = runner.run_one(tight, *golden_tight, reg_fault);
     reg_base.add(rb);
+    reg_ctx0.add(rc);
     reg_tight.add(rt);
     if (rt.outcome == campaign::Outcome::kDetectedDdt &&
         rb.outcome != campaign::Outcome::kDetectedDdt) {
       ++gap;
+    }
+    if (rt.outcome == campaign::Outcome::kDetectedDdt &&
+        rc.outcome != campaign::Outcome::kDetectedDdt) {
+      ++context_gain;
     }
 
     if (golden_base->program.data.size() >= 4) {
@@ -151,6 +174,7 @@ int main(int argc, char** argv) {
       data_fault.addr = golden_base->program.data_base + (index % words) * 4;
       data_fault.mask = Word{1} << (index % 32);
       data_base.add(runner.run_one(base, *golden_base, data_fault));
+      data_ctx0.add(runner.run_one(ctx0, *golden_ctx0, data_fault));
       data_tight.add(runner.run_one(tight, *golden_tight, data_fault));
     }
   }
@@ -167,11 +191,15 @@ int main(int argc, char** argv) {
                report::fmt_fixed(t.coverage(), 1)});
   };
   row("register", "dynamic-only", reg_base);
+  row("register", "static-ctx0", reg_ctx0);
   row("register", "static-footprint", reg_tight);
   row("data-word", "dynamic-only", data_base);
+  row("data-word", "static-ctx0", data_ctx0);
   row("data-word", "static-footprint", data_tight);
   table.print();
   std::cout << "faults only the footprint check detected: " << gap << "\n";
+  std::cout << "faults only the context-sensitive footprint detected: " << context_gain
+            << "\n";
 
   if (auto dir = report::csv_export_dir()) {
     report::CsvWriter csv(*dir + "/ddt_static.csv",
@@ -184,8 +212,10 @@ int main(int argc, char** argv) {
                report::fmt_fixed(t.coverage(), 2)});
     };
     csv_row("register", "dynamic-only", reg_base);
+    csv_row("register", "static-ctx0", reg_ctx0);
     csv_row("register", "static-footprint", reg_tight);
     csv_row("data-word", "dynamic-only", data_base);
+    csv_row("data-word", "static-ctx0", data_ctx0);
     csv_row("data-word", "static-footprint", data_tight);
     csv.flush();
   }
@@ -194,6 +224,10 @@ int main(int argc, char** argv) {
   const u32 base_total = reg_base.detected_ddt + data_base.detected_ddt;
   if (tight_total <= base_total || gap == 0) {
     std::cerr << "static footprint failed to improve on the dynamic-only DDT\n";
+    return 1;
+  }
+  if (expect_context_gain && context_gain == 0) {
+    std::cerr << "context-sensitive footprint failed to improve on depth 0\n";
     return 1;
   }
   return 0;

@@ -318,6 +318,7 @@ AnalysisResult analyze(const isa::Program& program, const AnalysisOptions& optio
 
   FootprintOptions fp_options;
   fp_options.interprocedural = options.interprocedural_footprint;
+  fp_options.context_depth = options.context_depth;
   result.footprint = compute_footprint(program, result.cfg, fp_options);
 
   const Emitter emit{program, result.diagnostics};
@@ -388,7 +389,12 @@ std::string to_json(const isa::Program& program, const AnalysisResult& result) {
       if (sum.summarized) ++summarized;
     }
     os << ", \"functions\": " << fp.summaries.size()
-       << ", \"summarized_functions\": " << summarized;
+       << ", \"summarized_functions\": " << summarized
+       << ", \"context_depth\": " << fp.context_depth
+       << ", \"contexts_cloned\": " << fp.contexts_cloned
+       << ", \"context_fallbacks\": " << fp.context_fallbacks
+       << ", \"spawn_contexts\": " << fp.spawn_contexts
+       << ", \"context_sites\": " << fp.context_pages.size();
   }
   os << "}";
   os << ",\n  \"diagnostics\": [";

@@ -68,6 +68,11 @@ struct AnalysisOptions {
   /// fall-throughs with them (see FootprintOptions::interprocedural).
   /// Off: the flat PR 3 call model (`--flat-footprint` on the tools).
   bool interprocedural_footprint = true;
+  /// Context-sensitive cloning depth for the footprint pass (see
+  /// FootprintOptions::context_depth; requires interprocedural_footprint).
+  /// 0 = the context-insensitive PR 4 behavior, bit-for-bit
+  /// (`--context-depth 0` on the tools).
+  u32 context_depth = 1;
 };
 
 struct AnalysisResult {

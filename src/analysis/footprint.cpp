@@ -4,6 +4,7 @@
 #include <array>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "mem/main_memory.hpp"
@@ -26,6 +27,18 @@ constexpr u32 kMaxBlockVisits = 40;
 // A resolved range wider than this is useless as a page prediction (it
 // would whitelist the whole address space); treat the site as unresolved.
 constexpr i64 kMaxSpanBytes = i64{1} << 20;
+
+// Context-sensitive mode: at most this many per-(callee, argument-tuple)
+// clones live in the memo cache; further distinct contexts fall back to the
+// joined context (which is always sound — it is the classic join-over-all-
+// call-sites state the context-insensitive pass uses for everything).
+constexpr u32 kMaxContextClones = 32;
+
+// Spawn-context binding (thread-entry $a0 from create-site $a1) iterates
+// run → harvest → re-run until the observed create arguments are covered by
+// the assumed binding; give up (keep the unbound, fully sound probe run)
+// after this many bound re-runs.
+constexpr u32 kMaxSpawnRounds = 3;
 
 struct AbsVal {
   enum class Kind : u8 { kUnknown, kAbs, kSp, kGp };
@@ -62,7 +75,31 @@ AbsVal join(const AbsVal& a, const AbsVal& b) {
   return make(a.kind, std::min(a.lo, b.lo), std::max(a.hi, b.hi));
 }
 
+/// Total order for the context memo-cache key (any consistent order works).
+bool absval_less(const AbsVal& a, const AbsVal& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.kind == Kind::kUnknown) return false;
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return a.hi < b.hi;
+}
+
 using State = std::array<AbsVal, isa::kNumRegs>;
+
+/// Abstract argument tuple a context clone is keyed on.
+using ArgTuple = std::array<AbsVal, 4>;  // $a0-$a3
+
+struct CtxKey {
+  Addr entry = 0;
+  ArgTuple args{};
+
+  bool operator<(const CtxKey& o) const {
+    if (entry != o.entry) return entry < o.entry;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!(args[i] == o.args[i])) return absval_less(args[i], o.args[i]);
+    }
+    return false;
+  }
+};
 
 /// Root state: everything Unknown except the architectural invariants.
 State root_state() {
@@ -559,17 +596,43 @@ struct FixpointPass {
   bool enter_callees = true;
   const std::vector<i64>* thresholds = nullptr;  // sorted; ipa mode only
 
-  std::vector<State> in_state;
-  std::vector<bool> has_state;
+  // Context-sensitive cloning (program-wide pass only; 0 = single joined
+  // context, the exact context-insensitive behavior).  Direct calls whose
+  // $a0-$a3 abstract tuple is not all-Unknown enter a per-(callee, tuple)
+  // clone memoized in `context_index`, up to `context_depth` nested clones
+  // per call path and `max_context_clones` cache entries; everything else
+  // (indirect calls, exhausted depth, saturated cache) falls back to the
+  // joined context 0.
+  u32 context_depth = 0;
+  u32 max_context_clones = kMaxContextClones;
+  // Optional $a0 bindings for address-taken roots (thread entries), from
+  // the create-site harvest in compute_footprint.  Only read when
+  // context_depth > 0.
+  const std::map<Addr, AbsVal>* spawn_bindings = nullptr;
+
+  struct CtxInfo {
+    Addr entry = 0;  // 0 for the joined root context
+    ArgTuple args{};
+    u32 depth = 0;
+  };
+  std::vector<CtxInfo> contexts;      // [0] = joined context
+  std::map<CtxKey, u32> context_index;
+  u32 contexts_cloned = 0;
+  u32 context_fallbacks = 0;
+  u32 spawn_contexts = 0;
+
+  // All per-block analysis state is context-major: index [ctx][block].
+  std::vector<std::vector<State>> in_state;
+  std::vector<std::vector<bool>> has_state;
   bool left_region = false;
 
-  std::vector<u32> visits;
-  std::deque<u32> worklist;
-  std::vector<bool> queued;
-  std::vector<u32> in_degree;
-  // Per-block, per-register widening strikes (ipa mode): 1 = jumped to a
-  // threshold, 2 = jumped to the domain limits, 3 = forced Unknown.
-  std::vector<std::array<u8, isa::kNumRegs>> strikes;
+  std::vector<std::vector<u32>> visits;
+  std::deque<std::pair<u32, u32>> worklist;  // (context, block)
+  std::vector<std::vector<bool>> queued;
+  std::vector<u32> in_degree;  // per block, shared across contexts
+  // Per-(context, block, register) widening strikes (ipa mode): 1 = jumped
+  // to a threshold, 2 = jumped to the domain limits, 3 = forced Unknown.
+  std::vector<std::vector<std::array<u8, isa::kNumRegs>>> strikes;
 
   bool in_region(Addr pc) const {
     return region_hi == 0 || (pc >= region_lo && pc < region_hi);
@@ -662,14 +725,63 @@ struct FixpointPass {
     return next;
   }
 
-  void enqueue(u32 index) {
-    if (!queued[index]) {
-      queued[index] = true;
-      worklist.push_back(index);
+  u32 new_context(Addr entry, const ArgTuple& args, u32 depth) {
+    const size_t n = cfg.blocks.size();
+    contexts.push_back(CtxInfo{entry, args, depth});
+    in_state.emplace_back(n);
+    has_state.emplace_back(n, false);
+    visits.emplace_back(n, 0);
+    queued.emplace_back(n, false);
+    strikes.emplace_back(n);
+    return static_cast<u32>(contexts.size() - 1);
+  }
+
+  /// Routes a call entry (direct call, or a spawn-bound thread root) into a
+  /// per-(callee, argument-tuple) clone when the depth budget and memo
+  /// cache allow, and into the joined context 0 otherwise.  The joined
+  /// context is the context-insensitive state, so every fallback is sound
+  /// by construction.
+  void enter_call(u32 ctx, Addr entry, const State& s) {
+    if (context_depth == 0) {
+      propagate(ctx, entry, s);
+      return;
+    }
+    const ArgTuple args = {s[isa::kA0], s[isa::kA1], s[isa::kA2], s[isa::kA3]};
+    bool all_unknown = true;
+    for (const AbsVal& a : args) {
+      if (a.kind != Kind::kUnknown) all_unknown = false;
+    }
+    if (all_unknown) {
+      // No argument precision to preserve: the joined context *is* this
+      // context (not a fallback).
+      propagate(0, entry, s);
+      return;
+    }
+    const CtxKey key{entry, args};
+    if (const auto it = context_index.find(key); it != context_index.end()) {
+      propagate(it->second, entry, s);  // memo hit
+      return;
+    }
+    if (contexts[ctx].depth >= context_depth ||
+        contexts_cloned >= max_context_clones) {
+      context_fallbacks += 1;
+      propagate(0, entry, s);
+      return;
+    }
+    const u32 c = new_context(entry, args, contexts[ctx].depth + 1);
+    context_index.emplace(key, c);
+    contexts_cloned += 1;
+    propagate(c, entry, s);
+  }
+
+  void enqueue(u32 ctx, u32 index) {
+    if (!queued[ctx][index]) {
+      queued[ctx][index] = true;
+      worklist.emplace_back(ctx, index);
     }
   }
 
-  void propagate(Addr target, const State& s) {
+  void propagate(u32 ctx, Addr target, const State& s) {
     if (infeasible(s)) return;
     if (!in_region(target)) {
       left_region = true;
@@ -678,18 +790,18 @@ struct FixpointPass {
     const BasicBlock* b = cfg.block_at(target);
     if (b == nullptr || b->start != target) return;  // mid-block/out-of-text
     const u32 i = b->index;
-    if (!has_state[i]) {
-      in_state[i] = s;
-      has_state[i] = true;
-      enqueue(i);
+    if (!has_state[ctx][i]) {
+      in_state[ctx][i] = s;
+      has_state[ctx][i] = true;
+      enqueue(ctx, i);
       return;
     }
     State merged;
     for (u8 r = 0; r < isa::kNumRegs; ++r) {
-      merged[r] = join(in_state[i][r], s[r]);
+      merged[r] = join(in_state[ctx][i][r], s[r]);
     }
     merged[0] = abs_const(0);
-    if (merged == in_state[i]) return;
+    if (merged == in_state[ctx][i]) return;
     // Interprocedural mode widens only at join points (>= 2 in-edges):
     // every reachable CFG cycle contains one (a cycle needs an entry edge
     // from outside plus its in-cycle edge), so the fixpoint still
@@ -698,16 +810,17 @@ struct FixpointPass {
     // re-widening them.  Flat mode keeps the PR 3 behavior: every
     // still-changing register goes straight to Unknown at the budget.
     const bool widen_here =
-        visits[i] >= kMaxBlockVisits && (!interprocedural || in_degree[i] >= 2);
+        visits[ctx][i] >= kMaxBlockVisits &&
+        (!interprocedural || in_degree[i] >= 2);
     if (widen_here) {
       for (u8 r = 1; r < isa::kNumRegs; ++r) {
-        if (merged[r] == in_state[i][r]) continue;
-        u8& strike = strikes[i][r];
+        if (merged[r] == in_state[ctx][i][r]) continue;
+        u8& strike = strikes[ctx][i][r];
         const u8 max_strikes = static_cast<u8>(std::min<std::size_t>(
             200, 2 * (thresholds != nullptr ? thresholds->size() : 0) + 4));
         if (interprocedural && strike < max_strikes &&
             merged[r].kind != Kind::kUnknown &&
-            merged[r].kind == in_state[i][r].kind) {
+            merged[r].kind == in_state[ctx][i][r].kind) {
           // Kind-preserving threshold widening: every widening event jumps
           // the changing bound(s) to the nearest enclosing materializable
           // constant, climbing one rung of the threshold ladder at a time
@@ -718,28 +831,39 @@ struct FixpointPass {
           // 2*|thresholds|+2 events fire per (block, register); the strike
           // cap is a defensive backstop on top of that.
           AbsVal w = merged[r];
-          if (w.lo != in_state[i][r].lo) w.lo = threshold_lo(w.lo);
-          if (w.hi != in_state[i][r].hi) w.hi = threshold_hi(w.hi);
+          if (w.lo != in_state[ctx][i][r].lo) w.lo = threshold_lo(w.lo);
+          if (w.hi != in_state[ctx][i][r].hi) w.hi = threshold_hi(w.hi);
           merged[r] = w;
         } else {
           merged[r] = AbsVal{};
         }
         if (strike < max_strikes) strike += 1;
       }
-      if (merged == in_state[i]) return;
+      if (merged == in_state[ctx][i]) return;
     }
-    in_state[i] = merged;
-    enqueue(i);
+    in_state[ctx][i] = merged;
+    enqueue(ctx, i);
   }
 
   void run(Addr root, const State& root_in) {
     const size_t n = cfg.blocks.size();
-    in_state.assign(n, State{});
-    has_state.assign(n, false);
-    visits.assign(n, 0);
-    queued.assign(n, false);
+    contexts.clear();
+    context_index.clear();
+    contexts_cloned = 0;
+    context_fallbacks = 0;
+    spawn_contexts = 0;
+    in_state.clear();
+    has_state.clear();
+    visits.clear();
+    queued.clear();
+    strikes.clear();
+    contexts.push_back(CtxInfo{});  // the joined context 0
+    in_state.emplace_back(n);
+    has_state.emplace_back(n, false);
+    visits.emplace_back(n, 0);
+    queued.emplace_back(n, false);
+    strikes.emplace_back(n);
     in_degree.assign(n, 0);
-    strikes.assign(n, {});
     left_region = false;
 
     // In-edge counts feed the widening criterion.  This mirrors step()'s
@@ -762,23 +886,41 @@ struct FixpointPass {
       }
     }
 
-    propagate(root, root_in);
+    propagate(0, root, root_in);
     if (region_hi == 0) {
       // Program-wide pass: address-taken targets enter execution without a
       // static edge (thread entries, jump tables) and are extra roots.
-      for (Addr addr : cfg.address_taken) propagate(addr, root_state());
+      for (Addr addr : cfg.address_taken) {
+        State s = root_state();
+        if (context_depth > 0 && spawn_bindings != nullptr) {
+          const auto it = spawn_bindings->find(addr);
+          if (it != spawn_bindings->end() &&
+              it->second.kind != Kind::kUnknown) {
+            // Spawn context: every unexplained entry to this address is a
+            // thread create (gated in compute_footprint), so the root $a0
+            // is the join of the create sites' $a1 arguments.  Enter via
+            // the clone machinery so joined-context fallback entries don't
+            // dilute the binding.
+            s[isa::kA0] = it->second;
+            spawn_contexts += 1;
+            enter_call(0, addr, s);
+            continue;
+          }
+        }
+        propagate(0, addr, s);
+      }
     }
     while (!worklist.empty()) {
-      const u32 i = worklist.front();
+      const auto [c, i] = worklist.front();
       worklist.pop_front();
-      queued[i] = false;
-      step(cfg.blocks[i]);
+      queued[c][i] = false;
+      step(c, cfg.blocks[i]);
     }
   }
 
-  void step(const BasicBlock& block) {
-    visits[block.index] += 1;
-    State out = in_state[block.index];
+  void step(u32 ctx, const BasicBlock& block) {
+    visits[ctx][block.index] += 1;
+    State out = in_state[ctx][block.index];
     for (Addr pc = block.start; pc + 4 < block.end; pc += 4) {
       transfer(isa::decode(program.text_word(pc)), out);
     }
@@ -787,7 +929,7 @@ struct FixpointPass {
     switch (block.exit) {
       case BlockExit::kFallThrough: {
         transfer(term, out);
-        propagate(block.end, out);
+        propagate(ctx, block.end, out);
         break;
       }
       case BlockExit::kBranch: {
@@ -797,26 +939,28 @@ struct FixpointPass {
         for (Addr succ : block.successors) {
           State edge = out;
           if (target != fall) refine_edge(term, /*taken=*/succ == target, edge);
-          propagate(succ, edge);
+          propagate(ctx, succ, edge);
         }
         break;
       }
       case BlockExit::kJump: {
-        for (Addr succ : block.successors) propagate(succ, out);
+        for (Addr succ : block.successors) propagate(ctx, succ, out);
         break;
       }
       case BlockExit::kCall: {
         const Addr ret = block.terminator_pc() + 4;
         if (enter_callees) {
-          // Into the callee with the return address bound...
+          // Into the callee with the return address bound — per-context
+          // clone when the argument tuple and budgets allow.
           State callee = out;
           callee[isa::kRa] = abs_const(from_u32(static_cast<u32>(ret)));
-          for (Addr succ : block.successors) propagate(succ, callee);
+          for (Addr succ : block.successors) enter_call(ctx, succ, callee);
         }
         // ...and across the call.  Candidates proven to never reach a
         // return have no fall-through at all.
         if (may_return(block.successors)) {
-          propagate(ret, call_fallthrough(out, block.successors, ret, isa::kRa));
+          propagate(ctx, ret,
+                    call_fallthrough(out, block.successors, ret, isa::kRa));
         }
         break;
       }
@@ -827,16 +971,22 @@ struct FixpointPass {
             State callee = out;
             callee[isa::kRa] = AbsVal{};
             callee[term.rd] = abs_const(from_u32(static_cast<u32>(ret)));
-            for (Addr succ : block.successors) propagate(succ, callee);
+            // Indirect calls never clone: the candidate set is a joined
+            // guess already, so the callee enters the joined context.
+            for (Addr succ : block.successors) {
+              if (context_depth > 0) context_fallbacks += 1;
+              propagate(0, succ, callee);
+            }
           }
           if (may_return(block.successors)) {
-            propagate(ret, call_fallthrough(out, block.successors, ret, term.rd));
+            propagate(ctx, ret,
+                      call_fallthrough(out, block.successors, ret, term.rd));
           }
         } else {
           // Computed jump (jr non-ra).  Unresolved: in summary mode the
           // function's control can go anywhere — it cannot be summarized.
           if (block.successors.empty() && region_hi != 0) left_region = true;
-          for (Addr succ : block.successors) propagate(succ, out);
+          for (Addr succ : block.successors) propagate(ctx, succ, out);
         }
         break;
       }
@@ -847,10 +997,20 @@ struct FixpointPass {
         break;
       }
       case BlockExit::kSyscall: {
+        // The CFG keeps a fall-through edge after every syscall, but a v0
+        // pinned to a no-return syscall (1 = exit, 7 = thread-exit) proves
+        // the edge infeasible — following it would seed the next function's
+        // entry with the exiting caller's junk state.  Pruned only in
+        // context mode so depth 0 stays bit-for-bit the historical pass.
+        if (context_depth > 0 && out[isa::kV0].kind == Kind::kAbs &&
+            out[isa::kV0].lo == out[isa::kV0].hi &&
+            (out[isa::kV0].lo == 1 || out[isa::kV0].lo == 7)) {
+          break;
+        }
         State next = out;
         next[isa::kV0] = AbsVal{};
         next[isa::kV1] = AbsVal{};
-        for (Addr succ : block.successors) propagate(succ, next);
+        for (Addr succ : block.successors) propagate(ctx, succ, next);
         break;
       }
     }
@@ -877,7 +1037,7 @@ Summary summarize_function(const isa::Program& program,
 
   const BasicBlock* entry_block = cfg.block_at(lo);
   const bool entry_ok = entry_block != nullptr && entry_block->start == lo &&
-                        pass.has_state[entry_block->index];
+                        pass.has_state[0][entry_block->index];
   if (pass.left_region || !entry_ok) {
     sum.summarized = false;  // callers fall back to the flat call model
     return sum;
@@ -930,8 +1090,8 @@ Summary summarize_function(const isa::Program& program,
 
   for (const BasicBlock& block : cfg.blocks) {
     if (block.start < lo || block.start >= hi) continue;
-    if (!pass.has_state[block.index]) continue;  // unreached from the entry
-    State s = pass.in_state[block.index];
+    if (!pass.has_state[0][block.index]) continue;  // unreached from the entry
+    State s = pass.in_state[0][block.index];
     for (Addr pc = block.start; pc < block.end; pc += 4) {
       const isa::Instr in = isa::decode(program.text_word(pc));
       if (is_load(in.op) || is_store(in.op)) {
@@ -1138,6 +1298,62 @@ SummaryMap compute_summaries(const isa::Program& program,
   return summaries;
 }
 
+/// Scans a finished pass for thread-create syscall sites (`$v0 == 6` at the
+/// syscall, the guest OS `Sys::kThreadCreate` code) and joins their `$a1`
+/// argument per spawn target.  Sets gate_ok = false — the caller then keeps
+/// the unbound run — when any reachable construct could enter an
+/// address-taken root with a state the harvest cannot account for: an
+/// unresolved indirect jump/call (could land anywhere with any state), a
+/// syscall whose `$v0` is not a statically known constant (could be a
+/// create the harvest misattributes), or a create whose target `$a0` is not
+/// a known address-taken constant.
+std::map<Addr, AbsVal> harvest_spawn_bindings(const FixpointPass& pass,
+                                              const isa::Program& program,
+                                              const ControlFlowGraph& cfg,
+                                              bool& gate_ok) {
+  std::map<Addr, AbsVal> binding;
+  gate_ok = true;
+  for (const BasicBlock& block : cfg.blocks) {
+    bool live = false;
+    for (size_t c = 0; c < pass.contexts.size(); ++c) {
+      if (pass.has_state[c][block.index]) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) continue;
+    if (block.exit == BlockExit::kIndirect && !block.indirect_resolved) {
+      gate_ok = false;
+      return {};
+    }
+    if (block.exit != BlockExit::kSyscall) continue;
+    for (size_t c = 0; c < pass.contexts.size(); ++c) {
+      if (!pass.has_state[c][block.index]) continue;
+      State s = pass.in_state[c][block.index];
+      for (Addr pc = block.start; pc + 4 < block.end; pc += 4) {
+        transfer(isa::decode(program.text_word(pc)), s);
+      }
+      const AbsVal v0 = s[isa::kV0];
+      if (!(v0.kind == Kind::kAbs && is_singleton(v0))) {
+        gate_ok = false;
+        return {};
+      }
+      if (v0.lo != 6) continue;  // not a thread create
+      const AbsVal a0 = s[isa::kA0];
+      if (!(a0.kind == Kind::kAbs && is_singleton(a0) && a0.lo >= 0 &&
+            cfg.address_taken.count(static_cast<Addr>(a0.lo)) != 0)) {
+        gate_ok = false;
+        return {};
+      }
+      const Addr target = static_cast<Addr>(a0.lo);
+      const auto it = binding.find(target);
+      binding[target] =
+          (it == binding.end()) ? s[isa::kA1] : join(it->second, s[isa::kA1]);
+    }
+  }
+  return binding;
+}
+
 }  // namespace
 
 std::vector<Addr> PageFootprint::checked_pcs() const {
@@ -1176,16 +1392,73 @@ PageFootprint compute_footprint(const isa::Program& program,
 
   // --- Program-wide fixpoint over block in-states.  Still enters callees
   // with the caller's context (which keeps argument-register precision
-  // inside helpers); summaries refine what survives a call's fall-through
-  // and whether the fall-through is reachable at all. -------------------
-  FixpointPass pass{program, cfg};
-  pass.interprocedural = options.interprocedural;
-  pass.summaries = options.interprocedural ? &summaries : nullptr;
-  pass.enter_callees = true;
-  if (options.interprocedural) pass.thresholds = &thresholds;
-  pass.run(program.entry, root_state());
-  const std::vector<State>& in_state = pass.in_state;
-  const std::vector<bool>& has_state = pass.has_state;
+  // inside helpers) — per-(callee, argument-tuple) clones when
+  // context_depth > 0; summaries refine what survives a call's
+  // fall-through and whether the fall-through is reachable at all. ------
+  const u32 effective_depth =
+      options.interprocedural ? options.context_depth : 0;
+  auto run_pass = [&](const std::map<Addr, AbsVal>* bindings) {
+    auto p = std::make_unique<FixpointPass>(program, cfg);
+    p->interprocedural = options.interprocedural;
+    p->summaries = options.interprocedural ? &summaries : nullptr;
+    p->enter_callees = true;
+    if (options.interprocedural) p->thresholds = &thresholds;
+    p->context_depth = effective_depth;
+    p->spawn_bindings = bindings;
+    p->run(program.entry, root_state());
+    return p;
+  };
+
+  // Probe run: context clones active, no spawn bindings yet.
+  std::unique_ptr<FixpointPass> pass = run_pass(nullptr);
+
+  // Spawn-context rounds: harvest thread-create argument bindings from the
+  // probe, re-run with the thread roots' $a0 bound, and accept the bound
+  // run only once the create arguments it observes are covered by the
+  // binding it assumed (a post-fixpoint of the spawn semantics, hence
+  // sound on its own).  A gate failure or an unstable ladder keeps the
+  // unbound probe run.
+  if (effective_depth > 0) {
+    bool gate_ok = true;
+    std::map<Addr, AbsVal> binding =
+        harvest_spawn_bindings(*pass, program, cfg, gate_ok);
+    bool any_bound = false;
+    for (const auto& [addr, v] : binding) {
+      (void)addr;
+      if (v.kind != Kind::kUnknown) any_bound = true;
+    }
+    if (gate_ok && any_bound) {
+      for (u32 round = 0; round < kMaxSpawnRounds; ++round) {
+        std::unique_ptr<FixpointPass> bound = run_pass(&binding);
+        bool gate2 = true;
+        const std::map<Addr, AbsVal> observed =
+            harvest_spawn_bindings(*bound, program, cfg, gate2);
+        if (!gate2) break;  // keep the probe run
+        bool stable = true;
+        for (const auto& [addr, v] : observed) {
+          const auto it = binding.find(addr);
+          // A target absent from the assumption (or assumed Unknown) ran
+          // with the plain Unknown-$a0 root: sound, nothing to re-check.
+          if (it == binding.end() || it->second.kind == Kind::kUnknown) {
+            continue;
+          }
+          const AbsVal widened = join(it->second, v);
+          if (!(widened == it->second)) {
+            stable = false;
+            it->second = widened;
+          }
+        }
+        if (stable) {
+          pass = std::move(bound);
+          break;
+        }
+      }
+    }
+  }
+  fp.context_depth = effective_depth;
+  fp.contexts_cloned = pass->contexts_cloned;
+  fp.context_fallbacks = pass->context_fallbacks;
+  fp.spawn_contexts = pass->spawn_contexts;
 
   // --- Collect access sites from reachable blocks. --------------------
   std::set<u32> pages;
@@ -1196,15 +1469,24 @@ PageFootprint compute_footprint(const isa::Program& program,
     u32 exact = 0, over = 0, unknown = 0;
   };
   std::map<Addr, FnAcc> fn_acc;
+  std::vector<PageFootprint::SitePages> ctx_pages;
 
+  const size_t nctx = pass->contexts.size();
   for (const BasicBlock& block : cfg.blocks) {
     if (!block.reachable) continue;
-    // No abstract state means every edge into the block was proven
-    // infeasible (the roots cover the entry and all address-taken targets),
-    // i.e. the block is dead code under the concrete semantics too — its
-    // sites can never commit, so they contribute nothing to the footprint.
-    if (!has_state[block.index]) continue;
-    State s = in_state[block.index];
+    // Every execution entering this block is covered by the states of the
+    // contexts that have one.  No state in any context means every edge
+    // into the block was proven infeasible (the roots cover the entry and
+    // all address-taken targets), i.e. the block is dead code under the
+    // concrete semantics too — its sites can never commit, so they
+    // contribute nothing to the footprint.
+    std::vector<State> states;
+    for (size_t c = 0; c < nctx; ++c) {
+      if (pass->has_state[c][block.index]) {
+        states.push_back(pass->in_state[c][block.index]);
+      }
+    }
+    if (states.empty()) continue;
     for (Addr pc = block.start; pc < block.end; pc += 4) {
       const isa::Instr in = isa::decode(program.text_word(pc));
       const bool load = is_load(in.op);
@@ -1213,12 +1495,110 @@ PageFootprint compute_footprint(const isa::Program& program,
         AccessSite site;
         site.pc = pc;
         site.is_store = store;
-        const SiteRange range = classify_site(s[in.rs], in.imm, access_size(in.op));
-        site.base = range.base;
-        site.precision = range.precision;
-        if (range.base != AddressBase::kUnknown) {
-          site.lo = range.lo;
-          site.hi = range.hi;
+        std::vector<SiteRange> ranges;
+        ranges.reserve(states.size());
+        bool any_unknown = false;
+        for (const State& s : states) {
+          const SiteRange r =
+              classify_site(s[in.rs], in.imm, access_size(in.op));
+          if (r.base == AddressBase::kUnknown) any_unknown = true;
+          ranges.push_back(r);
+        }
+        if (!any_unknown) {
+          // Merge the per-context ranges into the single-range hull the
+          // site list carries, folding pages/envelopes per context range so
+          // the global sets stay tight (the hull may span the gap between
+          // disjoint per-context buffers).
+          const AddressBase base0 = ranges[0].base;
+          bool same_base = true;
+          bool all_exact_same = true;
+          i64 lo = ranges[0].lo;
+          i64 hi = ranges[0].hi;
+          for (const SiteRange& r : ranges) {
+            if (r.base != base0) same_base = false;
+            if (r.precision != AccessPrecision::kExact || r.lo != ranges[0].lo ||
+                r.hi != ranges[0].hi) {
+              all_exact_same = false;
+            }
+            lo = std::min(lo, r.lo);
+            hi = std::max(hi, r.hi);
+          }
+          if (same_base) {
+            site.base = base0;
+            site.precision = all_exact_same ? AccessPrecision::kExact
+                                            : AccessPrecision::kOver;
+            site.lo = lo;
+            site.hi = hi;
+          } else {
+            // Resolved in every context but the bases differ: the hull is
+            // not expressible as one (base, range).  The site counts as
+            // over-approximate and is checked through the per-pc page
+            // table below (plus the runtime stack pages for the
+            // stack-relative components).
+            site.base = AddressBase::kUnknown;
+            site.precision = AccessPrecision::kOver;
+          }
+          FnAcc& fn = fn_acc[function_of(pc)];
+          std::set<u32> pc_page_set;
+          bool expressible = true;  // per-pc table can carry every component
+          for (const SiteRange& r : ranges) {
+            switch (r.base) {
+              case AddressBase::kAbsolute:
+                add_page_range(pages, static_cast<Addr>(r.lo),
+                               static_cast<Addr>(r.hi));
+                add_page_range(fn.pages, static_cast<Addr>(r.lo),
+                               static_cast<Addr>(r.hi));
+                if (store) {
+                  add_page_range(store_pages, static_cast<Addr>(r.lo),
+                                 static_cast<Addr>(r.hi));
+                  add_page_range(fn.store_pages, static_cast<Addr>(r.lo),
+                                 static_cast<Addr>(r.hi));
+                }
+                add_page_range(pc_page_set, static_cast<Addr>(r.lo),
+                               static_cast<Addr>(r.hi));
+                break;
+              case AddressBase::kStack:
+                record_envelope(fp.has_sp_range, fp.sp_lo, fp.sp_hi, r.lo,
+                                r.hi);
+                // Covered per-pc by the runtime-registered stack pages.
+                break;
+              case AddressBase::kGlobal:
+                record_envelope(fp.has_gp_range, fp.gp_lo, fp.gp_hi, r.lo,
+                                r.hi);
+                if (r.lo >= 0) {
+                  // Folds at the initial gp = 0, the loader convention.
+                  add_page_range(pc_page_set, static_cast<Addr>(r.lo),
+                                 static_cast<Addr>(r.hi));
+                } else {
+                  expressible = false;
+                }
+                break;
+              default:
+                break;
+            }
+          }
+          // Emit a per-pc entry when it is strictly tighter than what the
+          // global check can see: mixed-base sites (whose hull the site
+          // list cannot carry) and same-base sites whose per-context page
+          // union has gaps the contiguous hull would whitelist.
+          if (expressible && !pc_page_set.empty()) {
+            bool want = !same_base;
+            if (same_base && lo >= 0 &&
+                (base0 == AddressBase::kAbsolute ||
+                 base0 == AddressBase::kGlobal)) {
+              const u64 hull_pages =
+                  static_cast<u64>(mem::page_of(static_cast<Addr>(hi))) -
+                  mem::page_of(static_cast<Addr>(lo)) + 1;
+              want = pc_page_set.size() < hull_pages;
+            }
+            if (want) {
+              PageFootprint::SitePages entry;
+              entry.pc = pc;
+              entry.is_store = store;
+              entry.pages.assign(pc_page_set.begin(), pc_page_set.end());
+              ctx_pages.push_back(std::move(entry));
+            }
+          }
         }
 
         FnAcc& fn = fn_acc[function_of(pc)];
@@ -1236,24 +1616,11 @@ PageFootprint compute_footprint(const isa::Program& program,
             fn.unknown += 1;
             break;
         }
-        if (site.base == AddressBase::kAbsolute) {
-          add_page_range(pages, static_cast<Addr>(site.lo), static_cast<Addr>(site.hi));
-          add_page_range(fn.pages, static_cast<Addr>(site.lo),
-                         static_cast<Addr>(site.hi));
-          if (store) {
-            add_page_range(store_pages, static_cast<Addr>(site.lo),
-                           static_cast<Addr>(site.hi));
-            add_page_range(fn.store_pages, static_cast<Addr>(site.lo),
-                           static_cast<Addr>(site.hi));
-          }
-        } else if (site.base == AddressBase::kStack) {
-          record_envelope(fp.has_sp_range, fp.sp_lo, fp.sp_hi, site.lo, site.hi);
-        } else if (site.base == AddressBase::kGlobal) {
-          record_envelope(fp.has_gp_range, fp.gp_lo, fp.gp_hi, site.lo, site.hi);
-        }
         fp.sites.push_back(site);
       }
-      if (pc + 4 < block.end) transfer(in, s);
+      if (pc + 4 < block.end) {
+        for (State& s : states) transfer(in, s);
+      }
     }
   }
 
@@ -1271,6 +1638,10 @@ PageFootprint compute_footprint(const isa::Program& program,
   }
   std::sort(fp.sites.begin(), fp.sites.end(),
             [](const AccessSite& a, const AccessSite& b) { return a.pc < b.pc; });
+  std::sort(ctx_pages.begin(), ctx_pages.end(),
+            [](const PageFootprint::SitePages& a,
+               const PageFootprint::SitePages& b) { return a.pc < b.pc; });
+  fp.context_pages = std::move(ctx_pages);
 
   for (const auto& [entry, sum] : summaries) {
     FunctionSummary out;

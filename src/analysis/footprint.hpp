@@ -119,6 +119,19 @@ struct FootprintOptions {
   /// model.  Off = exact PR 3 behavior (kept reachable as `--flat-footprint`
   /// for differential measurement).
   bool interprocedural = true;
+  /// Context-sensitive cloning depth for the program-wide pass (requires
+  /// `interprocedural`; ignored in flat mode).  A direct call whose
+  /// argument registers `$a0`-`$a3` carry a non-Unknown abstract tuple
+  /// enters a per-(callee, argument-tuple) clone of the callee's block
+  /// states instead of the joined context, up to this many nested clones
+  /// per call path; deeper calls, indirect calls, and calls past the
+  /// bounded clone cache fall back soundly to the joined context (whose
+  /// fall-through still applies the joined summary).  Depth > 0 also
+  /// enables spawn contexts: an address-taken thread entry whose only
+  /// unexplained predecessors are thread-create syscalls is seeded with
+  /// `$a0` bound to the join of the create sites' `$a1` arguments.
+  /// 0 = exact PR 4 behavior, bit-for-bit (`--context-depth 0`).
+  u32 context_depth = 1;
 };
 
 /// Program-wide page-granularity footprint signature.
@@ -146,6 +159,31 @@ struct PageFootprint {
   /// mode.  Informational for callers (rse_lint dumps them); the global
   /// site pass above is what the DDT's soundness rests on.
   std::vector<FunctionSummary> summaries;
+
+  /// Effective context-sensitivity depth (0 when disabled or in flat mode).
+  u32 context_depth = 0;
+  /// Per-(callee, argument-tuple) clones the bounded cache admitted.
+  u32 contexts_cloned = 0;
+  /// Call entries that fell back to the joined context (depth budget,
+  /// cache saturation, or indirect call).
+  u32 context_fallbacks = 0;
+  /// Address-taken thread entries whose `$a0` was bound from create sites.
+  u32 spawn_contexts = 0;
+
+  /// Per-pc refined page sets for sites the context-sensitive pass
+  /// resolved more tightly than the single-range hull in `sites` can
+  /// express: the union over contexts of each context's page range
+  /// (absolute pages; `$gp`-relative ranges fold in at the initial gp = 0,
+  /// matching the loader convention).  A pc listed here is checked by the
+  /// DDT against its own page set plus the runtime-registered stack pages
+  /// (stack-relative context components fold into the sp envelope above).
+  /// Sorted by pc; empty at context depth 0.
+  struct SitePages {
+    Addr pc = 0;
+    bool is_store = false;
+    std::vector<u32> pages;  // sorted
+  };
+  std::vector<SitePages> context_pages;
 
   /// PCs of all resolved (non-Unknown) sites, sorted — the DDT checks
   /// exactly these and leaves unresolved sites alone (sound under partial

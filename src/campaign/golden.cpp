@@ -41,7 +41,8 @@ std::string GoldenCache::key_of(const WorkloadSetup& setup) {
   key << setup.name << '|' << std::hash<std::string>{}(setup.source) << '|'
       << setup.machine.framework_present << '|' << setup.machine.core.ruu_size << '|'
       << setup.os.seed << '|' << setup.os.run_limit << '|' << setup.os.static_cfc << '|'
-      << setup.os.static_ddt << '|' << setup.os.footprint_summaries;
+      << setup.os.static_ddt << '|' << setup.os.footprint_summaries << '|'
+      << setup.os.context_depth;
   for (isa::ModuleId id : setup.host_enables) key << '|' << static_cast<int>(id);
   return key.str();
 }

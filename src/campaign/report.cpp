@@ -110,15 +110,28 @@ std::string summary_text(const CampaignReport& report) {
   return os.str();
 }
 
+namespace {
+
+/// DDT-mode digest token.  Context depth 0 keeps the historical
+/// "static-ddt-summary" spelling byte-for-byte (so `--context-depth 0`
+/// reproduces the pre-context digests exactly); depth > 0 appends a
+/// "-ctx<depth>" suffix so goldens and digests never leak across depths.
+/// Flat mode ignores the depth (the analyzer does too).
+std::string ddt_mode_token(const CampaignSpec& spec) {
+  if (!spec.static_ddt) return "dynamic-ddt";
+  if (!spec.footprint_summaries) return "static-ddt-flat";
+  if (spec.context_depth == 0) return "static-ddt-summary";
+  return "static-ddt-summary-ctx" + std::to_string(spec.context_depth);
+}
+
+}  // namespace
+
 std::string deterministic_digest(const CampaignReport& report) {
   std::ostringstream os;
   os << report.spec.workload << '|' << report.spec.seed << '|' << report.results.size() << '|'
      << report.golden_cycles << '|' << report.faults_applied << '|'
      << (report.spec.static_cfc ? "static-cfc" : "range-cfc") << '|'
-     << (report.spec.static_ddt
-             ? (report.spec.footprint_summaries ? "static-ddt-summary" : "static-ddt-flat")
-             : "dynamic-ddt")
-     << '\n';
+     << ddt_mode_token(report.spec) << '\n';
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     os << to_string(static_cast<Outcome>(o)) << '=' << report.by_outcome[o] << '\n';
   }
@@ -140,6 +153,7 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"static_ddt\": " << (report.spec.static_ddt ? "true" : "false") << ",\n";
   os << "  \"footprint_summaries\": " << (report.spec.footprint_summaries ? "true" : "false")
      << ",\n";
+  os << "  \"context_depth\": " << report.spec.context_depth << ",\n";
   os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
   os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";
   os << "  \"faults_applied\": " << report.faults_applied << ",\n";

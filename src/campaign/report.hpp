@@ -40,6 +40,12 @@ struct CampaignSpec {
   /// vs. the flat model.  Part of the golden-cache key and the
   /// deterministic digest — the two modes check different site sets.
   bool footprint_summaries = true;
+  /// Context-sensitive footprint cloning depth (OsConfig::context_depth;
+  /// effective only with footprint_summaries).  Part of the golden-cache
+  /// key and the deterministic digest — each depth checks a different site
+  /// set, so goldens must never leak across depths.  Depth 0 reproduces
+  /// the context-insensitive digest bit-for-bit.
+  u32 context_depth = 1;
   std::vector<InjectTarget> targets = {
       InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
       InjectTarget::kDataWord, InjectTarget::kConfigBit};

@@ -137,6 +137,7 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   setup.os.static_cfc = spec.static_cfc;
   setup.os.static_ddt = spec.static_ddt;
   setup.os.footprint_summaries = spec.footprint_summaries;
+  setup.os.context_depth = spec.context_depth;
   if (spec.static_ddt && std::find(setup.host_enables.begin(), setup.host_enables.end(),
                                    isa::ModuleId::kDdt) == setup.host_enables.end()) {
     // The footprint check rides the DDT's commit taps: the mode implies

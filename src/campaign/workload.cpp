@@ -122,6 +122,56 @@ accum:
   jr ra
 )";
 
+// Argument-pointer-heavy: a shared callee receives its buffer base through
+// a0 and walks it with loads and stores.  One call site passes a global
+// table, the other a stack-local scratch area.  The context-insensitive
+// analyzer joins the two incoming pointers (global ⊔ stack = unknown) and
+// must give up on every access in `fill`; context cloning resolves each
+// call site exactly, so the DDT checks the callee's accesses against each
+// site's own page set.  This is the workload where `--context-depth`
+// separates from depth 0 in bench_ddt_static.
+constexpr const char* kArgsProgram = R"(
+.data
+gbuf: .space 512
+.text
+main:
+  li s0, 0          # trip count
+trip:
+  li t0, 30
+  bge s0, t0, done
+  la a0, gbuf       # global-buffer call site
+  andi t1, s0, 7
+  sll t1, t1, 2
+  add a0, a0, t1
+  li a1, 16
+  jal fill
+  addi a0, sp, -256 # stack-buffer call site
+  li a1, 16
+  jal fill
+  addi s0, s0, 1
+  b trip
+done:
+  la a0, gbuf
+  lw a0, 0(a0)
+  li v0, 2
+  syscall
+  li a0, 0
+  li v0, 1
+  syscall
+
+fill:               # a0 = buffer base, a1 = word count
+  li t2, 0
+floop:
+  sll t3, t2, 2
+  add t3, t3, a0
+  lw t4, 0(t3)
+  addi t4, t4, 1
+  sw t4, 0(t3)
+  addi t2, t2, 1
+  blt t2, a1, floop
+  jr ra
+)";
+
 WorkloadSetup base_setup(std::string name, std::string source) {
   WorkloadSetup w;
   w.name = std::move(name);
@@ -143,6 +193,11 @@ WorkloadSetup make_workload(const std::string& name) {
   }
   if (name == "calls") {
     return base_setup(name, kCallsProgram);
+  }
+  if (name == "args") {
+    WorkloadSetup w = base_setup(name, kArgsProgram);
+    w.host_enables.push_back(isa::ModuleId::kDdt);
+    return w;
   }
   if (name == "kmeans") {
     workloads::KMeansParams params;
@@ -168,7 +223,7 @@ WorkloadSetup make_workload(const std::string& name) {
 }
 
 std::vector<std::string> workload_names() {
-  return {"loop", "calls", "kmeans", "kmeans-large", "server"};
+  return {"loop", "calls", "args", "kmeans", "kmeans-large", "server"};
 }
 
 }  // namespace rse::campaign

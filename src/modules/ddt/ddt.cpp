@@ -61,8 +61,16 @@ void DdtModule::set_footprint_table(DdtFootprint footprint) {
   std::sort(footprint_.checked_pcs.begin(), footprint_.checked_pcs.end());
   std::sort(footprint_.pages.begin(), footprint_.pages.end());
   std::sort(footprint_.store_pages.begin(), footprint_.store_pages.end());
+  std::sort(footprint_.pc_pages.begin(), footprint_.pc_pages.end(),
+            [](const DdtFootprint::SitePages& a, const DdtFootprint::SitePages& b) {
+              return a.pc < b.pc;
+            });
+  for (DdtFootprint::SitePages& site : footprint_.pc_pages) {
+    std::sort(site.pages.begin(), site.pages.end());
+  }
   allowed_pages_.clear();
   allowed_pages_.insert(footprint_.pages.begin(), footprint_.pages.end());
+  runtime_pages_.clear();
   // Replacing the table (a new program load) must not inherit the previous
   // program's speculative PST entries: drop every entry that is still
   // pre-reserved (never confirmed by a real store) so the new table's
@@ -77,6 +85,7 @@ void DdtModule::set_footprint_table(DdtFootprint footprint) {
 void DdtModule::add_footprint_pages(const std::vector<u32>& pages) {
   if (footprint_.empty() || pages.empty()) return;
   for (u32 page : pages) {
+    runtime_pages_.insert(page);
     if (allowed_pages_.insert(page).second) footprint_.pages.push_back(page);
   }
   std::sort(footprint_.pages.begin(), footprint_.pages.end());
@@ -105,7 +114,18 @@ void DdtModule::check_footprint(const engine::CommitInfo& info, u32 page, bool i
     return;  // statically unresolved site: never checked (soundness)
   }
   ++stats_.footprint_checks;
-  if (allowed_pages_.count(page) != 0) return;
+  // Per-site refinement (context-sensitive analyzer): a site with its own
+  // page table is checked against that table plus the runtime-registered
+  // stack pages; sites without one use the whole-program set.
+  const auto site = std::lower_bound(
+      footprint_.pc_pages.begin(), footprint_.pc_pages.end(), info.pc,
+      [](const DdtFootprint::SitePages& s, Addr pc) { return s.pc < pc; });
+  if (site != footprint_.pc_pages.end() && site->pc == info.pc) {
+    if (std::binary_search(site->pages.begin(), site->pages.end(), page)) return;
+    if (runtime_pages_.count(page) != 0) return;
+  } else if (allowed_pages_.count(page) != 0) {
+    return;
+  }
   ++stats_.footprint_violations;
   if (on_footprint_violation_) {
     on_footprint_violation_(info.pc, page, info.thread, is_store, now);

@@ -58,6 +58,17 @@ struct DdtFootprint {
   std::vector<u32> pages;         // sorted allowed pages (data + stack + gp)
   std::vector<u32> store_pages;   // sorted subset to pre-reserve PST entries for
 
+  /// Per-site page table from the context-sensitive analyzer: a site listed
+  /// here is checked against its own pages (plus any runtime-registered
+  /// stack pages) instead of the global `pages` set.  Sites not listed fall
+  /// back to the global set, so the table is a pure refinement — empty at
+  /// context depth 0.
+  struct SitePages {
+    Addr pc = 0;
+    std::vector<u32> pages;  // sorted
+  };
+  std::vector<SitePages> pc_pages;  // sorted by pc
+
   bool empty() const { return checked_pcs.empty(); }
 };
 
@@ -139,6 +150,9 @@ class DdtModule : public engine::Module {
 
   DdtFootprint footprint_;                 // load-time config; survives reset()
   std::unordered_set<u32> allowed_pages_;  // footprint_.pages as a hash set
+  /// Pages whitelisted via add_footprint_pages (per-thread stack envelopes);
+  /// a per-site table never excludes these.
+  std::unordered_set<u32> runtime_pages_;
 
   std::unordered_map<u32, PstEntry> pst_;
   u64 pst_stamp_ = 0;

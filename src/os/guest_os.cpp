@@ -115,6 +115,7 @@ void GuestOs::load(const isa::Program& program) {
   if (config_.static_cfc || config_.static_ddt) {
     analysis::AnalysisOptions options;
     options.interprocedural_footprint = config_.footprint_summaries;
+    options.context_depth = config_.context_depth;
     analysis_ = std::make_unique<analysis::AnalysisResult>(
         analysis::analyze(program, options));
   }
@@ -521,6 +522,16 @@ void GuestOs::install_ddt_footprint(const isa::Program& program) {
         gp_pages.push_back(page);
       }
       fp.pages.insert(fp.pages.end(), gp_pages.begin(), gp_pages.end());
+    }
+    // Per-site page tables from the context-sensitive pass (empty at depth
+    // 0).  The analyzer already resolved gp-relative components at gp = 0,
+    // matching the loader convention above, so the pages install verbatim.
+    fp.pc_pages.reserve(pf.context_pages.size());
+    for (const analysis::PageFootprint::SitePages& site : pf.context_pages) {
+      modules::DdtFootprint::SitePages entry;
+      entry.pc = site.pc;
+      entry.pages = site.pages;
+      fp.pc_pages.push_back(std::move(entry));
     }
   }
   // Installing an empty table clears any stale footprint from a previous

@@ -86,6 +86,13 @@ struct OsConfig {
   /// the DDT checks more accesses; the flag feeds the campaign golden-run
   /// cache key and determinism digest.
   bool footprint_summaries = true;
+  /// Context-sensitive footprint cloning depth (AnalysisOptions::
+  /// context_depth; effective only with footprint_summaries).  Depth > 0
+  /// additionally installs the analyzer's per-site page tables into the DDT
+  /// so a resolved site is checked against its own context-merged pages
+  /// instead of the whole-program set.  0 = context-insensitive (bit-for-bit
+  /// the pre-context behavior).
+  u32 context_depth = 1;
 };
 
 struct RecoveryReport {

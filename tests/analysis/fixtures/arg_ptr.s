@@ -1,0 +1,31 @@
+# Server-style callee taking a buffer pointer in $a0: one call site passes a
+# global request buffer, the other a stack-local scratch area.  The
+# context-insensitive analyzer joins the two incoming pointers (absolute
+# join stack = unknown) and must give up on every access in `process`; with
+# context cloning (the default --context-depth 1) each call site resolves
+# exactly and the lint reports zero unresolved sites.
+.data
+reqbuf: .space 256
+.text
+main:
+  la a0, reqbuf
+  li a1, 32
+  jal process
+  addi a0, sp, -128
+  li a1, 16
+  jal process
+  li a0, 0
+  li v0, 1
+  syscall
+
+process:              # a0 = buffer, a1 = word count
+  li t2, 0
+ploop:
+  sll t3, t2, 2
+  add t3, t3, a0
+  lw t4, 0(t3)
+  addi t4, t4, 3
+  sw t4, 0(t3)
+  addi t2, t2, 1
+  blt t2, a1, ploop
+  jr ra

@@ -1,0 +1,200 @@
+// Regressions for the context-sensitive footprint pass (docs/analysis.md):
+// per-call-site summary cloning keyed on the abstract argument tuple, the
+// bounded context cache with its sound joined-summary fall-back, and
+// termination of recursive cloning under the depth budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "isa/assembler.hpp"
+#include "mem/main_memory.hpp"
+
+namespace rse::analysis {
+namespace {
+
+PageFootprint footprint_of(const std::string& source, u32 context_depth) {
+  const isa::Program program = isa::assemble(source);
+  AnalysisOptions options;
+  options.interprocedural_footprint = true;
+  options.context_depth = context_depth;
+  return analyze(program, options).footprint;
+}
+
+// A shared callee walking a pointer received in $a0, called with two buffers
+// on disjoint pages with a never-touched guard page between them.
+constexpr const char* kDisjointArgs = R"(
+.data
+buf_a: .space 64
+guard: .space 8192
+buf_b: .space 64
+.text
+main:
+  la a0, buf_a
+  li a1, 8
+  jal fill
+  la a0, buf_b
+  li a1, 8
+  jal fill
+  li a0, 0
+  li v0, 1
+  syscall
+
+fill:
+  li t2, 0
+floop:
+  sll t3, t2, 2
+  add t3, t3, a0
+  lw t4, 0(t3)
+  addi t4, t4, 1
+  sw t4, 0(t3)
+  addi t2, t2, 1
+  blt t2, a1, floop
+  jr ra
+)";
+
+/// Context depth 0 joins the two incoming buffer pointers into one range
+/// whose hull covers the guard page; depth 1 clones the callee per call
+/// site, resolves both accesses, and the per-pc table excludes the guard.
+TEST(FootprintContextTest, DisjointArgRangesResolveBothCallSites) {
+  const isa::Program program = isa::assemble(kDisjointArgs);
+  const u32 page_a = mem::page_of(program.data_base);
+  const u32 page_guard = mem::page_of(program.data_base + 64 + 4096);
+  const u32 page_b = mem::page_of(program.data_base + 64 + 8192);
+  ASSERT_LT(page_a, page_guard);
+  ASSERT_LT(page_guard, page_b);
+
+  const PageFootprint flat = footprint_of(kDisjointArgs, /*context_depth=*/0);
+  // Context-insensitive: $a0 joins two exact pointers into one absolute
+  // range, so the sites resolve but the contiguous hull swallows the guard.
+  EXPECT_TRUE(std::count(flat.pages.begin(), flat.pages.end(), page_guard) > 0 ||
+              flat.unknown_sites > 0);
+  EXPECT_EQ(flat.context_pages.size(), 0u);
+  EXPECT_EQ(flat.contexts_cloned, 0u);
+
+  const PageFootprint ctx = footprint_of(kDisjointArgs, /*context_depth=*/1);
+  EXPECT_EQ(ctx.unknown_sites, 0u);
+  EXPECT_GE(ctx.contexts_cloned, 2u);
+  EXPECT_EQ(ctx.context_fallbacks, 0u);
+  // Both buffers predicted...
+  EXPECT_TRUE(std::count(ctx.pages.begin(), ctx.pages.end(), page_a) > 0);
+  EXPECT_TRUE(std::count(ctx.pages.begin(), ctx.pages.end(), page_b) > 0);
+  // ...and the per-context fold never touched the guard page between them.
+  EXPECT_EQ(std::count(ctx.pages.begin(), ctx.pages.end(), page_guard), 0);
+  // The callee's load and store each carry a per-pc page table listing
+  // exactly the two buffer pages.
+  ASSERT_GE(ctx.context_pages.size(), 2u);
+  for (const PageFootprint::SitePages& site : ctx.context_pages) {
+    EXPECT_TRUE(std::binary_search(site.pages.begin(), site.pages.end(), page_a));
+    EXPECT_TRUE(std::binary_search(site.pages.begin(), site.pages.end(), page_b));
+    EXPECT_FALSE(
+        std::binary_search(site.pages.begin(), site.pages.end(), page_guard));
+  }
+}
+
+/// More distinct argument tuples than the context cache holds: the overflow
+/// call sites fall back to the joined summary.  The fall-back is sound — the
+/// footprint still covers every offset the callee can touch.
+TEST(FootprintContextTest, ContextCacheSaturationFallsBackToJoinedSummary) {
+  std::ostringstream src;
+  src << ".data\nbig: .space 8192\n.text\nmain:\n";
+  constexpr u32 kSites = 40;  // > kMaxContextClones = 32
+  for (u32 i = 0; i < kSites; ++i) {
+    src << "  la a0, big\n"
+        << "  addi a0, a0, " << i * 8 << "\n"
+        << "  li a1, 2\n"
+        << "  jal fill\n";
+  }
+  src << "  li a0, 0\n  li v0, 1\n  syscall\n\n"
+      << "fill:\n"
+      << "  li t2, 0\n"
+      << "floop:\n"
+      << "  sll t3, t2, 2\n"
+      << "  add t3, t3, a0\n"
+      << "  lw t4, 0(t3)\n"
+      << "  addi t4, t4, 1\n"
+      << "  sw t4, 0(t3)\n"
+      << "  addi t2, t2, 1\n"
+      << "  blt t2, a1, floop\n"
+      << "  jr ra\n";
+
+  const isa::Program program = isa::assemble(src.str());
+  AnalysisOptions options;
+  options.interprocedural_footprint = true;
+  options.context_depth = 1;
+  const PageFootprint fp = analyze(program, options).footprint;
+
+  // The cache saturated and the remaining call sites fell back.
+  EXPECT_GT(fp.contexts_cloned, 0u);
+  EXPECT_GT(fp.context_fallbacks, 0u);
+  // Soundness of the fall-back: every site still resolves (the joined
+  // context sees one absolute range covering all the offsets) and the
+  // buffer's pages are all predicted.
+  EXPECT_EQ(fp.unknown_sites, 0u);
+  const u32 first = mem::page_of(program.data_base);
+  const u32 last = mem::page_of(program.data_base + (kSites - 1) * 8 + 7);
+  for (u32 page = first; page <= last; ++page) {
+    EXPECT_TRUE(std::count(fp.pages.begin(), fp.pages.end(), page) > 0)
+        << "page " << page << " reachable through a fallen-back call site "
+        << "is missing from the footprint";
+  }
+}
+
+// Self-recursive callee whose pointer argument advances on every level.
+constexpr const char* kRecursive = R"(
+.data
+arr: .space 256
+.text
+main:
+  la a0, arr
+  li a1, 8
+  jal rec
+  li a0, 0
+  li v0, 1
+  syscall
+
+rec:
+  addi sp, sp, -8
+  sw ra, 4(sp)
+  sw a1, 0(sp)
+  beq a1, zero, base
+  sw a1, 0(a0)
+  addi a0, a0, 4
+  addi a1, a1, -1
+  jal rec
+base:
+  lw ra, 4(sp)
+  addi sp, sp, 8
+  jr ra
+)";
+
+/// Recursion with a changing argument tuple would clone forever without the
+/// depth budget: each level past the budget re-enters the joined context,
+/// whose widened fixpoint terminates.  The analysis must terminate at every
+/// depth and never under-approximate the touched pages.
+TEST(FootprintContextTest, RecursionUnderCloningTerminates) {
+  const isa::Program program = isa::assemble(kRecursive);
+  const u32 arr_page = mem::page_of(program.data_base);
+  for (const u32 depth : {0u, 1u, 3u}) {
+    AnalysisOptions options;
+    options.interprocedural_footprint = true;
+    options.context_depth = depth;
+    const PageFootprint fp = analyze(program, options).footprint;  // terminates
+    // Every store in `rec` either resolves with the array page predicted or
+    // stays unknown (excluded from checking) — both sound.
+    for (const AccessSite& site : fp.sites) {
+      if (!site.is_store || site.base != AddressBase::kAbsolute) continue;
+      EXPECT_TRUE(std::count(fp.pages.begin(), fp.pages.end(), arr_page) > 0);
+    }
+    if (depth > 0) {
+      // The clone count stays within the cache bound even though the
+      // recursion offers unboundedly many distinct argument tuples.
+      EXPECT_LE(fp.contexts_cloned, 32u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rse::analysis

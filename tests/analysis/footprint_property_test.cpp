@@ -75,25 +75,31 @@ TEST(FootprintPropertyTest, DynamicPagesStayInsideStaticFootprint) {
 }
 
 /// End-to-end agreement: the same random programs run under --static-ddt
-/// raise zero footprint violations, while actually checking accesses.
+/// raise zero footprint violations, while actually checking accesses — at
+/// the default context depth and with cloning disabled (--context-depth 0).
 TEST(FootprintPropertyTest, StaticDdtCleanOnRandomPrograms) {
   for (u64 seed = 1; seed <= kPrograms; ++seed) {
     const std::string source = testing::generate_random_program(seed, options_for(seed));
-    os::MachineConfig machine_config;
-    machine_config.framework_present = true;
-    os::OsConfig os_config;
-    os_config.static_ddt = true;
-    testing::SimRunner runner(machine_config, os_config);
-    runner.load_source(source);
-    runner.os().enable_module(isa::ModuleId::kDdt);
-    runner.run();
-    ASSERT_TRUE(runner.os().finished()) << "seed " << seed;
+    for (const u32 depth : {0u, 1u}) {
+      os::MachineConfig machine_config;
+      machine_config.framework_present = true;
+      os::OsConfig os_config;
+      os_config.static_ddt = true;
+      os_config.context_depth = depth;
+      testing::SimRunner runner(machine_config, os_config);
+      runner.load_source(source);
+      runner.os().enable_module(isa::ModuleId::kDdt);
+      runner.run();
+      ASSERT_TRUE(runner.os().finished()) << "seed " << seed << " depth " << depth;
 
-    const modules::DdtModule* ddt = runner.machine().ddt();
-    ASSERT_NE(ddt, nullptr);
-    EXPECT_GT(ddt->stats().footprint_checks, 0u) << "seed " << seed;
-    EXPECT_EQ(ddt->stats().footprint_violations, 0u)
-        << "seed " << seed << ": static footprint disagrees with a clean run";
+      const modules::DdtModule* ddt = runner.machine().ddt();
+      ASSERT_NE(ddt, nullptr);
+      EXPECT_GT(ddt->stats().footprint_checks, 0u)
+          << "seed " << seed << " depth " << depth;
+      EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+          << "seed " << seed << " at context depth " << depth
+          << ": static footprint disagrees with a clean run";
+    }
   }
 }
 
@@ -150,6 +156,67 @@ TEST(FootprintPropertyTest, StaticDdtCleanOnCallHeavyPrograms) {
   EXPECT_GT(checks, 0u) << "no site resolved across any call-heavy program";
   EXPECT_LT(ipa_unknown, flat_unknown)
       << "summaries resolved nothing the flat model missed";
+}
+
+testing::RandomProgramOptions arg_pointer_options(u64 seed) {
+  testing::RandomProgramOptions options;
+  options.arg_pointers = true;
+  options.with_calls = seed % 2 == 0;
+  return options;
+}
+
+/// Context-sensitivity soundness on pointer-argument programs: call sites
+/// pass absolute, sp-relative, and gp-relative buffer bases through
+/// $a0..$a3 to shared callees.  With cloning disabled (context depth 0) the
+/// joined base is unknown and the sites drop out of the check; at the
+/// default depth the clones resolve them per call site.  Both modes must
+/// raise zero footprint violations on clean runs — a violation in either
+/// would be a false positive from an under-approximated per-context fold —
+/// and the default depth must resolve strictly more sites in aggregate.
+TEST(FootprintPropertyTest, StaticDdtCleanOnArgPointerProgramsBothDepths) {
+  u64 ctx_unknown = 0, flat_unknown = 0;
+  u64 checks[2] = {0, 0};
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source =
+        testing::generate_random_program(seed + 2000, arg_pointer_options(seed));
+    const isa::Program program = isa::assemble(source);
+
+    const AnalysisResult ctx = analyze(program);  // context_depth defaults to 1
+    ASSERT_FALSE(ctx.has_errors()) << "seed " << seed << ":\n"
+                                   << to_json(program, ctx);
+    AnalysisOptions flat_options;
+    flat_options.context_depth = 0;
+    const AnalysisResult flat = analyze(program, flat_options);
+    ASSERT_FALSE(flat.has_errors()) << "seed " << seed;
+    ctx_unknown += ctx.footprint.unknown_sites;
+    flat_unknown += flat.footprint.unknown_sites;
+    EXPECT_LE(ctx.footprint.unknown_sites, flat.footprint.unknown_sites)
+        << "seed " << seed;
+
+    for (const u32 depth : {0u, 1u}) {
+      os::MachineConfig machine_config;
+      machine_config.framework_present = true;
+      os::OsConfig os_config;
+      os_config.static_ddt = true;
+      os_config.context_depth = depth;
+      testing::SimRunner runner(machine_config, os_config);
+      runner.load_source(source);
+      runner.os().enable_module(isa::ModuleId::kDdt);
+      runner.run();
+      ASSERT_TRUE(runner.os().finished()) << "seed " << seed << " depth " << depth;
+
+      const modules::DdtModule* ddt = runner.machine().ddt();
+      ASSERT_NE(ddt, nullptr);
+      checks[depth] += ddt->stats().footprint_checks;
+      EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+          << "seed " << seed << " at context depth " << depth
+          << ": clean run tripped the static footprint (false positive)";
+    }
+  }
+  EXPECT_GT(checks[0], 0u) << "depth 0 checked nothing across the suite";
+  EXPECT_GT(checks[1], 0u) << "depth 1 checked nothing across the suite";
+  EXPECT_LT(ctx_unknown, flat_unknown)
+      << "context cloning resolved nothing the flat pointer-argument join missed";
 }
 
 /// The harness itself must be reproducible: same seed, same program, same

@@ -26,6 +26,13 @@ struct RandomProgramOptions {
   /// across the calls (resolvable only when callee summaries prove t8
   /// preserved).  Implies with_calls-style callees at the bottom.
   bool call_heavy = false;
+  /// Pointer-argument callees for context-sensitivity testing: call sites
+  /// pass a buffer base through one of $a0..$a3 — an absolute arena pointer,
+  /// an sp-relative scratch pointer, or a gp-relative arena pointer — and
+  /// the callee walks the buffer through the argument register.  The
+  /// context-insensitive join of those bases is unknown, so the accesses
+  /// resolve only under per-call-site summary cloning.
+  bool arg_pointers = false;
   u32 arena_words = 64;
 };
 
@@ -81,6 +88,7 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
   };
 
   u32 loop_id = 0;
+  bool argfill_used[4] = {false, false, false, false};
   for (u32 block = 0; block < options.blocks; ++block) {
     s << "block_" << block << ":\n";
     const bool looped = options.with_loops && rng.next_below(3) == 0;
@@ -125,6 +133,29 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
       // only if the analysis proves the callee leaves t8 alone.
       s << "  sw " << reg() << ", " << rng.next_below(options.arena_words) * 4 << "(t8)\n";
     }
+    if (options.arg_pointers && rng.next_below(2) == 0) {
+      const u32 k = rng.next_below(4);        // pointer register a0..a3
+      const u32 c = (k + 1) % 4;              // word count in the next a-reg
+      switch (rng.next_below(3)) {
+        case 0:  // absolute pointer into the arena
+          s << "  la a" << k << ", arena\n";
+          s << "  addi a" << k << ", a" << k << ", "
+            << rng.next_below(options.arena_words - 8) * 4 << "\n";
+          break;
+        case 1:  // pointer to a stack-local scratch area below main's sp
+          s << "  addi a" << k << ", sp, -" << 32 + rng.next_below(9) * 4 << "\n";
+          break;
+        case 2:  // gp-relative pointer into the arena (the loader pins gp = 0)
+          s << "  la a" << k << ", arena\n";
+          s << "  add a" << k << ", a" << k << ", gp\n";
+          s << "  addi a" << k << ", a" << k << ", "
+            << rng.next_below(options.arena_words - 8) * 4 << "\n";
+          break;
+      }
+      s << "  li a" << c << ", " << 2 + rng.next_below(5) << "\n";
+      s << "  jal argfill_" << k << "\n";
+      argfill_used[k] = true;
+    }
   }
 
   // Epilogue: dump every working register into the arena, then exit.
@@ -158,6 +189,28 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     s << "  addi a0, a0, -1\n  jal rec\n";
     s << "rec_done:\n";
     s << "  lw a0, 0(sp)\n  lw ra, 4(sp)\n  addi sp, sp, 8\n  jr ra\n";
+  }
+  if (options.arg_pointers) {
+    // argfill_<k> walks a<k+1>-many words through the buffer base received
+    // in $a<k>.  Only v0/v1/t9 are clobbered, so t8/s0 stay call-preserved.
+    // The count rides in a register (not an immediate bound) so a body
+    // reached only through the exit syscall's lexical fall-through joins to
+    // an unknown range instead of fabricating a small resolved one; bodies
+    // are emitted only for callees some block actually calls.
+    for (int k = 0; k < 4; ++k) {
+      if (!argfill_used[k]) continue;
+      s << "argfill_" << k << ":\n";
+      s << "  li v1, 0\n";
+      s << "afl_" << k << ":\n";
+      s << "  sll t9, v1, 2\n";
+      s << "  add t9, t9, a" << k << "\n";
+      s << "  lw v0, 0(t9)\n";
+      s << "  addi v0, v0, 1\n";
+      s << "  sw v0, 0(t9)\n";
+      s << "  addi v1, v1, 1\n";
+      s << "  blt v1, a" << (k + 1) % 4 << ", afl_" << k << "\n";
+      s << "  jr ra\n";
+    }
   }
   return s.str();
 }

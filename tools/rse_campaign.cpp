@@ -2,7 +2,8 @@
 // classification (docs/campaigns.md).
 //
 //   rse_campaign [options]
-//     --workload <name>     loop | kmeans | kmeans-large | server  (kmeans)
+//     --workload <name>     loop | calls | args | kmeans | kmeans-large |
+//                           server                                 (kmeans)
 //     --runs <n>            number of injected runs                (256)
 //     --seed <n>            campaign seed                          (1)
 //     --jobs <n>            worker threads, 0 = hardware           (0)
@@ -11,6 +12,8 @@
 //     --runs-csv <path>     per-run CSV export
 //     --json <path|->       JSON report ('-' = stdout)
 //     --flat-footprint      static analysis without interprocedural summaries
+//     --context-depth <n>   context-sensitive footprint cloning depth
+//                           (default 1; 0 = context-insensitive)
 //     --describe <index>    print one run's injection point and exit
 //     --digest              print the deterministic digest instead of the
 //                           summary (for cross---jobs comparisons)
@@ -29,7 +32,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
-            << "  [--static-ddt] [--flat-footprint]\n"
+            << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       spec.static_ddt = true;
     } else if (arg == "--flat-footprint") {
       spec.footprint_summaries = false;
+    } else if (arg == "--context-depth") {
+      spec.context_depth = static_cast<u32>(std::stoul(value()));
     } else if (arg == "--targets") {
       if (!parse_targets(value(), &spec.targets)) {
         std::cerr << "bad --targets list\n";

@@ -6,6 +6,9 @@
 //     --protected a:b       declare [a, b) as CHECK-protected (labels or hex
 //                           addresses; repeatable)
 //     --flat-footprint      disable interprocedural footprint summaries
+//     --context-depth N     context-sensitive cloning depth for the
+//                           footprint pass (default 1; 0 = joined summaries
+//                           only, the context-insensitive behavior)
 //     --no-cfi              do not resolve indirect jumps via the
 //                           address-taken set
 //     --json                machine-readable report on stdout
@@ -14,6 +17,7 @@
 //
 // Exit codes: 0 = no error-severity findings, 1 = errors found (or the
 // program failed to assemble), 2 = usage.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,7 +37,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_lint <program.s> [--instrument] [--protected LO:HI]...\n"
             << "       rse_lint --workload NAME\n"
-            << "  [--no-cfi] [--flat-footprint] [--json] [--cfg] [--quiet]\n"
+            << "  [--no-cfi] [--flat-footprint] [--context-depth N] [--json] [--cfg] [--quiet]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
   std::cerr << "\n";
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
     else if (arg == "--instrument") instrument = true;
     else if (arg == "--no-cfi") options.resolve_indirect_address_taken = false;
     else if (arg == "--flat-footprint") options.interprocedural_footprint = false;
+    else if (arg == "--context-depth") options.context_depth = static_cast<u32>(std::strtoul(value(), nullptr, 0));
     else if (arg == "--json") json = true;
     else if (arg == "--cfg") cfg_dump = true;
     else if (arg == "--quiet") quiet = true;

@@ -14,6 +14,8 @@
 //                           error-severity findings (rse_lint for details)
 //     --static-cfc          precompute the CFG-derived legal-successor table
 //     --flat-footprint      static analysis without interprocedural summaries
+//     --context-depth N     context-sensitive footprint cloning depth
+//                           (default 1; 0 = context-insensitive)
 //     --static-ddt          hand the DDT the static data-flow page footprint
 //                           at load and hand it to the CFC (implies --cfc)
 #include <fstream>
@@ -37,7 +39,7 @@ int usage() {
   std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
             << "  [--instrument] [--randomize] [--rerand N] [--limit N]\n"
             << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n"
-            << "  [--static-ddt] [--flat-footprint]\n";
+            << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n";
   return 2;
 }
 
@@ -136,6 +138,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace = next_u64(0);
     else if (arg == "--lint") lint = true;
     else if (arg == "--flat-footprint") os_config.footprint_summaries = false;
+    else if (arg == "--context-depth") os_config.context_depth = static_cast<u32>(next_u64(os_config.context_depth));
     else if (arg == "--static-cfc") {
       os_config.static_cfc = true;
       enable_cfc = true;
