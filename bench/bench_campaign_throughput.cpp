@@ -65,6 +65,20 @@ int main(int argc, char** argv) {
   std::cout << "(golden cache: " << cache.misses() << " simulated, " << cache.hits()
             << " reused)\n";
 
+  // --fast-forward replays eligible fault-free prefixes through the exec/
+  // fast engine (docs/execution.md); classification must not move at all, so
+  // its digest has to match the classic jobs sweep byte-for-byte.
+  spec.jobs = 4;
+  spec.fast_forward = true;
+  const std::string ff_digest = campaign::deterministic_digest(runner.run(spec));
+  spec.fast_forward = false;
+  if (ff_digest != baseline_digest) {
+    std::cerr << "FAST-FORWARD DIGEST MISMATCH: --fast-forward changed campaign "
+                 "classification\n";
+    return 1;
+  }
+  std::cout << "--fast-forward digest identical to the classic campaign\n";
+
   if (auto dir = report::csv_export_dir()) {
     report::CsvWriter csv(*dir + "/campaign_throughput.csv",
                           {"jobs", "runs_per_sec", "wall_s", "speedup", "digest_match"});

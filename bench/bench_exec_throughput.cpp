@@ -1,0 +1,135 @@
+// Fast-path engine throughput: MIPS of the exec/ fast engine (decoded block
+// cache + direct-memory path) vs. the cycle-accurate OoO core on the same
+// workloads, with an output-equality cross-check per measurement.  Writes
+// BENCH_exec.json (perf trajectory) and exits nonzero if fast mode is less
+// than 10x the cycle-accurate instruction throughput on any workload —
+// the floor the smoke ctest enforces in CI.
+//
+//   bench_exec_throughput [--smoke] [--json PATH] [workload...]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/workload.hpp"
+#include "exec/fast_session.hpp"
+#include "isa/assembler.hpp"
+#include "report/table.hpp"
+
+using namespace rse;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Measurement {
+  u64 instructions = 0;
+  double seconds = 0;
+  std::string output;
+  double mips() const { return seconds > 0 ? instructions / seconds / 1e6 : 0; }
+};
+
+/// Repeat fresh runs until `min_seconds` of measured execution accumulates.
+Measurement measure(const campaign::WorkloadSetup& setup, const isa::Program& program,
+                    bool fast, double min_seconds) {
+  Measurement m;
+  while (m.seconds < min_seconds) {
+    os::Machine machine(setup.machine);
+    os::GuestOs guest(machine, setup.os);
+    guest.load(program);
+    for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+
+    const auto start = Clock::now();
+    if (fast) {
+      exec::FastSession session(guest, exec::FastSessionConfig{/*relaxed=*/true});
+      session.seed_leaders(program);
+      if (session.run_until(setup.os.run_limit) == exec::FastSession::Status::kBail) {
+        session.transplant(session.virtual_now());
+        guest.run();
+      }
+      m.instructions += session.executed() - session.engine().chks_executed() +
+                        machine.core().stats().instructions;
+    } else {
+      guest.run();
+      m.instructions += machine.core().stats().instructions;
+    }
+    m.seconds += std::chrono::duration<double>(Clock::now() - start).count();
+    m.output = guest.output();
+    if (!guest.finished()) {
+      std::cerr << "workload '" << setup.name << "' hit the run limit\n";
+      std::exit(1);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_exec.json";
+  std::vector<std::string> workload_list;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else workload_list.push_back(arg);
+  }
+  if (workload_list.empty()) {
+    workload_list = smoke ? std::vector<std::string>{"loop"}
+                          : std::vector<std::string>{"loop", "kmeans"};
+  }
+  const double min_seconds = smoke ? 0.05 : 0.4;
+  constexpr double kRequiredSpeedup = 10.0;
+
+  report::Table table(
+      {"workload", "classic MIPS", "fast MIPS", "speedup", "output match"});
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"exec_throughput\",\n  \"required_speedup\": "
+       << kRequiredSpeedup << ",\n  \"workloads\": [\n";
+
+  double min_speedup = -1;
+  bool all_outputs_match = true;
+  for (std::size_t w = 0; w < workload_list.size(); ++w) {
+    const campaign::WorkloadSetup setup = campaign::make_workload(workload_list[w]);
+    const isa::Program program = isa::assemble(setup.source);
+    const Measurement classic = measure(setup, program, /*fast=*/false, min_seconds);
+    const Measurement fast = measure(setup, program, /*fast=*/true, min_seconds);
+    const double speedup = classic.mips() > 0 ? fast.mips() / classic.mips() : 0;
+    const bool match = fast.output == classic.output;
+    all_outputs_match = all_outputs_match && match;
+    if (min_speedup < 0 || speedup < min_speedup) min_speedup = speedup;
+
+    table.row({setup.name, report::fmt_fixed(classic.mips(), 2),
+               report::fmt_fixed(fast.mips(), 2), report::fmt_fixed(speedup, 1),
+               match ? "yes" : "NO"});
+    json << "    {\"name\": \"" << setup.name << "\", \"classic_mips\": "
+         << report::fmt_fixed(classic.mips(), 3) << ", \"fast_mips\": "
+         << report::fmt_fixed(fast.mips(), 3) << ", \"speedup\": "
+         << report::fmt_fixed(speedup, 2) << ", \"output_match\": "
+         << (match ? "true" : "false") << "}" << (w + 1 < workload_list.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n  \"min_speedup\": " << report::fmt_fixed(min_speedup, 2) << "\n}\n";
+  table.print();
+
+  std::ofstream out(json_path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!all_outputs_match) {
+    std::cerr << "fast-mode output diverged from the cycle-accurate run\n";
+    return 1;
+  }
+  if (min_speedup < kRequiredSpeedup) {
+    std::cerr << "fast mode is only " << min_speedup << "x the cycle-accurate core "
+              << "(floor: " << kRequiredSpeedup << "x)\n";
+    return 1;
+  }
+  return 0;
+}

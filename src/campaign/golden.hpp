@@ -34,18 +34,30 @@ struct GoldenRun {
 /// Assemble and simulate the fault-free baseline for a workload setup.
 GoldenRun simulate_golden(const WorkloadSetup& setup);
 
+/// Fault-free baseline through the exec/ fast engine: identical output,
+/// exit code, and instruction count, but `cycles` is virtual time and the
+/// detector baselines are zero by construction (no framework activity in
+/// fast mode).  Campaign classification keeps using the cycle-accurate
+/// golden — injection-plan cycles, hang budgets, and digests depend on real
+/// golden cycles; the fast baseline serves rse_run --fast and the
+/// throughput benches (docs/execution.md).  Falls back to cycle-accurate
+/// execution mid-run when the workload leaves fast mode's envelope.
+GoldenRun simulate_golden_fast(const WorkloadSetup& setup);
+
 /// Thread-safe cache of golden runs keyed by (workload name, source,
-/// machine knobs that affect execution).
+/// machine knobs that affect execution, execution mode).
 class GoldenCache {
  public:
-  /// Fetch the golden run, simulating it on first use.
-  std::shared_ptr<const GoldenRun> get(const WorkloadSetup& setup);
+  /// Fetch the golden run, simulating it on first use.  `fast` selects the
+  /// fast-engine baseline and is part of the cache key — the two modes'
+  /// baselines must never alias (their cycle counts differ).
+  std::shared_ptr<const GoldenRun> get(const WorkloadSetup& setup, bool fast = false);
 
   u64 hits() const { return hits_; }
   u64 misses() const { return misses_; }
 
  private:
-  static std::string key_of(const WorkloadSetup& setup);
+  static std::string key_of(const WorkloadSetup& setup, bool fast);
 
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<const GoldenRun>> runs_;

@@ -46,6 +46,13 @@ struct CampaignSpec {
   /// set, so goldens must never leak across depths.  Depth 0 reproduces
   /// the context-insensitive digest bit-for-bit.
   u32 context_depth = 1;
+  /// Fast-forward the fault-free prefix of eligible runs through the exec/
+  /// fast engine and transplant into the cycle-accurate core at the
+  /// injection cycle (docs/execution.md).  Off by default.  Classified
+  /// outcomes — and therefore the deterministic digest — are identical with
+  /// and without it; only per-run cycle counts (timing, excluded from the
+  /// digest) may differ.
+  bool fast_forward = false;
   std::vector<InjectTarget> targets = {
       InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
       InjectTarget::kDataWord, InjectTarget::kConfigBit};

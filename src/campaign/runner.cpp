@@ -81,6 +81,33 @@ RunResult CampaignRunner::run_one(const WorkloadSetup& setup, const GoldenRun& g
   return run_one_with_budget(setup, golden, record, budget);
 }
 
+namespace {
+
+/// Classify a completed (or budget-bounded) faulty run from its machine and
+/// guest state — shared by the classic and fast-forward paths, which must
+/// gather evidence identically.
+void finish_run(os::Machine& machine, os::GuestOs& guest, const GoldenRun& golden,
+                bool host_trap, RunResult* result) {
+  RunEvidence evidence;
+  evidence.finished = guest.finished() || host_trap;
+  evidence.output = guest.output();
+  evidence.exit_code = guest.exit_code();
+  if (auto* icm = machine.icm()) evidence.icm_mismatches = icm->stats().mismatches;
+  if (auto* cfc = machine.cfc()) evidence.cfc_violations = cfc->stats().violations;
+  if (auto* fw = machine.framework()) evidence.selfcheck_trips = fw->stats().selfcheck_trips;
+  if (auto* ddt = machine.ddt()) {
+    evidence.ddt_footprint_violations = ddt->stats().footprint_violations;
+  }
+  evidence.recoveries = guest.stats().recoveries;
+  evidence.crashes = guest.stats().crashes + (host_trap ? 1 : 0);
+  evidence.illegal_traps = guest.stats().illegal_traps;
+
+  result->outcome = classify(evidence, golden);
+  result->cycles = machine.now();
+}
+
+}  // namespace
+
 RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
                                               const GoldenRun& golden,
                                               const InjectionRecord& record,
@@ -112,22 +139,52 @@ RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
     host_trap = true;
   }
 
-  RunEvidence evidence;
-  evidence.finished = guest.finished() || host_trap;
-  evidence.output = guest.output();
-  evidence.exit_code = guest.exit_code();
-  if (auto* icm = machine.icm()) evidence.icm_mismatches = icm->stats().mismatches;
-  if (auto* cfc = machine.cfc()) evidence.cfc_violations = cfc->stats().violations;
-  if (auto* fw = machine.framework()) evidence.selfcheck_trips = fw->stats().selfcheck_trips;
-  if (auto* ddt = machine.ddt()) {
-    evidence.ddt_footprint_violations = ddt->stats().footprint_violations;
-  }
-  evidence.recoveries = guest.stats().recoveries;
-  evidence.crashes = guest.stats().crashes + (host_trap ? 1 : 0);
-  evidence.illegal_traps = guest.stats().illegal_traps;
+  finish_run(machine, guest, golden, host_trap, &result);
+  return result;
+}
 
-  result.outcome = classify(evidence, golden);
-  result.cycles = machine.now();
+RunResult CampaignRunner::run_one_fast_forward(
+    const WorkloadSetup& setup, const GoldenRun& golden, const InjectionRecord& record,
+    Cycle budget, const exec::FastForwardController::BoundaryMap& boundaries) const {
+  // Only register faults are fast-forward-safe: memory faults can interact
+  // with in-flight stores and stale fetch buffers, and config faults with
+  // in-flight CHK IOQ entries — microarchitectural windows the fast prefix
+  // does not reproduce.  Records whose injection cycle the fault-free run
+  // never reaches have no boundary entry (the classic path applies no fault
+  // there either).
+  if (record.target != InjectTarget::kRegisterBit) {
+    return run_one_with_budget(setup, golden, record, budget);
+  }
+  const auto boundary = boundaries.find(record.inject_cycle);
+  if (boundary == boundaries.end()) return run_one_with_budget(setup, golden, record, budget);
+
+  os::OsConfig os_config = setup.os;
+  os_config.run_limit = budget;
+
+  os::Machine machine(setup.machine);
+  os::GuestOs guest(machine, os_config);
+  guest.load(golden.program);
+  for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+
+  if (!exec::FastForwardController::fast_forward_to(guest, golden.program, boundary->second,
+                                                    record.inject_cycle)) {
+    // Fast mode bailed (non-whitelisted syscall, early exit, illegal word):
+    // rerun classically on a fresh machine — correctness over speed.
+    return run_one_with_budget(setup, golden, record, budget);
+  }
+
+  RunResult result;
+  result.record = record;
+
+  bool host_trap = false;
+  try {
+    result.fault_applied = apply_fault(machine, record);
+    while (!guest.finished() && machine.now() < budget) guest.step();
+  } catch (const SimError&) {
+    host_trap = true;
+  }
+
+  finish_run(machine, guest, golden, host_trap, &result);
   return result;
 }
 
@@ -148,13 +205,44 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   const InjectionPlan plan = plan_for(spec, *golden, setup);
   const Cycle budget = budget_for(*golden, spec.hang_factor);
 
+  // Fast-forward prerequisites: one instrumented cycle-accurate replay maps
+  // each register-fault injection cycle to its functional-stream position.
+  // A golden run with baseline detector activity disables the fast path
+  // entirely — the detector events of the fault-free prefix would be missing
+  // from a fast-forwarded run, skewing the against-golden classification.
+  exec::FastForwardController::BoundaryMap boundaries;
+  const bool golden_baseline_clean =
+      golden->icm_mismatches == 0 && golden->cfc_violations == 0 &&
+      golden->selfcheck_trips == 0 && golden->os_recoveries == 0 &&
+      golden->ddt_footprint_violations == 0;
+  if (spec.fast_forward && golden_baseline_clean) {
+    std::vector<Cycle> cycles;
+    for (u32 i = 0; i < spec.runs; ++i) {
+      const InjectionRecord record = plan.record(i);
+      if (record.target == InjectTarget::kRegisterBit) cycles.push_back(record.inject_cycle);
+    }
+    if (!cycles.empty()) {
+      os::OsConfig os_config = setup.os;
+      os_config.run_limit = budget;
+      os::Machine machine(setup.machine);
+      os::GuestOs guest(machine, os_config);
+      guest.load(golden->program);
+      for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+      boundaries = exec::FastForwardController::map_boundaries(guest, std::move(cycles));
+    }
+  }
+  const bool use_fast_forward = spec.fast_forward && golden_baseline_clean;
+
   std::vector<RunResult> results(spec.runs);
   std::atomic<u32> next_run{0};
   const auto worker = [&] {
     for (;;) {
       const u32 index = next_run.fetch_add(1, std::memory_order_relaxed);
       if (index >= spec.runs) return;
-      results[index] = run_one_with_budget(setup, *golden, plan.record(index), budget);
+      results[index] =
+          use_fast_forward
+              ? run_one_fast_forward(setup, *golden, plan.record(index), budget, boundaries)
+              : run_one_with_budget(setup, *golden, plan.record(index), budget);
     }
   };
 

@@ -15,6 +15,7 @@
 #include "campaign/golden.hpp"
 #include "campaign/injection.hpp"
 #include "campaign/report.hpp"
+#include "exec/fast_forward.hpp"
 
 namespace rse::campaign {
 
@@ -35,6 +36,17 @@ class CampaignRunner {
 
   RunResult run_one_with_budget(const WorkloadSetup& setup, const GoldenRun& golden,
                                 const InjectionRecord& record, Cycle budget) const;
+
+  /// Fast-forward variant: the fault-free prefix runs through the exec/ fast
+  /// engine and is transplanted into the cycle-accurate core at the
+  /// injection cycle.  Only register-target records with a boundary entry
+  /// take the fast path; everything else (memory/config faults, records past
+  /// the fault-free run's end, fast-mode bails) falls back to the classic
+  /// run_one_with_budget — so the classified outcome is always the classic
+  /// one (docs/execution.md).
+  RunResult run_one_fast_forward(const WorkloadSetup& setup, const GoldenRun& golden,
+                                 const InjectionRecord& record, Cycle budget,
+                                 const exec::FastForwardController::BoundaryMap& boundaries) const;
 
   /// The plan a spec expands to (exposed for tests and --describe).
   InjectionPlan plan_for(const CampaignSpec& spec, const GoldenRun& golden,

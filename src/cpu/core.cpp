@@ -219,6 +219,10 @@ void Core::exec_functional(RuuEntry& e, const FetchedInstr& f) {
   e.mispredicted = next_pc != f.predicted_next;
   pc_ = next_pc;
   regs_[0] = 0;
+  // Syscalls/traps have their architectural effect at commit, not here; every
+  // other instruction (CHK included) has now executed functionally, advancing
+  // the position the fast-forward controller aligns against.
+  if (in.op != Op::kSyscall && in.op != Op::kInvalid) ++functional_pos_;
 }
 
 // ------------------------------------------------------------------- commit
@@ -265,6 +269,7 @@ void Core::stage_commit(Cycle now) {
       // pipeline (it may switch contexts).
       free_head_entry(e);
       ++committed;
+      ++functional_pos_;  // syscalls/traps take architectural effect here
       if (is_invalid) {
         if (os_) os_->on_illegal(now, ci.pc);
         running_ = false;
@@ -395,6 +400,12 @@ void Core::flush_all(Cycle now, Addr refetch_pc) {
     const u32 index = ruu_index(off);
     RuuEntry& e = ruu_[index];
     if (!e.wrong_path && e.has_dest) regs_[e.dest_reg] = e.old_dest_value;
+    // Correct-path entries (except syscalls/traps, which never execute at
+    // dispatch) were counted by exec_functional; they will re-execute after
+    // the refetch, so un-count them.
+    if (!e.wrong_path && e.instr.op != Op::kSyscall && e.instr.op != Op::kInvalid) {
+      --functional_pos_;
+    }
     if (fw_) fw_->on_squash(engine::InstrTag{index, e.seq}, now);
     e.valid = false;
     ++stats_.squashed;

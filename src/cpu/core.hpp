@@ -135,6 +135,8 @@ class Core {
     text_lo_ = lo;
     text_hi_ = hi;
   }
+  Addr text_lo() const { return text_lo_; }
+  Addr text_hi() const { return text_hi_; }
 
   /// Debug hook invoked for every committed instruction, in retirement
   /// order (used by the rse_run --trace tool and by tests).
@@ -148,6 +150,15 @@ class Core {
   /// detects (the instruction's binary is intact, so the ICM cannot).
   using BranchFaultHook = std::function<Addr(Addr pc, Addr next)>;
   void set_branch_fault_hook(BranchFaultHook hook) { branch_fault_ = std::move(hook); }
+
+  /// Number of instructions that have taken architectural effect so far, in
+  /// program order: dispatch-time functional execution for ordinary
+  /// instructions (CHKs included), commit time for syscalls/traps, with
+  /// squashed correct-path entries un-counted on flush.  A fault injected
+  /// into `regs_`/`pc_` when functional_pos() == N lands exactly after the
+  /// first N instructions of the functional stream — the alignment contract
+  /// the exec/ fast-forward controller relies on (docs/execution.md).
+  u64 functional_pos() const { return functional_pos_; }
 
   const CoreStats& stats() const { return stats_; }
   CoreStats& mutable_stats() { return stats_; }
@@ -257,6 +268,7 @@ class Core {
   bool running_ = false;
   bool draining_ = false;
   Cycle commit_stall_until_ = 0;
+  u64 functional_pos_ = 0;  // see functional_pos()
 
   FetchFaultHook fetch_fault_;
   BranchFaultHook branch_fault_;

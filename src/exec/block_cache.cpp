@@ -1,0 +1,59 @@
+#include "exec/block_cache.hpp"
+
+#include <algorithm>
+
+namespace rse::exec {
+
+const DecodedBlock* BlockCache::lookup(Addr pc) {
+  ++stats_.lookups;
+  auto it = blocks_.find(pc);
+  if (it != blocks_.end()) return &it->second;
+
+  ++stats_.decodes;
+  DecodedBlock block;
+  block.start = pc;
+  for (u32 i = 0; i < kMaxBlockInstrs; ++i) {
+    const Addr at = pc + i * 4;
+    // Stop before a foreign leader: execution entering at that leader must
+    // find its own block, and two overlapping decodings of the same bytes
+    // would double the invalidation bookkeeping.
+    if (i > 0 && leaders_.count(at) != 0) break;
+    const isa::Instr in = isa::decode(memory_->read_u32(at));
+    block.instrs.push_back(in);
+    // Terminators end the block and stay in it: the engine decides whether
+    // to execute them (control flow) or stop on them (syscall/illegal).
+    if (in.is_control() || in.op == isa::Op::kSyscall || in.op == isa::Op::kInvalid) break;
+  }
+  index_block(block);
+  auto [pos, inserted] = blocks_.emplace(pc, std::move(block));
+  (void)inserted;
+  return &pos->second;
+}
+
+void BlockCache::index_block(const DecodedBlock& block) {
+  const u32 first = mem::page_of(block.start);
+  const u32 last = mem::page_of(block.start + static_cast<Addr>(block.instrs.size()) * 4 - 1);
+  for (u32 page = first; page <= last; ++page) page_index_[page].push_back(block.start);
+}
+
+void BlockCache::invalidate(Addr addr, u32 size) {
+  const u32 first = mem::page_of(addr);
+  const u32 last = mem::page_of(addr + (size ? size - 1 : 0));
+  for (u32 page = first; page <= last; ++page) {
+    auto it = page_index_.find(page);
+    if (it == page_index_.end()) continue;
+    for (const Addr start : it->second) {
+      if (blocks_.erase(start) != 0) ++stats_.invalidations;
+    }
+    // Erased blocks may span neighbouring pages; their stale entries there
+    // are harmless (erase of a missing key) and vanish on the next decode.
+    page_index_.erase(it);
+  }
+}
+
+void BlockCache::clear() {
+  blocks_.clear();
+  page_index_.clear();
+}
+
+}  // namespace rse::exec

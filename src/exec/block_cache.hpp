@@ -1,0 +1,77 @@
+// Dynamic basic-block cache for the fast functional execution engine.
+//
+// Blocks are decoded lazily from guest memory the first time execution
+// reaches a leader PC and are reused until a store into the text segment
+// invalidates them.  A block runs from its leader up to (and including) the
+// first terminator: any control-flow instruction, a syscall, or an
+// undecodable word.  Optionally the static CFG's leaders (analysis/cfg.hpp)
+// seed extra block boundaries so fast-mode blocks line up with the blocks
+// the static analyses reason about.
+//
+// Invalidation is page-granular on the lookup side: every block registers
+// itself with each 4 KB page its byte range overlaps, and invalidate(addr,
+// size) erases every block registered on a page the written range touches.
+// That over-approximates (a store to one instruction kills neighbours on the
+// page) but keeps the common case — no stores to text — entirely free.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "mem/main_memory.hpp"
+
+namespace rse::exec {
+
+struct DecodedBlock {
+  Addr start = 0;
+  /// Pre-decoded instructions; instruction i sits at start + 4*i.
+  std::vector<isa::Instr> instrs;
+};
+
+struct BlockCacheStats {
+  u64 lookups = 0;
+  u64 decodes = 0;        // cache misses that built a block
+  u64 invalidations = 0;  // blocks dropped by stores to text
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(mem::MainMemory& memory) : memory_(&memory) {}
+
+  /// Extra block boundaries (typically the static CFG's leaders).  A decoded
+  /// block never runs across a registered leader, so block identity is
+  /// stable regardless of which PC execution entered a region from.
+  void add_leader(Addr pc) { leaders_.insert(pc); }
+
+  /// Decoded block starting at `pc`, building it on first use.  The pointer
+  /// stays valid until the block is invalidated — callers must not hold it
+  /// across a store to text.
+  const DecodedBlock* lookup(Addr pc);
+
+  /// Drop every block whose byte range shares a page with [addr, addr+size).
+  void invalidate(Addr addr, u32 size);
+
+  /// Drop everything (program reload).
+  void clear();
+
+  const BlockCacheStats& stats() const { return stats_; }
+  std::size_t blocks_cached() const { return blocks_.size(); }
+
+  /// Decoded-block length cap; also bounds how stale a block can be.
+  static constexpr u32 kMaxBlockInstrs = 64;
+
+ private:
+  void index_block(const DecodedBlock& block);
+
+  mem::MainMemory* memory_;
+  std::unordered_map<Addr, DecodedBlock> blocks_;
+  // page number -> leader PCs of blocks overlapping that page
+  std::unordered_map<u32, std::vector<Addr>> page_index_;
+  std::unordered_set<Addr> leaders_;
+  BlockCacheStats stats_;
+};
+
+}  // namespace rse::exec

@@ -1,0 +1,161 @@
+#include "exec/fast_engine.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+
+namespace rse::exec {
+
+using isa::Op;
+
+FastEngine::Stop FastEngine::run_until(u64 target) {
+  while (executed_ < target) {
+    if (text_hi_ != 0 && (pc_ < text_lo_ || pc_ >= text_hi_)) return Stop::kIllegal;
+    const DecodedBlock* block = cache_->lookup(pc_);
+    const Addr start = block->start;
+    const std::size_t count = block->instrs.size();
+
+    Addr pc = start;
+    std::size_t i = 0;
+    while (i < count) {
+      if (executed_ == target) {
+        pc_ = pc;
+        return Stop::kBoundary;
+      }
+      const isa::Instr in = block->instrs[i];
+      Addr next = pc + 4;
+      const Word rs = regs_[in.rs];
+      const Word rt = regs_[in.rt];
+      const u32 uimm = static_cast<u32>(in.imm) & 0xFFFFu;
+      // A store landing in the text segment drops overlapping cached blocks
+      // — including possibly the one being executed — so the inner loop must
+      // end before touching `block` again.
+      bool invalidated = false;
+      auto wr = [this](u8 reg, Word value) {
+        if (reg != 0) regs_[reg] = value;
+      };
+      auto store = [&](Addr addr, u32 size, Word value) {
+        std::memcpy(data_host(addr), &value, size);
+        if (addr < text_hi_ && addr + size > text_lo_) {
+          cache_->invalidate(addr, size);
+          invalidated = true;
+        }
+      };
+
+      switch (in.op) {
+        case Op::kInvalid:
+          pc_ = pc;
+          return Stop::kIllegal;
+        case Op::kSyscall:
+          pc_ = pc;
+          return Stop::kSyscall;
+        case Op::kSll: wr(in.rd, rt << in.shamt); break;
+        case Op::kSrl: wr(in.rd, rt >> in.shamt); break;
+        case Op::kSra: wr(in.rd, static_cast<Word>(static_cast<i32>(rt) >> in.shamt)); break;
+        case Op::kSllv: wr(in.rd, rt << (rs & 31)); break;
+        case Op::kSrlv: wr(in.rd, rt >> (rs & 31)); break;
+        case Op::kSrav: wr(in.rd, static_cast<Word>(static_cast<i32>(rt) >> (rs & 31))); break;
+        case Op::kAdd: wr(in.rd, rs + rt); break;
+        case Op::kSub: wr(in.rd, rs - rt); break;
+        case Op::kAnd: wr(in.rd, rs & rt); break;
+        case Op::kOr: wr(in.rd, rs | rt); break;
+        case Op::kXor: wr(in.rd, rs ^ rt); break;
+        case Op::kNor: wr(in.rd, ~(rs | rt)); break;
+        case Op::kSlt: wr(in.rd, static_cast<i32>(rs) < static_cast<i32>(rt) ? 1 : 0); break;
+        case Op::kSltu: wr(in.rd, rs < rt ? 1 : 0); break;
+        case Op::kMul: wr(in.rd, rs * rt); break;
+        case Op::kMulh:
+          wr(in.rd, static_cast<Word>((static_cast<i64>(static_cast<i32>(rs)) *
+                                       static_cast<i64>(static_cast<i32>(rt))) >>
+                                      32));
+          break;
+        case Op::kDiv:
+          wr(in.rd,
+             rt == 0 ? 0 : static_cast<Word>(static_cast<i32>(rs) / static_cast<i32>(rt)));
+          break;
+        case Op::kRem:
+          wr(in.rd,
+             rt == 0 ? 0 : static_cast<Word>(static_cast<i32>(rs) % static_cast<i32>(rt)));
+          break;
+        case Op::kAddi: wr(in.rt, rs + static_cast<Word>(in.imm)); break;
+        case Op::kAndi: wr(in.rt, rs & uimm); break;
+        case Op::kOri: wr(in.rt, rs | uimm); break;
+        case Op::kXori: wr(in.rt, rs ^ uimm); break;
+        case Op::kSlti: wr(in.rt, static_cast<i32>(rs) < in.imm ? 1 : 0); break;
+        case Op::kSltiu: wr(in.rt, rs < static_cast<Word>(in.imm) ? 1 : 0); break;
+        case Op::kLui: wr(in.rt, uimm << 16); break;
+        case Op::kLw: {
+          u32 v;
+          std::memcpy(&v, data_host((rs + static_cast<Word>(in.imm)) & ~3u), 4);
+          wr(in.rt, v);
+          break;
+        }
+        case Op::kLh: {
+          u16 v;
+          std::memcpy(&v, data_host((rs + static_cast<Word>(in.imm)) & ~1u), 2);
+          wr(in.rt, static_cast<Word>(sign_extend(v, 16)));
+          break;
+        }
+        case Op::kLhu: {
+          u16 v;
+          std::memcpy(&v, data_host((rs + static_cast<Word>(in.imm)) & ~1u), 2);
+          wr(in.rt, v);
+          break;
+        }
+        case Op::kLb:
+          wr(in.rt, static_cast<Word>(
+                        sign_extend(*data_host(rs + static_cast<Word>(in.imm)), 8)));
+          break;
+        case Op::kLbu: wr(in.rt, *data_host(rs + static_cast<Word>(in.imm))); break;
+        case Op::kSw: store((rs + static_cast<Word>(in.imm)) & ~3u, 4, rt); break;
+        case Op::kSh: store((rs + static_cast<Word>(in.imm)) & ~1u, 2, rt & 0xFFFFu); break;
+        case Op::kSb: store(rs + static_cast<Word>(in.imm), 1, rt & 0xFFu); break;
+        case Op::kBeq:
+          if (rs == rt) next = pc + 4 + (static_cast<Word>(in.imm) << 2);
+          break;
+        case Op::kBne:
+          if (rs != rt) next = pc + 4 + (static_cast<Word>(in.imm) << 2);
+          break;
+        case Op::kBlt:
+          if (static_cast<i32>(rs) < static_cast<i32>(rt)) {
+            next = pc + 4 + (static_cast<Word>(in.imm) << 2);
+          }
+          break;
+        case Op::kBge:
+          if (static_cast<i32>(rs) >= static_cast<i32>(rt)) {
+            next = pc + 4 + (static_cast<Word>(in.imm) << 2);
+          }
+          break;
+        case Op::kBltu:
+          if (rs < rt) next = pc + 4 + (static_cast<Word>(in.imm) << 2);
+          break;
+        case Op::kBgeu:
+          if (rs >= rt) next = pc + 4 + (static_cast<Word>(in.imm) << 2);
+          break;
+        case Op::kJ: next = in.target << 2; break;
+        case Op::kJal:
+          wr(isa::kRa, pc + 4);
+          next = in.target << 2;
+          break;
+        case Op::kJr: next = rs; break;
+        case Op::kJalr:
+          wr(in.rd, pc + 4);
+          next = rs;
+          break;
+        case Op::kChk:
+          ++chks_executed_;
+          break;  // architectural NOP, same as the golden model
+      }
+
+      ++executed_;
+      regs_[0] = 0;
+      pc = next;
+      if (invalidated) break;  // `block` may be gone; re-enter via the cache
+      ++i;
+    }
+    pc_ = pc;
+  }
+  return Stop::kBoundary;
+}
+
+}  // namespace rse::exec

@@ -1,0 +1,42 @@
+#include "exec/fast_forward.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rse::exec {
+
+FastForwardController::BoundaryMap FastForwardController::map_boundaries(
+    os::GuestOs& guest, std::vector<Cycle> cycles) {
+  std::sort(cycles.begin(), cycles.end());
+  cycles.erase(std::unique(cycles.begin(), cycles.end()), cycles.end());
+
+  BoundaryMap map;
+  os::Machine& machine = guest.machine();
+  for (const Cycle cycle : cycles) {
+    while (!guest.finished() && machine.now() < cycle) guest.step();
+    if (guest.finished()) break;  // later cycles never apply a fault either
+    map[cycle] = machine.core().functional_pos();
+  }
+  return map;
+}
+
+bool FastForwardController::fast_forward_to(os::GuestOs& guest, const isa::Program& program,
+                                            u64 position, Cycle inject_cycle) {
+  FastSession session(guest);  // strict syscall whitelist
+  session.seed_leaders(program);
+  FastSession::Status status;
+  try {
+    status = session.run_until(position);
+  } catch (const SimError&) {
+    // A host-side trap in the fault-free prefix cannot happen on the
+    // classic path (the golden run completed); treat it as a bail so the
+    // classic rerun decides.
+    return false;
+  }
+  if (status != FastSession::Status::kBoundary || session.executed() != position) return false;
+  session.transplant(inject_cycle);
+  return true;
+}
+
+}  // namespace rse::exec

@@ -1,0 +1,45 @@
+// FastForwardController: the switchover driver between the fast functional
+// engine and the cycle-accurate core (docs/execution.md).
+//
+// A fault-injection campaign addresses injection points in *cycles*, but the
+// fast engine advances in *instructions*.  The controller bridges the two
+// with one instrumented cycle-accurate replay of the fault-free run: it
+// samples cpu::Core::functional_pos() at every requested cycle, yielding the
+// exact functional-stream position a register fault at that cycle lands on.
+// Each injected run then fast-executes to its position, transplants the
+// architectural state into the core, and runs the injection window and
+// everything after it fully modeled.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "exec/fast_session.hpp"
+#include "isa/program.hpp"
+#include "os/guest_os.hpp"
+
+namespace rse::exec {
+
+class FastForwardController {
+ public:
+  /// inject cycle -> functional-stream position at that cycle.  Cycles at
+  /// which the fault-free run has already finished get no entry — a fault
+  /// there would never be applied, and the caller falls back to the classic
+  /// path.
+  using BoundaryMap = std::map<Cycle, u64>;
+
+  /// One instrumented cycle-accurate replay over a freshly loaded guest.
+  /// The stepping loop replicates the classic injected-run loop
+  /// ("step while now < inject_cycle"), so the sampled position is taken at
+  /// exactly the machine state a classic run applies its fault in.
+  static BoundaryMap map_boundaries(os::GuestOs& guest, std::vector<Cycle> cycles);
+
+  /// Fast-forward a freshly loaded guest to `position` and transplant at
+  /// `inject_cycle`.  Returns false when fast mode could not reach the
+  /// position (non-whitelisted syscall, early exit, illegal word) — the
+  /// caller must then rerun classically; the guest is not reusable.
+  static bool fast_forward_to(os::GuestOs& guest, const isa::Program& program, u64 position,
+                              Cycle inject_cycle);
+};
+
+}  // namespace rse::exec

@@ -1,0 +1,109 @@
+#include "exec/fast_session.hpp"
+
+#include "analysis/cfg.hpp"
+
+namespace rse::exec {
+
+FastSession::FastSession(os::GuestOs& guest, FastSessionConfig config)
+    : guest_(&guest),
+      machine_(&guest.machine()),
+      config_(config),
+      cache_(machine_->memory()),
+      engine_(machine_->memory(), cache_, machine_->core().text_lo(),
+              machine_->core().text_hi()) {
+  const cpu::ThreadContext ctx = machine_->core().context();
+  engine_.set_regs(ctx.regs);
+  engine_.set_pc(ctx.pc);
+  start_now_ = machine_->now();
+}
+
+void FastSession::seed_leaders(const isa::Program& program) {
+  const analysis::ControlFlowGraph cfg = analysis::build_cfg(program);
+  for (const analysis::BasicBlock& block : cfg.blocks) cache_.add_leader(block.start);
+}
+
+Cycle FastSession::virtual_now() const {
+  return start_now_ + engine_.executed() + stall_accum_;
+}
+
+bool FastSession::syscall_allowed(u32 number) const {
+  switch (static_cast<os::Sys>(number)) {
+    // Time-independent, non-blocking, single-thread-preserving syscalls:
+    // safe in both modes, and their side effects (output text, brk, rng
+    // draws) land exactly where the classic run puts them.
+    case os::Sys::kPrintInt:
+    case os::Sys::kPrintChar:
+    case os::Sys::kPrintStr:
+    case os::Sys::kSbrk:
+    case os::Sys::kRand:
+      return true;
+    // Relaxed-mode extras: exit ends the process; clock reads virtual time
+    // (documented divergence — the campaign fast-forward path never allows
+    // it, because its value could not match the cycle-accurate run).
+    case os::Sys::kExit:
+    case os::Sys::kClock:
+      return config_.relaxed;
+    default:
+      return false;
+  }
+}
+
+FastSession::Status FastSession::execute_syscall() {
+  cpu::Core& core = machine_->core();
+  // Mirror the core's commit semantics: the PC moves past the syscall at
+  // dispatch, then the OS handler runs against the architectural registers.
+  engine_.set_pc(engine_.pc() + 4);
+  for (u8 r = 1; r < isa::kNumRegs; ++r) core.set_reg(r, engine_.reg(r));
+  core.set_pc(engine_.pc());
+  if (probe_) probe_(engine_.pc(), engine_.regs());
+
+  const cpu::OsClient::SyscallResult result = guest_->on_syscall(virtual_now());
+  stall_accum_ += result.stall;
+
+  const cpu::ThreadContext ctx = core.context();
+  engine_.set_regs(ctx.regs);
+  engine_.set_pc(ctx.pc);
+  engine_.credit_instruction();
+
+  if (guest_->finished()) return Status::kExited;
+  if (result.suspend) {
+    // A whitelisted syscall never blocks a single-threaded guest; treat a
+    // suspend as a bail so the cycle-accurate machine takes over cleanly.
+    bail_ = BailReason::kSyscall;
+    return Status::kBail;
+  }
+  return Status::kBoundary;
+}
+
+FastSession::Status FastSession::run_until(u64 target_instructions) {
+  bail_ = BailReason::kNone;
+  while (engine_.executed() < target_instructions) {
+    const FastEngine::Stop stop = engine_.run_until(target_instructions);
+    if (stop == FastEngine::Stop::kBoundary) break;
+    if (stop == FastEngine::Stop::kIllegal) {
+      bail_ = BailReason::kIllegal;
+      return Status::kBail;
+    }
+    // Stopped ON a syscall.  Delegate if whitelisted, otherwise bail with
+    // the PC still pointing at it.
+    if (!syscall_allowed(engine_.reg(isa::kV0))) {
+      bail_ = BailReason::kSyscall;
+      return Status::kBail;
+    }
+    const Status status = execute_syscall();
+    if (status != Status::kBoundary) return status;
+  }
+  return Status::kBoundary;
+}
+
+void FastSession::transplant(Cycle target_cycle) {
+  cpu::Core& core = machine_->core();
+  cpu::ThreadContext ctx;
+  ctx.regs = engine_.regs();
+  ctx.pc = engine_.pc();
+  core.set_context(ctx, core.thread());
+  machine_->warp_to(target_cycle);
+  if (machine_->cfc() != nullptr) machine_->cfc()->forget_thread(core.thread());
+}
+
+}  // namespace rse::exec

@@ -1,0 +1,96 @@
+// FastSession couples the fast functional engine with a loaded Machine +
+// GuestOs: it lifts the architectural context off the cycle-accurate core,
+// executes in fast mode (delegating whitelisted syscalls to the guest OS so
+// output/brk/rng state stay exactly on the classic trajectory), and
+// transplants the resulting state back into cpu::Core.
+//
+// FastForwardController is the campaign-facing piece: it maps injection
+// cycles to functional-stream positions with one instrumented golden replay
+// (cpu::Core::functional_pos()), fast-forwards each eligible run to its
+// boundary, transplants, applies the fault, and lets the cycle-accurate
+// machine run the injection window and everything after it fully modeled.
+// Switchover guarantees and the eligibility rules live in docs/execution.md.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "exec/block_cache.hpp"
+#include "exec/fast_engine.hpp"
+#include "os/guest_os.hpp"
+
+namespace rse::exec {
+
+struct FastSessionConfig {
+  /// Strict mode (default, used by campaign fast-forward) delegates only
+  /// syscalls whose behavior is independent of simulated time: print*, sbrk,
+  /// rand.  Relaxed mode (rse_run --fast) additionally allows exit and
+  /// clock — clock then reads *virtual* time (instructions + syscall costs),
+  /// a documented divergence from the cycle-accurate run.
+  bool relaxed = false;
+};
+
+class FastSession {
+ public:
+  enum class Status {
+    kBoundary,  ///< reached the requested instruction-count target
+    kExited,    ///< the guest process finished while in fast mode
+    kBail,      ///< hit work only the cycle-accurate core can run
+  };
+
+  enum class BailReason { kNone, kSyscall, kIllegal };
+
+  /// The guest must be load()ed and single-threaded-so-far; the session
+  /// starts from the core's current architectural context.
+  explicit FastSession(os::GuestOs& guest, FastSessionConfig config = {});
+
+  /// Fast-execute until `target` total instructions (counted exactly like
+  /// cpu::Core::functional_pos()), the process exits, or a bail.  On kBail
+  /// the state rests ON the un-executed syscall/illegal word, so a
+  /// transplant hands the cycle-accurate core a consistent context.
+  Status run_until(u64 target_instructions);
+
+  u64 executed() const { return engine_.executed(); }
+  BailReason bail_reason() const { return bail_; }
+  /// Virtual time: cycles at session start + instructions + syscall stalls.
+  Cycle virtual_now() const;
+
+  const FastEngine& engine() const { return engine_; }
+  BlockCache& block_cache() { return cache_; }
+
+  /// Seed the block cache with the static CFG's leaders (analysis/cfg.hpp)
+  /// so dynamic blocks line up with the statically recovered ones.
+  void seed_leaders(const isa::Program& program);
+
+  /// Observability probe fired at every delegated syscall boundary, after
+  /// the PC has moved past the syscall but before the handler runs — the
+  /// exact (pc, regs) the cycle-accurate core exposes when the same syscall
+  /// commits.  The differential suite compares these snapshots between
+  /// modes; production callers leave it unset.
+  using SyscallProbe = std::function<void(Addr pc, const std::array<Word, isa::kNumRegs>&)>;
+  void set_syscall_probe(SyscallProbe probe) { probe_ = std::move(probe); }
+
+  /// Transplant fast-mode architectural state (regs, pc) into the
+  /// cycle-accurate core and warp the machine clock to `target_cycle`.
+  /// Memory needs no copy — the engine wrote the machine's MainMemory in
+  /// place.  The CFC's per-thread stream state is cleared: the first
+  /// post-transplant transition is fault-independent for every fast-forward-
+  /// eligible fault class, so skipping its check drops no detection.
+  void transplant(Cycle target_cycle);
+
+ private:
+  bool syscall_allowed(u32 number) const;
+  Status execute_syscall();
+
+  os::GuestOs* guest_;
+  os::Machine* machine_;
+  FastSessionConfig config_;
+  BlockCache cache_;
+  FastEngine engine_;
+  Cycle start_now_ = 0;
+  Cycle stall_accum_ = 0;
+  BailReason bail_ = BailReason::kNone;
+  SyscallProbe probe_;
+};
+
+}  // namespace rse::exec

@@ -15,8 +15,10 @@ bool Interpreter::step() {
     if (reg != 0) regs_[reg] = value;
   };
 
+  hit_illegal_ = false;
   switch (in.op) {
     case Op::kInvalid:
+      hit_illegal_ = true;
       return false;
     case Op::kSll: wr(in.rd, rt << in.shamt); break;
     case Op::kSrl: wr(in.rd, rt >> in.shamt); break;

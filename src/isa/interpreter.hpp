@@ -33,15 +33,27 @@ class Interpreter {
 
   u64 instructions_executed() const { return executed_; }
 
+  /// Why run() returned.
+  enum class Stop {
+    kHandlerStop,  ///< syscall handler asked to stop (normally sys_exit)
+    kIllegal,      ///< undecodable instruction word
+    kBudget,       ///< max_instructions exhausted — the program did NOT exit
+  };
+
   /// Execute one instruction.  Returns false when execution should stop
   /// (sys_exit via the handler, or an illegal instruction).
   bool step();
 
-  /// Run until stop or the instruction budget is exhausted.
-  void run(u64 max_instructions = 10'000'000) {
+  /// True when the last stopping step() hit an undecodable instruction.
+  bool hit_illegal() const { return hit_illegal_; }
+
+  /// Run until stop or the instruction budget is exhausted.  Callers must
+  /// distinguish kBudget (a runaway/hung guest) from a clean handler stop.
+  Stop run(u64 max_instructions = 10'000'000) {
     for (u64 i = 0; i < max_instructions; ++i) {
-      if (!step()) return;
+      if (!step()) return hit_illegal_ ? Stop::kIllegal : Stop::kHandlerStop;
     }
+    return Stop::kBudget;
   }
 
  private:
@@ -49,6 +61,7 @@ class Interpreter {
   std::array<Word, kNumRegs> regs_{};
   Addr pc_ = 0;
   u64 executed_ = 0;
+  bool hit_illegal_ = false;
   SyscallHandler on_syscall_;
 };
 

@@ -34,6 +34,13 @@ class MainMemory {
   /// Bulk copy into guest memory.
   void write_block(Addr addr, const u8* data, u32 count);
 
+  /// Host pointer to the 4 KB page containing `addr` (allocating it if
+  /// untouched).  Pages live behind unique_ptr, so the pointer stays valid
+  /// across later allocations — the contract the exec/ direct-memory fast
+  /// path depends on.  Accesses through it bypass nothing semantically:
+  /// this is the same backing store read_u8/write_u32 use.
+  u8* host_page(Addr addr) { return page_ptr(addr); }
+
   /// Snapshot one whole page (allocating it if untouched).
   std::vector<u8> snapshot_page(u32 page) const;
   /// Restore a page snapshot.

@@ -76,6 +76,15 @@ class Machine {
     if (framework_) framework_->tick(now_);
   }
 
+  /// Jump the machine clock forward without cycling any component — used by
+  /// the fast-forward controller when transplanting fast-mode state into the
+  /// cycle-accurate core.  Only legal while the core's RUU is empty and no
+  /// module holds pending work (the controller guarantees both); never moves
+  /// the clock backwards.
+  void warp_to(Cycle target) {
+    if (target > now_) now_ = target;
+  }
+
   const MachineConfig& config() const { return config_; }
 
  private:

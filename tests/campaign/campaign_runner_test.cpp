@@ -119,6 +119,40 @@ TEST(CampaignRunner, RunsCsvAndJsonExport) {
   EXPECT_NE(summary.find("runs/sec"), std::string::npos);
 }
 
+TEST(CampaignRunner, FastForwardLeavesEveryClassifiedOutcomeUnchanged) {
+  // --fast-forward replays each eligible run's fault-free prefix through the
+  // exec/ fast engine and transplants into the cycle-accurate core at the
+  // injection cycle.  Classification must be bit-identical: same outcome for
+  // every run index, and therefore the same deterministic digest.
+  CampaignRunner runner;
+  const CampaignSpec classic_spec = loop_spec(48, 2);
+  CampaignSpec ff_spec = classic_spec;
+  ff_spec.fast_forward = true;
+
+  const CampaignReport classic = runner.run(classic_spec);
+  const CampaignReport ff = runner.run(ff_spec);
+  EXPECT_EQ(deterministic_digest(ff), deterministic_digest(classic));
+  ASSERT_EQ(ff.results.size(), classic.results.size());
+  for (u32 i = 0; i < classic.results.size(); ++i) {
+    EXPECT_EQ(ff.results[i].record, classic.results[i].record) << "run " << i;
+    EXPECT_EQ(ff.results[i].outcome, classic.results[i].outcome) << "run " << i;
+    EXPECT_EQ(ff.results[i].fault_applied, classic.results[i].fault_applied) << "run " << i;
+  }
+}
+
+TEST(CampaignRunner, FastForwardRegisterOnlyCampaignMatchesClassic) {
+  // Register-bit faults are the fast-forwardable class — every eligible run
+  // actually takes the fast path here, so this pins the switchover itself.
+  CampaignRunner runner;
+  CampaignSpec classic_spec = loop_spec(32, 2);
+  classic_spec.targets = {InjectTarget::kRegisterBit};
+  CampaignSpec ff_spec = classic_spec;
+  ff_spec.fast_forward = true;
+  const CampaignReport classic = runner.run(classic_spec);
+  const CampaignReport ff = runner.run(ff_spec);
+  EXPECT_EQ(deterministic_digest(ff), deterministic_digest(classic));
+}
+
 TEST(GoldenCache, DistinctWorkloadsGetDistinctGoldenRuns) {
   GoldenCache cache;
   const auto loop = cache.get(make_workload("loop"));

@@ -1,0 +1,202 @@
+// Differential property suite for fast mode: randomly generated guest
+// programs run once through the exec/ fast engine (rse_run --fast style:
+// relaxed session, transplant on bail) and once on the cycle-accurate OoO
+// core.  Architectural state must match at every syscall boundary — the
+// full register file and the post-syscall PC, snapshotted in both modes at
+// the exact point the OS handler observes — and at exit: output, exit code,
+// and the final arena memory (working-register dump included).  Programs
+// with self-modifying stores to the text segment are part of the suite.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "../support/random_program.hpp"
+#include "../support/sim_runner.hpp"
+#include "exec/fast_session.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rse {
+namespace {
+
+using testing::RandomProgramOptions;
+using testing::SimRunner;
+using testing::generate_random_program;
+
+constexpr u64 kRunLimit = 50'000'000;
+
+struct Snapshot {
+  Addr pc = 0;  // post-syscall PC, as the OS handler sees it
+  std::array<Word, isa::kNumRegs> regs{};
+  bool operator==(const Snapshot& other) const {
+    return pc == other.pc && regs == other.regs;
+  }
+};
+
+struct RunTrace {
+  bool finished = false;
+  int exit_code = -1;
+  std::string output;
+  std::vector<Snapshot> boundaries;  // one per executed syscall, in order
+  std::vector<u8> arena;
+};
+
+std::vector<u8> arena_bytes(SimRunner& runner) {
+  const Addr arena = runner.program().symbol("arena");
+  std::vector<u8> out((64 + testing::kDumpOffsetWords + 16) * 4);
+  runner.machine().memory().read_block(arena, out.data(), static_cast<u32>(out.size()));
+  return out;
+}
+
+/// Record a syscall-commit snapshot from the cycle-accurate core.  At syscall
+/// commit the RUU holds only the syscall (it dispatches serialized), so
+/// context() is exactly the state the handler is about to see.
+void attach_commit_probe(SimRunner& runner, std::vector<Snapshot>* out) {
+  cpu::Core& core = runner.machine().core();
+  runner.machine().core().set_commit_trace(
+      [&core, out](Cycle, Addr, const isa::Instr& instr, ThreadId) {
+        if (instr.op != isa::Op::kSyscall) return;
+        const cpu::ThreadContext ctx = core.context();
+        out->push_back(Snapshot{ctx.pc, ctx.regs});
+      });
+}
+
+RunTrace run_classic(const std::string& source, bool framework = false) {
+  os::MachineConfig config;
+  config.framework_present = framework;
+  SimRunner runner(config);
+  runner.load_source(source);
+  RunTrace trace;
+  attach_commit_probe(runner, &trace.boundaries);
+  runner.run();
+  trace.finished = runner.os().finished();
+  trace.exit_code = runner.os().exit_code();
+  trace.output = runner.os().output();
+  trace.arena = arena_bytes(runner);
+  return trace;
+}
+
+RunTrace run_fast(const std::string& source, bool framework = false) {
+  os::MachineConfig config;
+  config.framework_present = framework;
+  SimRunner runner(config);
+  runner.load_source(source);
+  RunTrace trace;
+
+  exec::FastSession session(runner.os(), exec::FastSessionConfig{/*relaxed=*/true});
+  session.seed_leaders(runner.program());
+  session.set_syscall_probe([&trace](Addr pc, const std::array<Word, isa::kNumRegs>& regs) {
+    trace.boundaries.push_back(Snapshot{pc, regs});
+  });
+  // Syscalls the session cannot delegate run on the core after the
+  // transplant; the commit probe keeps the boundary stream seamless.
+  attach_commit_probe(runner, &trace.boundaries);
+  const exec::FastSession::Status status = session.run_until(kRunLimit);
+  if (status == exec::FastSession::Status::kBail) {
+    session.transplant(session.virtual_now());
+    runner.run();
+  }
+
+  trace.finished = runner.os().finished();
+  trace.exit_code = runner.os().exit_code();
+  trace.output = runner.os().output();
+  trace.arena = arena_bytes(runner);
+  return trace;
+}
+
+void expect_traces_equal(const RunTrace& fast, const RunTrace& classic) {
+  EXPECT_TRUE(classic.finished);
+  EXPECT_TRUE(fast.finished);
+  EXPECT_EQ(fast.exit_code, classic.exit_code);
+  EXPECT_EQ(fast.output, classic.output);
+  EXPECT_EQ(fast.arena, classic.arena);
+  ASSERT_EQ(fast.boundaries.size(), classic.boundaries.size());
+  for (std::size_t i = 0; i < classic.boundaries.size(); ++i) {
+    EXPECT_EQ(fast.boundaries[i].pc, classic.boundaries[i].pc) << "boundary " << i;
+    for (u8 r = 1; r < isa::kNumRegs; ++r) {
+      EXPECT_EQ(fast.boundaries[i].regs[r], classic.boundaries[i].regs[r])
+          << "boundary " << i << ", register r" << static_cast<int>(r);
+    }
+  }
+}
+
+void expect_fast_matches_classic(const std::string& source, bool framework = false) {
+  expect_traces_equal(run_fast(source, framework), run_classic(source, framework));
+}
+
+class FastDifferentialPlain : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FastDifferentialPlain, StateMatchesAtEveryBoundaryAndExit) {
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.print_progress = true;
+  expect_fast_matches_classic(generate_random_program(GetParam(), options));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialPlain, ::testing::Range<u64>(5000, 5050));
+
+class FastDifferentialCalls : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FastDifferentialCalls, StateMatchesAtEveryBoundaryAndExit) {
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.with_calls = true;
+  options.print_progress = true;
+  expect_fast_matches_classic(generate_random_program(GetParam(), options));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialCalls, ::testing::Range<u64>(5100, 5150));
+
+class FastDifferentialCallHeavy : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FastDifferentialCallHeavy, StateMatchesAtEveryBoundaryAndExit) {
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.call_heavy = true;
+  options.arg_pointers = true;
+  options.print_progress = true;
+  expect_fast_matches_classic(generate_random_program(GetParam(), options));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialCallHeavy, ::testing::Range<u64>(5200, 5250));
+
+class FastDifferentialSelfModifying : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FastDifferentialSelfModifying, PatchedTextMatchesAtEveryBoundaryAndExit) {
+  // Self-modifying stores to text: the generator serializes (syscall) and
+  // pads past the fetch buffer between each patch and its site, so the OoO
+  // core and the functional fast path must observe identical instructions.
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.self_modifying = true;
+  options.print_progress = true;
+  expect_fast_matches_classic(generate_random_program(GetParam(), options));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialSelfModifying,
+                         ::testing::Range<u64>(5300, 5350));
+
+class FastDifferentialInstrumented : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FastDifferentialInstrumented, ChkBoundariesAreTransparentInBothModes) {
+  // ICM-instrumented programs on an RSE machine: CHKs are architectural
+  // NOPs in both modes, so every boundary snapshot still matches.
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.print_progress = true;
+  const std::string source =
+      workloads::instrument_checks(generate_random_program(GetParam(), options));
+  expect_fast_matches_classic(source, /*framework=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialInstrumented,
+                         ::testing::Range<u64>(5400, 5420));
+
+}  // namespace
+}  // namespace rse

@@ -38,7 +38,9 @@ std::vector<u8> golden_arena(const std::string& source, u64* instructions = null
     }
     return true;  // other syscalls: no-op in the golden model
   });
-  interp.run();
+  const isa::Interpreter::Stop stop = interp.run();
+  EXPECT_EQ(stop, isa::Interpreter::Stop::kHandlerStop)
+      << "golden model stopped for the wrong reason (budget/illegal)";
   EXPECT_TRUE(exited) << "golden model did not reach sys_exit";
   if (instructions != nullptr) *instructions = interp.instructions_executed();
   const Addr arena = program.symbol("arena");

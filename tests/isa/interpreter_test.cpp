@@ -149,13 +149,37 @@ TEST_F(InterpFixture, IllegalInstructionStops) {
   memory.write_u32(program.text_base + 4, 0xFC000000);  // illegal
   Interpreter interp(memory);
   interp.set_pc(program.text_base);
-  interp.run(100);
+  EXPECT_EQ(interp.run(100), Interpreter::Stop::kIllegal);
+  EXPECT_TRUE(interp.hit_illegal());
   EXPECT_EQ(interp.instructions_executed(), 1u);  // nop only
 }
 
 TEST_F(InterpFixture, InstructionBudgetBoundsRunaways) {
   Interpreter i = run(".text\nmain:\n  b main\n", 500);
   EXPECT_EQ(i.instructions_executed(), 500u);
+  EXPECT_FALSE(i.hit_illegal());
+}
+
+TEST_F(InterpFixture, RunReportsStopReason) {
+  // Budget exhaustion is not a clean exit and must be distinguishable.
+  const Program program = assemble(".text\nmain:\n  b main\n");
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    memory.write_u32(program.text_base + static_cast<Addr>(i * 4), program.text[i]);
+  }
+  Interpreter interp(memory);
+  interp.set_pc(program.entry);
+  EXPECT_EQ(interp.run(500), Interpreter::Stop::kBudget);
+
+  mem::MainMemory clean;
+  const Program exits = assemble(".text\nmain:\n  li v0, 1\n  syscall\n");
+  for (std::size_t i = 0; i < exits.text.size(); ++i) {
+    clean.write_u32(exits.text_base + static_cast<Addr>(i * 4), exits.text[i]);
+  }
+  Interpreter done(clean);
+  done.set_pc(exits.entry);
+  done.set_syscall_handler([](Interpreter& i) { return i.reg(kV0) != 1; });
+  EXPECT_EQ(done.run(500), Interpreter::Stop::kHandlerStop);
+  EXPECT_FALSE(done.hit_illegal());
 }
 
 TEST_F(InterpFixture, R0StaysZero) {

@@ -33,6 +33,17 @@ struct RandomProgramOptions {
   /// context-insensitive join of those bases is unknown, so the accesses
   /// resolve only under per-call-site summary cloning.
   bool arg_pointers = false;
+  /// Emit mid-program print-int syscalls at random block boundaries.  Each
+  /// one is an observable synchronization point: the differential harness
+  /// snapshots the full register file there in both execution modes.
+  bool print_progress = false;
+  /// Emit self-modifying text patches: a block copies a donor instruction
+  /// word over a later patch site, then crosses a serializing syscall plus a
+  /// padding run longer than the core's fetch buffer before executing the
+  /// patched word.  The barrier makes the program's behavior independent of
+  /// the OoO core's stale-fetch window, so fast mode and the cycle-accurate
+  /// core must agree exactly.
+  bool self_modifying = false;
   u32 arena_words = 64;
 };
 
@@ -88,9 +99,29 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
   };
 
   u32 loop_id = 0;
+  u32 patch_count = 0;
   bool argfill_used[4] = {false, false, false, false};
   for (u32 block = 0; block < options.blocks; ++block) {
     s << "block_" << block << ":\n";
+    if (options.print_progress && rng.next_below(3) == 0) {
+      // Observable sync point: print a working register's current value.
+      s << "  move a0, " << reg() << "\n  li v0, 2\n  syscall\n";
+    }
+    if (options.self_modifying && rng.next_below(3) == 0) {
+      // Patch a later site in this block with a donor instruction word, then
+      // serialize (syscall) and pad past the fetch buffer before running it.
+      // The patch executes before its site's first execution in program
+      // order, so functional and OoO execution see the same instruction.
+      const u32 p = patch_count++;
+      s << "  la v1, donor_" << p << "\n";
+      s << "  lw v0, 0(v1)\n";
+      s << "  la t9, patch_" << p << "\n";
+      s << "  sw v0, 0(t9)\n";
+      s << "  li a0, " << p << "\n  li v0, 2\n  syscall\n";
+      for (int pad = 0; pad < 8; ++pad) s << "  addi t9, t9, 0\n";
+      s << "patch_" << p << ":\n";
+      s << "  addi s1, s1, 1\n";  // overwritten by donor_<p> before it runs
+    }
     const bool looped = options.with_loops && rng.next_below(3) == 0;
     if (looped) {
       // bounded counted loop around this block's body (uses at/ra-free regs)
@@ -164,6 +195,18 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     s << "  sw " << regs[i] << ", " << (kDumpOffsetWords + i) * 4 << "(s0)\n";
   }
   s << "  li a0, 0\n  li v0, 1\n  syscall\n";
+
+  // Donor words for the self-modifying patches: single ALU instructions
+  // placed after the exit, never executed in place, only copied.
+  for (u32 p = 0; p < patch_count; ++p) {
+    s << "donor_" << p << ":\n";
+    switch (rng.next_below(4)) {
+      case 0: s << "  xor s2, s2, s4\n"; break;
+      case 1: s << "  addi t4, t4, " << 1 + rng.next_below(64) << "\n"; break;
+      case 2: s << "  sub s5, s5, t1\n"; break;
+      case 3: s << "  or t6, t6, s3\n"; break;
+    }
+  }
 
   if (options.with_calls || options.call_heavy) {
     for (int leaf = 0; leaf < 3; ++leaf) {

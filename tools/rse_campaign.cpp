@@ -14,6 +14,10 @@
 //     --flat-footprint      static analysis without interprocedural summaries
 //     --context-depth <n>   context-sensitive footprint cloning depth
 //                           (default 1; 0 = context-insensitive)
+//     --fast-forward        run each eligible run's fault-free prefix through
+//                           the exec/ fast engine, then transplant into the
+//                           cycle-accurate core at the injection cycle
+//                           (identical digest; docs/execution.md)
 //     --describe <index>    print one run's injection point and exit
 //     --digest              print the deterministic digest instead of the
 //                           summary (for cross---jobs comparisons)
@@ -32,7 +36,7 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
-            << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n"
+            << "  [--static-ddt] [--flat-footprint] [--context-depth N] [--fast-forward]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
       spec.footprint_summaries = false;
     } else if (arg == "--context-depth") {
       spec.context_depth = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--fast-forward") {
+      spec.fast_forward = true;
     } else if (arg == "--targets") {
       if (!parse_targets(value(), &spec.targets)) {
         std::cerr << "bad --targets list\n";

@@ -6,6 +6,12 @@
 //     --instrument          insert ICM CHECKs before control flow
 //     --randomize           MLR layout randomization at load
 //     --rerand <cycles>     runtime GOT re-randomization interval
+//     --fast                execute through the exec/ fast engine (decoded
+//                           block cache + direct-memory path) instead of the
+//                           cycle-accurate core; sys_clock reads virtual
+//                           time, and the run falls back to the modeled core
+//                           when it leaves fast mode's envelope
+//                           (docs/execution.md)
 //     --limit <cycles>      run limit (default 2e9)
 //     --requests <n> --io <cycles>   simulated network parameters
 //     --stats               print detailed machine statistics
@@ -26,6 +32,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "common/error.hpp"
+#include "exec/fast_session.hpp"
 #include "isa/assembler.hpp"
 #include "os/guest_os.hpp"
 #include "os/machine.hpp"
@@ -37,7 +44,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
-            << "  [--instrument] [--randomize] [--rerand N] [--limit N]\n"
+            << "  [--instrument] [--randomize] [--rerand N] [--limit N] [--fast]\n"
             << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n"
             << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n";
   return 2;
@@ -114,6 +121,7 @@ int main(int argc, char** argv) {
   bool enable_icm = false, enable_mlr = false, enable_ddt = false, enable_ahbm = false;
   bool enable_cfc = false;
   bool lint = false;
+  bool fast = false;
   u32 requests = 0;
   Cycle io_latency = 0;
 
@@ -137,6 +145,7 @@ int main(int argc, char** argv) {
     else if (arg == "--stats") stats = true;
     else if (arg == "--trace") trace = next_u64(0);
     else if (arg == "--lint") lint = true;
+    else if (arg == "--fast") fast = true;
     else if (arg == "--flat-footprint") os_config.footprint_summaries = false;
     else if (arg == "--context-depth") os_config.context_depth = static_cast<u32>(next_u64(os_config.context_depth));
     else if (arg == "--static-cfc") {
@@ -201,7 +210,27 @@ int main(int argc, char** argv) {
     if (enable_ddt) guest.enable_module(isa::ModuleId::kDdt);
     if (enable_ahbm) guest.enable_module(isa::ModuleId::kAhbm);
     if (enable_cfc) guest.enable_module(isa::ModuleId::kCfc);
-    guest.run();
+    if (fast) {
+      const isa::Program program = isa::assemble(source);
+      exec::FastSession session(guest, exec::FastSessionConfig{/*relaxed=*/true});
+      session.seed_leaders(program);
+      const exec::FastSession::Status status = session.run_until(os_config.run_limit);
+      if (status == exec::FastSession::Status::kBail) {
+        // Threads, network I/O, or an illegal word: hand the exact current
+        // state to the cycle-accurate core and keep going fully modeled.
+        session.transplant(session.virtual_now());
+        guest.run();
+      }
+      if (stats) {
+        std::cout << "--- fast engine ---\n"
+                  << "fast instructions:   " << session.executed() << "\n"
+                  << "blocks cached:       " << session.block_cache().blocks_cached() << " ("
+                  << session.block_cache().stats().decodes << " decoded, "
+                  << session.block_cache().stats().invalidations << " invalidated)\n";
+      }
+    } else {
+      guest.run();
+    }
 
     std::cout << guest.output();
     if (!guest.finished()) {
