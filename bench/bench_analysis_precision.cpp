@@ -1,0 +1,115 @@
+// Static-analysis precision study: per-workload footprint size with the
+// field-sensitive strided-interval domain on vs. off (docs/analysis.md).
+// Pure analysis — no simulation — so it doubles as a cheap smoke test.
+// Reports, per workload and domain: footprint pages, predicted store pages,
+// unresolved sites, per-site context page tables, and $sp recursion
+// contexts.  The field-sensitive domain must never resolve fewer sites or
+// predict more pages than the dense hull (it refines, never coarsens);
+// violations fail the run.
+//
+//   bench_analysis_precision [--json PATH]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "campaign/workload.hpp"
+#include "isa/assembler.hpp"
+#include "report/table.hpp"
+
+using namespace rse;
+
+namespace {
+
+struct Row {
+  std::string workload;
+  bool field = false;
+  std::size_t pages = 0;
+  std::size_t store_pages = 0;
+  u32 unknown_sites = 0;
+  std::size_t context_sites = 0;
+  u32 sp_contexts = 0;
+};
+
+Row measure(const std::string& workload, bool field) {
+  const campaign::WorkloadSetup setup = campaign::make_workload(workload);
+  analysis::AnalysisOptions options;
+  options.field_sensitive = field;
+  const analysis::AnalysisResult result =
+      analysis::analyze(isa::assemble(setup.source), options);
+  Row row;
+  row.workload = workload;
+  row.field = field;
+  row.pages = result.footprint.pages.size();
+  row.store_pages = result.footprint.store_pages.size();
+  row.unknown_sites = result.footprint.unknown_sites;
+  row.context_sites = result.footprint.context_pages.size();
+  row.sp_contexts = result.footprint.sp_contexts;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+
+  const std::vector<std::string> workloads = {"args", "stride", "calls", "kmeans",
+                                              "server"};
+  std::vector<Row> rows;
+  for (const std::string& w : workloads) {
+    rows.push_back(measure(w, /*field=*/false));
+    rows.push_back(measure(w, /*field=*/true));
+  }
+
+  report::Table table({"workload", "domain", "pages", "store pages", "unknown sites",
+                       "context sites", "sp contexts"});
+  for (const Row& r : rows) {
+    table.row({r.workload, r.field ? "field" : "dense", std::to_string(r.pages),
+               std::to_string(r.store_pages), std::to_string(r.unknown_sites),
+               std::to_string(r.context_sites), std::to_string(r.sp_contexts)});
+  }
+  table.print();
+
+  // Refinement invariant: field-on must be pointwise no worse than field-off.
+  bool ok = true;
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const Row& dense = rows[i];
+    const Row& field = rows[i + 1];
+    if (field.pages > dense.pages || field.store_pages > dense.store_pages ||
+        field.unknown_sites > dense.unknown_sites) {
+      std::cerr << "field-sensitive domain coarsened workload '" << dense.workload
+                << "' (pages " << dense.pages << " -> " << field.pages << ", stores "
+                << dense.store_pages << " -> " << field.store_pages << ", unknown "
+                << dense.unknown_sites << " -> " << field.unknown_sites << ")\n";
+      ok = false;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      os << "    {\"workload\": \"" << r.workload << "\", \"domain\": \""
+         << (r.field ? "field" : "dense") << "\", \"pages\": " << r.pages
+         << ", \"store_pages\": " << r.store_pages
+         << ", \"unknown_sites\": " << r.unknown_sites
+         << ", \"context_sites\": " << r.context_sites
+         << ", \"sp_contexts\": " << r.sp_contexts << "}" << (i + 1 < rows.size() ? "," : "")
+         << "\n";
+    }
+    os << "  ]\n}\n";
+    std::ofstream out(json_path);
+    out << os.str();
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -88,27 +88,33 @@ int main(int argc, char** argv) {
 
   // Same determinism proof with the static DDT footprint in the loop: the
   // analyzer runs at load in every worker, so the digest must still be a
-  // pure function of (spec, seed) — never of scheduling.  Three analyzer
-  // modes are swept — flat, summaries at context depth 0, and summaries at
-  // the default depth 1.  Their digests must differ pairwise (the mode and
-  // the depth are both part of the digest header — each checks a different
-  // site set) but be jobs-invariant within a mode.
+  // pure function of (spec, seed) — never of scheduling.  The analyzer
+  // modes swept cross {flat, summaries at depth 0, summaries at depth 1}
+  // with the field-sensitive domain on and off.  All digests must differ
+  // pairwise (mode, depth, and domain are all part of the digest header —
+  // each checks a different site/page set) but be jobs-invariant within a
+  // mode.
   spec.static_ddt = true;
   spec.runs = std::min(spec.runs, 48u);
   struct FootprintMode {
     const char* label;
     bool summaries;
     u32 context_depth;
+    bool field_sensitive;
   };
   const FootprintMode modes[] = {
-      {"static-ddt-flat", false, 1},
-      {"static-ddt-summary-ctx0", true, 0},
-      {"static-ddt-summary-ctx1", true, 1},
+      {"static-ddt-flat", false, 1, false},
+      {"static-ddt-summary-ctx0", true, 0, false},
+      {"static-ddt-summary-ctx1", true, 1, false},
+      {"static-ddt-flat-field", false, 1, true},
+      {"static-ddt-summary-ctx0-field", true, 0, true},
+      {"static-ddt-summary-ctx1-field", true, 1, true},
   };
   std::vector<std::string> mode_digests;
   for (const FootprintMode& mode : modes) {
     spec.footprint_summaries = mode.summaries;
     spec.context_depth = mode.context_depth;
+    spec.field_sensitive = mode.field_sensitive;
     std::string footprint_digest;
     for (const u32 jobs : {1u, 4u, 8u}) {
       spec.jobs = jobs;

@@ -12,8 +12,13 @@
 // work paid at load instead of in the middle of the run) — and the
 // context-sensitivity gain: a third mode runs the footprint at
 // --context-depth 0, so "static-footprint minus static-ctx0" counts the
-// detections only the per-call-site page tables provide
-// (usage: bench_ddt_static [workload] [samples] [--expect-context-gain]).
+// detections only the per-call-site page tables provide — and the
+// field-sensitivity gain: a fourth mode runs the dense-hull domain
+// (--no-field-sensitive), so "static-footprint minus static-field-off"
+// counts the detections only the strided residue pages provide (a fault
+// landing between the residues of a strided walk is inside the hull).
+// (usage: bench_ddt_static [workload] [samples] [--expect-context-gain]
+//         [--expect-field-gain]).
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -72,7 +77,9 @@ struct ModeTally {
 };
 
 /// Fault-free run with the footprint installed: pre-reservation hit rate.
-void report_prereservation(const campaign::WorkloadSetup& setup) {
+/// Returns the number of PST entries reserved at load (the footprint's
+/// predicted store-page count — smaller is tighter).
+u32 report_prereservation(const campaign::WorkloadSetup& setup, const char* label) {
   os::OsConfig os_config = setup.os;
   os_config.static_ddt = true;
   os::Machine machine(setup.machine);
@@ -85,11 +92,12 @@ void report_prereservation(const campaign::WorkloadSetup& setup) {
                               ? 100.0 * static_cast<double>(stats.prereserve_hits) /
                                     static_cast<double>(stats.pst_prereserved)
                               : 0.0;
-  std::cout << "PST pre-reservation: " << stats.pst_prereserved << " reserved at load, "
-            << stats.prereserve_hits << " first-touch hits ("
+  std::cout << "PST pre-reservation (" << label << "): " << stats.pst_prereserved
+            << " reserved at load, " << stats.prereserve_hits << " first-touch hits ("
             << report::fmt_fixed(hit_rate, 1) << "% of reservations used), "
             << stats.footprint_checks << " accesses checked, "
             << stats.footprint_violations << " violations (clean run)\n";
+  return stats.pst_prereserved;
 }
 
 }  // namespace
@@ -103,8 +111,10 @@ int main(int argc, char** argv) {
   const std::string workload = argc > 1 ? argv[1] : "kmeans";
   const u32 samples = argc > 2 ? static_cast<u32>(std::stoul(argv[2])) : 96;
   bool expect_context_gain = false;
+  bool expect_field_gain = false;
   for (int i = 3; i < argc; ++i) {
     if (std::string(argv[i]) == "--expect-context-gain") expect_context_gain = true;
+    if (std::string(argv[i]) == "--expect-field-gain") expect_field_gain = true;
   }
 
   campaign::CampaignRunner runner;
@@ -116,32 +126,41 @@ int main(int argc, char** argv) {
   campaign::WorkloadSetup ctx0 = base;
   ctx0.os.static_ddt = true;
   ctx0.os.context_depth = 0;  // context-insensitive footprint
+  campaign::WorkloadSetup field_off = base;
+  field_off.os.static_ddt = true;
+  field_off.os.field_sensitive = false;  // dense interval hulls
   campaign::WorkloadSetup tight = base;
-  tight.os.static_ddt = true;  // default context depth
+  tight.os.static_ddt = true;  // default context depth, field-sensitive
 
   const auto golden_base = runner.cache().get(base);
   const auto golden_ctx0 = runner.cache().get(ctx0);
+  const auto golden_field = runner.cache().get(field_off);
   const auto golden_tight = runner.cache().get(tight);
   if (golden_base->cycles != golden_tight->cycles ||
-      golden_base->cycles != golden_ctx0->cycles) {
+      golden_base->cycles != golden_ctx0->cycles ||
+      golden_base->cycles != golden_field->cycles) {
     std::cerr << "golden runs diverge between DDT modes\n";
     return 1;
   }
   if (golden_tight->ddt_footprint_violations != 0 ||
-      golden_ctx0->ddt_footprint_violations != 0) {
+      golden_ctx0->ddt_footprint_violations != 0 ||
+      golden_field->ddt_footprint_violations != 0) {
     std::cerr << "static footprint false-positives on the fault-free run\n";
     return 1;
   }
 
-  report_prereservation(tight);
+  const u32 prereserved_field_off = report_prereservation(field_off, "field-off");
+  const u32 prereserved_tight = report_prereservation(tight, "field-on");
 
   // Register faults rotate through the working registers (r8..r23) flipping
   // a page-significant bit — the corrupted base sends the next resolved
   // store pages off target.  Data faults flip one bit of a data word.
   const Cycle stride = std::max<Cycle>(1, (golden_base->cycles - 40) / samples);
-  ModeTally reg_base, reg_ctx0, reg_tight, data_base, data_ctx0, data_tight;
+  ModeTally reg_base, reg_ctx0, reg_field, reg_tight;
+  ModeTally data_base, data_ctx0, data_field, data_tight;
   u32 gap = 0;          // faults only the footprint check caught
   u32 context_gain = 0; // faults only the context-sensitive footprint caught
+  u32 field_gain = 0;   // faults only the field-sensitive footprint caught
 
   u32 index = 0;
   for (Cycle cycle = 20; cycle + 20 < golden_base->cycles; cycle += stride, ++index) {
@@ -153,9 +172,11 @@ int main(int argc, char** argv) {
     reg_fault.mask = Word{1} << reg_fault.bit;
     const campaign::RunResult rb = runner.run_one(base, *golden_base, reg_fault);
     const campaign::RunResult rc = runner.run_one(ctx0, *golden_ctx0, reg_fault);
+    const campaign::RunResult rf = runner.run_one(field_off, *golden_field, reg_fault);
     const campaign::RunResult rt = runner.run_one(tight, *golden_tight, reg_fault);
     reg_base.add(rb);
     reg_ctx0.add(rc);
+    reg_field.add(rf);
     reg_tight.add(rt);
     if (rt.outcome == campaign::Outcome::kDetectedDdt &&
         rb.outcome != campaign::Outcome::kDetectedDdt) {
@@ -164,6 +185,10 @@ int main(int argc, char** argv) {
     if (rt.outcome == campaign::Outcome::kDetectedDdt &&
         rc.outcome != campaign::Outcome::kDetectedDdt) {
       ++context_gain;
+    }
+    if (rt.outcome == campaign::Outcome::kDetectedDdt &&
+        rf.outcome != campaign::Outcome::kDetectedDdt) {
+      ++field_gain;
     }
 
     if (golden_base->program.data.size() >= 4) {
@@ -175,6 +200,7 @@ int main(int argc, char** argv) {
       data_fault.mask = Word{1} << (index % 32);
       data_base.add(runner.run_one(base, *golden_base, data_fault));
       data_ctx0.add(runner.run_one(ctx0, *golden_ctx0, data_fault));
+      data_field.add(runner.run_one(field_off, *golden_field, data_fault));
       data_tight.add(runner.run_one(tight, *golden_tight, data_fault));
     }
   }
@@ -192,14 +218,17 @@ int main(int argc, char** argv) {
   };
   row("register", "dynamic-only", reg_base);
   row("register", "static-ctx0", reg_ctx0);
+  row("register", "static-field-off", reg_field);
   row("register", "static-footprint", reg_tight);
   row("data-word", "dynamic-only", data_base);
   row("data-word", "static-ctx0", data_ctx0);
+  row("data-word", "static-field-off", data_field);
   row("data-word", "static-footprint", data_tight);
   table.print();
   std::cout << "faults only the footprint check detected: " << gap << "\n";
   std::cout << "faults only the context-sensitive footprint detected: " << context_gain
             << "\n";
+  std::cout << "faults only the field-sensitive footprint detected: " << field_gain << "\n";
 
   if (auto dir = report::csv_export_dir()) {
     report::CsvWriter csv(*dir + "/ddt_static.csv",
@@ -213,9 +242,11 @@ int main(int argc, char** argv) {
     };
     csv_row("register", "dynamic-only", reg_base);
     csv_row("register", "static-ctx0", reg_ctx0);
+    csv_row("register", "static-field-off", reg_field);
     csv_row("register", "static-footprint", reg_tight);
     csv_row("data-word", "dynamic-only", data_base);
     csv_row("data-word", "static-ctx0", data_ctx0);
+    csv_row("data-word", "static-field-off", data_field);
     csv_row("data-word", "static-footprint", data_tight);
     csv.flush();
   }
@@ -229,6 +260,18 @@ int main(int argc, char** argv) {
   if (expect_context_gain && context_gain == 0) {
     std::cerr << "context-sensitive footprint failed to improve on depth 0\n";
     return 1;
+  }
+  if (expect_field_gain) {
+    // Strictly higher register-fault coverage, or — at equal coverage — a
+    // strictly tighter (smaller) pre-reserved page set.
+    const double cov_on = reg_tight.coverage();
+    const double cov_off = reg_field.coverage();
+    const bool better = cov_on > cov_off ||
+                        (cov_on == cov_off && prereserved_tight < prereserved_field_off);
+    if (!better) {
+      std::cerr << "field-sensitive footprint failed to improve on the dense hull\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -319,6 +319,8 @@ AnalysisResult analyze(const isa::Program& program, const AnalysisOptions& optio
   FootprintOptions fp_options;
   fp_options.interprocedural = options.interprocedural_footprint;
   fp_options.context_depth = options.context_depth;
+  fp_options.field_sensitive = options.field_sensitive;
+  fp_options.sp_depth = options.field_sp_depth;
   result.footprint = compute_footprint(program, result.cfg, fp_options);
 
   const Emitter emit{program, result.diagnostics};
@@ -366,7 +368,8 @@ std::string to_json(const isa::Program& program, const AnalysisResult& result) {
   const PageFootprint& fp = result.footprint;
   os << ",\n  \"footprint\": {\"mode\": \""
      << (fp.interprocedural ? "interprocedural" : "flat")
-     << "\", \"exact_sites\": " << fp.exact_sites
+     << "\", \"field_sensitive\": " << (fp.field_sensitive ? "true" : "false")
+     << ", \"exact_sites\": " << fp.exact_sites
      << ", \"over_sites\": " << fp.over_sites
      << ", \"unknown_sites\": " << fp.unknown_sites << ", \"pages\": [";
   for (std::size_t i = 0; i < fp.pages.size(); ++i) {
@@ -394,8 +397,43 @@ std::string to_json(const isa::Program& program, const AnalysisResult& result) {
        << ", \"contexts_cloned\": " << fp.contexts_cloned
        << ", \"context_fallbacks\": " << fp.context_fallbacks
        << ", \"spawn_contexts\": " << fp.spawn_contexts
+       << ", \"sp_contexts\": " << fp.sp_contexts
        << ", \"context_sites\": " << fp.context_pages.size();
   }
+  // Site-by-site export (field-sensitivity tooling): every resolved site
+  // with its hull, residue stride (0 = dense), base and precision.
+  auto base_name = [](AddressBase base) {
+    switch (base) {
+      case AddressBase::kAbsolute: return "abs";
+      case AddressBase::kStack: return "sp";
+      case AddressBase::kGlobal: return "gp";
+      default: return "unknown";
+    }
+  };
+  os << ", \"sites\": [";
+  bool first_site = true;
+  for (const AccessSite& site : fp.sites) {
+    if (site.precision == AccessPrecision::kUnknown) continue;
+    os << (first_site ? "" : ", ") << "{\"pc\": " << site.pc
+       << ", \"store\": " << (site.is_store ? "true" : "false")
+       << ", \"base\": \"" << base_name(site.base) << "\", \"precision\": \""
+       << (site.precision == AccessPrecision::kExact ? "exact" : "over")
+       << "\", \"lo\": " << site.lo << ", \"hi\": " << site.hi
+       << ", \"stride\": " << site.stride << "}";
+    first_site = false;
+  }
+  os << "], \"context_pages\": [";
+  for (std::size_t i = 0; i < fp.context_pages.size(); ++i) {
+    const PageFootprint::SitePages& site = fp.context_pages[i];
+    os << (i == 0 ? "" : ", ") << "{\"pc\": " << site.pc
+       << ", \"store\": " << (site.is_store ? "true" : "false")
+       << ", \"pages\": [";
+    for (std::size_t j = 0; j < site.pages.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << site.pages[j];
+    }
+    os << "]}";
+  }
+  os << "]";
   os << "}";
   os << ",\n  \"diagnostics\": [";
   for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {

@@ -73,6 +73,13 @@ struct AnalysisOptions {
   /// 0 = the context-insensitive PR 4 behavior, bit-for-bit
   /// (`--context-depth 0` on the tools).
   u32 context_depth = 1;
+  /// Field-sensitive strided-interval footprint domain (see
+  /// FootprintOptions::field_sensitive).  Off = the dense interval
+  /// behavior, bit-for-bit (`--no-field-sensitive` on the tools).
+  bool field_sensitive = true;
+  /// Recursion-rung clone budget for field-sensitive mode (see
+  /// FootprintOptions::sp_depth; `--sp-depth` on rse_lint).
+  u32 field_sp_depth = 2;
 };
 
 struct AnalysisResult {

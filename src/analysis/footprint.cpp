@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <set>
 
 #include "mem/main_memory.hpp"
@@ -40,26 +41,40 @@ constexpr u32 kMaxContextClones = 32;
 // after this many bound re-runs.
 constexpr u32 kMaxSpawnRounds = 3;
 
+/// Strided-interval value: the concrete set is {lo, lo+stride, ..., hi}.
+/// Normalization invariant (enforced by make()): stride == 0 iff the value
+/// is a singleton (lo == hi); stride == 1 is the dense interval; stride >= 2
+/// requires (hi - lo) % stride == 0 so hi is always on the residue grid.
+/// With field sensitivity off, stride is a pure function of the bounds
+/// (0 for singletons, 1 otherwise), so the pre-stride interval semantics
+/// are reproduced bit-for-bit.
 struct AbsVal {
   enum class Kind : u8 { kUnknown, kAbs, kSp, kGp };
   Kind kind = Kind::kUnknown;
   i64 lo = 0;
   i64 hi = 0;
+  i64 stride = 0;
 
   bool operator==(const AbsVal& o) const {
     if (kind != o.kind) return false;
     if (kind == Kind::kUnknown) return true;
-    return lo == o.lo && hi == o.hi;
+    return lo == o.lo && hi == o.hi && stride == o.stride;
   }
 };
 
 using Kind = AbsVal::Kind;
 
-AbsVal make(Kind kind, i64 lo, i64 hi) {
+/// Constructor + normalizer.  Degenerate strides (zero or negative on a
+/// non-singleton) and misaligned strides ((hi-lo) % stride != 0) demote to
+/// the dense hull — never the other way around, so the value set can only
+/// grow and no caller can under-approximate by passing a junk stride.
+AbsVal make(Kind kind, i64 lo, i64 hi, i64 stride = 1) {
   if (kind == Kind::kUnknown || lo > hi || lo < kMinVal || hi > kMaxVal) {
     return AbsVal{};
   }
-  return AbsVal{kind, lo, hi};
+  if (lo == hi) return AbsVal{kind, lo, hi, 0};
+  if (stride <= 1 || (hi - lo) % stride != 0) return AbsVal{kind, lo, hi, 1};
+  return AbsVal{kind, lo, hi, stride};
 }
 
 AbsVal abs_const(i64 v) { return make(Kind::kAbs, v, v); }
@@ -68,19 +83,34 @@ bool is_singleton(const AbsVal& v) {
   return v.kind != Kind::kUnknown && v.lo == v.hi;
 }
 
-AbsVal join(const AbsVal& a, const AbsVal& b) {
+/// Join of two strided intervals.  Field mode keeps the coarsest residue
+/// grid both operands live on: g = gcd(stride_a, stride_b, |lo_a - lo_b|)
+/// (gcd(0, x) = x, so singletons are the identity).  Every element of
+/// either operand is ≡ min(lo_a, lo_b) (mod g) — the strides divide g and
+/// the anchors differ by a multiple of g — and both his sit on the grid by
+/// the normalization invariant, so the result is a superset of the union
+/// (sound).  Successive joins can only shrink g by divisibility, so stride
+/// chains are finite and termination is preserved.
+AbsVal join(const AbsVal& a, const AbsVal& b, bool field = false) {
   if (a.kind == Kind::kUnknown || b.kind == Kind::kUnknown || a.kind != b.kind) {
     return AbsVal{};
   }
-  return make(a.kind, std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+  const i64 lo = std::min(a.lo, b.lo);
+  const i64 hi = std::max(a.hi, b.hi);
+  if (!field) return make(a.kind, lo, hi);
+  i64 g = std::gcd(a.stride, b.stride);
+  g = std::gcd(g, a.lo >= b.lo ? a.lo - b.lo : b.lo - a.lo);
+  return make(a.kind, lo, hi, g == 0 ? 0 : g);
 }
 
-/// Total order for the context memo-cache key (any consistent order works).
+/// Total order for the context memo-cache key (any consistent order works;
+/// it must distinguish everything operator== does, including the stride).
 bool absval_less(const AbsVal& a, const AbsVal& b) {
   if (a.kind != b.kind) return a.kind < b.kind;
   if (a.kind == Kind::kUnknown) return false;
   if (a.lo != b.lo) return a.lo < b.lo;
-  return a.hi < b.hi;
+  if (a.hi != b.hi) return a.hi < b.hi;
+  return a.stride < b.stride;
 }
 
 using State = std::array<AbsVal, isa::kNumRegs>;
@@ -91,9 +121,14 @@ using ArgTuple = std::array<AbsVal, 4>;  // $a0-$a3
 struct CtxKey {
   Addr entry = 0;
   ArgTuple args{};
+  /// Recursion rung ($sp depth) of the clone: 0 for plain argument-tuple
+  /// contexts, k >= 1 for the k-th nested activation of a recursive entry
+  /// (field-sensitive mode only).
+  u32 rung = 0;
 
   bool operator<(const CtxKey& o) const {
     if (entry != o.entry) return entry < o.entry;
+    if (rung != o.rung) return rung < o.rung;
     for (size_t i = 0; i < args.size(); ++i) {
       if (!(args[i] == o.args[i])) return absval_less(args[i], o.args[i]);
     }
@@ -117,23 +152,30 @@ void set_dest(State& s, u8 reg, const AbsVal& v) {
   if (reg != 0) s[reg] = v;
 }
 
-/// Interval addition; keeps the (at most one) relative base.
+/// Interval addition; keeps the (at most one) relative base.  Sums of
+/// strided sets live on the gcd grid of the operand strides (a singleton's
+/// stride 0 is the gcd identity, so singleton + strided is exact).  A
+/// stride >= 2 only exists in field mode, so no gating is needed here.
 AbsVal add_vals(const AbsVal& a, const AbsVal& b) {
+  const i64 s = std::gcd(a.stride, b.stride);
   if (a.kind == Kind::kAbs && b.kind == Kind::kAbs) {
-    return make(Kind::kAbs, a.lo + b.lo, a.hi + b.hi);
+    return make(Kind::kAbs, a.lo + b.lo, a.hi + b.hi, s);
   }
   if (a.kind != Kind::kUnknown && b.kind == Kind::kAbs) {
-    return make(a.kind, a.lo + b.lo, a.hi + b.hi);
+    return make(a.kind, a.lo + b.lo, a.hi + b.hi, s);
   }
   if (a.kind == Kind::kAbs && b.kind != Kind::kUnknown) {
-    return make(b.kind, a.lo + b.lo, a.hi + b.hi);
+    return make(b.kind, a.lo + b.lo, a.hi + b.hi, s);
   }
   return AbsVal{};
 }
 
 /// Transfer function for one non-control instruction (control effects —
-/// link registers, clobbers, refinement — are handled on edges).
-void transfer(const isa::Instr& in, State& s) {
+/// link registers, clobbers, refinement — are handled on edges).  `field`
+/// gates the two stride-*introduction* points (shift-left and multiply):
+/// with it off no stride >= 2 ever enters the state, reproducing the dense
+/// interval semantics exactly.
+void transfer(const isa::Instr& in, State& s, bool field) {
   using isa::Op;
   const AbsVal rs = s[in.rs];
   const AbsVal rt = s[in.rt];
@@ -146,10 +188,12 @@ void transfer(const isa::Instr& in, State& s) {
     case Op::kSub:
       if (rt.kind == Kind::kAbs && rs.kind != Kind::kUnknown) {
         // Abs-Abs stays Abs; Sp-Abs / Gp-Abs keep the base.
-        set_dest(s, in.rd, make(rs.kind, rs.lo - rt.hi, rs.hi - rt.lo));
+        set_dest(s, in.rd, make(rs.kind, rs.lo - rt.hi, rs.hi - rt.lo,
+                                std::gcd(rs.stride, rt.stride)));
       } else if (rs.kind == rt.kind && rs.kind != Kind::kUnknown) {
         // Same-base difference (Sp-Sp, Gp-Gp): the base cancels.
-        set_dest(s, in.rd, make(Kind::kAbs, rs.lo - rt.hi, rs.hi - rt.lo));
+        set_dest(s, in.rd, make(Kind::kAbs, rs.lo - rt.hi, rs.hi - rt.lo,
+                                std::gcd(rs.stride, rt.stride)));
       } else {
         set_dest(s, in.rd, AbsVal{});
       }
@@ -218,23 +262,36 @@ void transfer(const isa::Instr& in, State& s) {
         set_dest(s, in.rd, AbsVal{});
       }
       break;
-    case Op::kSll:
+    case Op::kSll: {
       if (rt.kind == Kind::kAbs && rt.lo >= 0) {
+        // Stride introduction: {lo..hi} << n walks a 2^n-residue grid
+        // (scaled by the operand's own stride when it already has one).
+        const i64 stride =
+            field ? (std::max<i64>(rt.stride, 1) << in.shamt) : 1;
         set_dest(s, in.rd,
-                 make(Kind::kAbs, rt.lo << in.shamt, rt.hi << in.shamt));
+                 make(Kind::kAbs, rt.lo << in.shamt, rt.hi << in.shamt, stride));
       } else {
         set_dest(s, in.rd, AbsVal{});
       }
       break;
+    }
     case Op::kSrl:
-    case Op::kSra:
+    case Op::kSra: {
       if (rt.kind == Kind::kAbs && rt.lo >= 0) {
+        // Exact only when the grid survives the shift (stride divisible by
+        // 2^n); otherwise the shifted elements are not equally spaced and
+        // the result demotes to the dense hull.
+        const i64 stride =
+            (rt.stride >= 2 && (rt.stride % (i64{1} << in.shamt)) == 0)
+                ? (rt.stride >> in.shamt)
+                : 1;
         set_dest(s, in.rd,
-                 make(Kind::kAbs, rt.lo >> in.shamt, rt.hi >> in.shamt));
+                 make(Kind::kAbs, rt.lo >> in.shamt, rt.hi >> in.shamt, stride));
       } else {
         set_dest(s, in.rd, AbsVal{});
       }
       break;
+    }
     case Op::kSlt:
     case Op::kSltu:
       set_dest(s, in.rd, make(Kind::kAbs, 0, 1));
@@ -243,17 +300,28 @@ void transfer(const isa::Instr& in, State& s) {
     case Op::kSltiu:
       set_dest(s, in.rt, make(Kind::kAbs, 0, 1));
       break;
-    case Op::kMul:
+    case Op::kMul: {
       if (is_singleton(rs) && is_singleton(rt) && rs.kind == Kind::kAbs &&
           rt.kind == Kind::kAbs) {
         set_dest(s, in.rd, make(Kind::kAbs, rs.lo * rt.lo, rs.lo * rt.lo));
       } else if (rs.kind == Kind::kAbs && rt.kind == Kind::kAbs && rs.lo >= 0 &&
                  rt.lo >= 0) {
-        set_dest(s, in.rd, make(Kind::kAbs, rs.lo * rt.lo, rs.hi * rt.hi));
+        // Stride introduction: a range scaled by a constant factor c walks
+        // a c*stride grid ({c*lo, c*(lo+s), ...} is exact).
+        i64 stride = 1;
+        if (field) {
+          if (is_singleton(rs)) {
+            stride = rs.lo * std::max<i64>(rt.stride, 1);
+          } else if (is_singleton(rt)) {
+            stride = rt.lo * std::max<i64>(rs.stride, 1);
+          }
+        }
+        set_dest(s, in.rd, make(Kind::kAbs, rs.lo * rt.lo, rs.hi * rt.hi, stride));
       } else {
         set_dest(s, in.rd, AbsVal{});
       }
       break;
+    }
     case Op::kSllv:
     case Op::kSrlv:
     case Op::kSrav:
@@ -383,6 +451,11 @@ void refine_edge(const isa::Instr& in, bool taken, State& s) {
   if (a.kind == Kind::kUnknown || b.kind == Kind::kUnknown || a.kind != b.kind) {
     return;
   }
+  // Residue grids survive refinement: clamped bounds are realigned onto the
+  // operand's own original grid (lo up to the next element, hi down to the
+  // previous), which is exact — off-grid values were never in the set.
+  const i64 a_anchor = a.lo, a_stride = a.stride;
+  const i64 b_anchor = b.lo, b_stride = b.stride;
   const bool unsigned_cmp = in.op == Op::kBltu || in.op == Op::kBgeu;
   if (unsigned_cmp && (a.lo < 0 || b.lo < 0)) return;
 
@@ -426,21 +499,38 @@ void refine_edge(const isa::Instr& in, bool taken, State& s) {
     }
     case Rel::kNe:  // shave a singleton off a matching endpoint
       if (is_singleton(b)) {
-        if (a.lo == b.lo) a.lo += 1;
-        if (a.hi == b.lo) a.hi -= 1;
+        // The next possible element past a shaved endpoint is one grid
+        // step away, not one byte.
+        if (a.lo == b.lo) a.lo += std::max<i64>(a_stride, 1);
+        if (a.hi == b.lo) a.hi -= std::max<i64>(a_stride, 1);
       }
       if (is_singleton(a)) {
-        if (b.lo == a.lo) b.lo += 1;
-        if (b.hi == a.lo) b.hi -= 1;
+        if (b.lo == a.lo) b.lo += std::max<i64>(b_stride, 1);
+        if (b.hi == a.lo) b.hi -= std::max<i64>(b_stride, 1);
       }
       break;
     case Rel::kNone:
       return;
   }
+  // Realign clamped bounds onto each operand's original residue grid: lo
+  // rounds up to the next on-grid element, hi rounds down.  A grid with no
+  // element left in the clamped range comes out empty (lo > hi) and marks
+  // the edge infeasible below.
+  auto realign = [](AbsVal& v, i64 anchor, i64 stride) {
+    if (stride < 2) return;
+    const i64 mlo = ((v.lo - anchor) % stride + stride) % stride;
+    if (mlo != 0) v.lo += stride - mlo;
+    const i64 mhi = ((v.hi - anchor) % stride + stride) % stride;
+    v.hi -= mhi;
+  };
+  realign(a, a_anchor, a_stride);
+  realign(b, b_anchor, b_stride);
   // An empty refined range marks the edge statically infeasible; the caller
   // detects it via the sentinel and skips propagation.
-  s[in.rs] = (a.lo > a.hi) ? AbsVal{Kind::kAbs, 1, 0} : make(a.kind, a.lo, a.hi);
-  s[in.rt] = (b.lo > b.hi) ? AbsVal{Kind::kAbs, 1, 0} : make(b.kind, b.lo, b.hi);
+  s[in.rs] =
+      (a.lo > a.hi) ? AbsVal{Kind::kAbs, 1, 0} : make(a.kind, a.lo, a.hi, a_stride);
+  s[in.rt] =
+      (b.lo > b.hi) ? AbsVal{Kind::kAbs, 1, 0} : make(b.kind, b.lo, b.hi, b_stride);
   s[0] = abs_const(0);
 }
 
@@ -480,6 +570,26 @@ bool is_store(isa::Op op) {
 void add_page_range(std::set<u32>& pages, Addr lo, Addr hi) {
   for (u32 page = mem::page_of(lo); page <= mem::page_of(hi); ++page) {
     pages.insert(page);
+  }
+}
+
+/// Strided page fold: pages touched by accesses of `size` bytes starting at
+/// {lo, lo+stride, ..., <= hi-size+1}.  For stride <= page size consecutive
+/// starts land on the same or adjacent pages, so the dense hull fold is
+/// already exact; only a stride wider than a page can skip pages, and then
+/// the element count is bounded by kMaxSpanBytes / kPageBytes (the span was
+/// capped in classify_site).  A degenerate stride (<= 0 from a demoted
+/// value) folds the dense hull — never under-approximates.
+void add_page_range_strided(std::set<u32>& pages, Addr lo, Addr hi, i64 stride,
+                            u32 size) {
+  if (stride <= static_cast<i64>(mem::kPageBytes)) {
+    add_page_range(pages, lo, hi);
+    return;
+  }
+  const i64 last = static_cast<i64>(hi) - static_cast<i64>(size) + 1;
+  for (i64 e = static_cast<i64>(lo); e <= last; e += stride) {
+    add_page_range(pages, static_cast<Addr>(e),
+                   static_cast<Addr>(e + static_cast<i64>(size) - 1));
   }
 }
 
@@ -547,6 +657,10 @@ struct SiteRange {
   AccessPrecision precision = AccessPrecision::kUnknown;
   i64 lo = 0;
   i64 hi = 0;
+  /// Residue grid of the access *start* addresses inside [lo, hi - size + 1]
+  /// (0 = singleton, 1 = dense); [lo, hi] includes the access width.
+  i64 stride = 0;
+  u32 size = 1;
 };
 
 SiteRange classify_site(const AbsVal& base, i64 imm, u32 size) {
@@ -564,6 +678,8 @@ SiteRange classify_site(const AbsVal& base, i64 imm, u32 size) {
   if (base.kind == Kind::kAbs && lo < 0) return r;
   r.lo = lo;
   r.hi = hi;
+  r.stride = base.stride;
+  r.size = size;
   r.precision =
       is_singleton(base) ? AccessPrecision::kExact : AccessPrecision::kOver;
   switch (base.kind) {
@@ -573,6 +689,61 @@ SiteRange classify_site(const AbsVal& base, i64 imm, u32 size) {
     default: break;
   }
   return r;
+}
+
+/// Per-block induction pass (field mode): which registers the program ever
+/// advances by a loop-carried step, and by how much.  `addi r, r, imm`
+/// records |imm| as a known step; `add`/`sub` with the destination among
+/// the sources is a self-update with a register step (any stride could be
+/// legitimate).  propagate() uses this as a precision filter: a residue
+/// grid born purely from *joining* dense/singleton inputs is kept only
+/// when some recorded step explains it — otherwise it is coincidence (two
+/// unrelated constants meeting at a join point) and the value demotes to
+/// the dense hull.  Purely a precision heuristic: both keeping and
+/// demoting are sound.
+struct InductionSteps {
+  std::array<std::vector<i64>, isa::kNumRegs> steps{};
+  std::array<bool, isa::kNumRegs> any_step{};
+
+  bool explains(u8 reg, i64 stride) const {
+    if (any_step[reg]) return true;
+    for (const i64 d : steps[reg]) {
+      if (stride % d == 0) return true;
+    }
+    return false;
+  }
+};
+
+InductionSteps collect_induction(const isa::Program& program,
+                                 const ControlFlowGraph& cfg) {
+  InductionSteps ind;
+  for (const BasicBlock& block : cfg.blocks) {
+    for (Addr pc = block.start; pc < block.end; pc += 4) {
+      const isa::Instr in = isa::decode(program.text_word(pc));
+      switch (in.op) {
+        case isa::Op::kAddi:
+          if (in.rt == in.rs && in.rt != 0 && in.imm != 0) {
+            const i64 d = in.imm < 0 ? -static_cast<i64>(in.imm)
+                                     : static_cast<i64>(in.imm);
+            ind.steps[in.rt].push_back(d);
+          }
+          break;
+        case isa::Op::kAdd:
+        case isa::Op::kSub:
+          if (in.rd != 0 && (in.rd == in.rs || in.rd == in.rt)) {
+            ind.any_step[in.rd] = true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (auto& v : ind.steps) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return ind;
 }
 
 /// Worklist data-flow engine over block in-states.  Two modes share it:
@@ -610,16 +781,28 @@ struct FixpointPass {
   // context_depth > 0.
   const std::map<Addr, AbsVal>* spawn_bindings = nullptr;
 
+  // Field-sensitive mode: strided-interval domain in transfer/join, plus
+  // per-$sp-depth recursion contexts — a call whose callee entry is already
+  // on the ancestor context chain clones per recursion rung up to sp_depth
+  // (bypassing the context_depth budget but not the clone cache cap), so
+  // each recursion level keeps its own frame envelope.
+  bool field_sensitive = false;
+  u32 sp_depth = 0;
+  const InductionSteps* induction = nullptr;
+
   struct CtxInfo {
     Addr entry = 0;  // 0 for the joined root context
     ArgTuple args{};
     u32 depth = 0;
+    u32 rung = 0;     // recursion rung of this clone (0 = not recursive)
+    i32 parent = -1;  // index of the context that entered this clone
   };
   std::vector<CtxInfo> contexts;      // [0] = joined context
   std::map<CtxKey, u32> context_index;
   u32 contexts_cloned = 0;
   u32 context_fallbacks = 0;
   u32 spawn_contexts = 0;
+  u32 sp_contexts = 0;
 
   // All per-block analysis state is context-major: index [ctx][block].
   std::vector<std::vector<State>> in_state;
@@ -715,7 +898,7 @@ struct FixpointPass {
         const Summary* s = summary_of(t);
         const AbsVal rv = rebase(v == isa::kV0 ? s->ret_v0 : s->ret_v1,
                                  at_call[isa::kSp], at_call[isa::kGp]);
-        joined = first ? rv : join(joined, rv);
+        joined = first ? rv : join(joined, rv, field_sensitive);
         first = false;
         if (joined.kind == Kind::kUnknown) break;
       }
@@ -725,9 +908,10 @@ struct FixpointPass {
     return next;
   }
 
-  u32 new_context(Addr entry, const ArgTuple& args, u32 depth) {
+  u32 new_context(Addr entry, const ArgTuple& args, u32 depth, u32 rung,
+                  i32 parent) {
     const size_t n = cfg.blocks.size();
-    contexts.push_back(CtxInfo{entry, args, depth});
+    contexts.push_back(CtxInfo{entry, args, depth, rung, parent});
     in_state.emplace_back(n);
     has_state.emplace_back(n, false);
     visits.emplace_back(n, 0);
@@ -736,41 +920,66 @@ struct FixpointPass {
     return static_cast<u32>(contexts.size() - 1);
   }
 
+  /// Number of ancestor contexts (including ctx itself) already analyzing
+  /// `entry` — the recursion rung of a call to `entry` made from ctx.
+  u32 recursion_rung(u32 ctx, Addr entry) const {
+    u32 rung = 0;
+    for (i32 p = static_cast<i32>(ctx); p >= 0; p = contexts[p].parent) {
+      if (contexts[p].entry == entry) rung += 1;
+    }
+    return rung;
+  }
+
   /// Routes a call entry (direct call, or a spawn-bound thread root) into a
   /// per-(callee, argument-tuple) clone when the depth budget and memo
   /// cache allow, and into the joined context 0 otherwise.  The joined
   /// context is the context-insensitive state, so every fallback is sound
-  /// by construction.
+  /// by construction.  Field mode additionally clones *recursive* calls per
+  /// recursion rung (abstract $sp depth) up to sp_depth, so each recursion
+  /// level gets its own sp-relative envelope instead of one joined frame.
   void enter_call(u32 ctx, Addr entry, const State& s) {
     if (context_depth == 0) {
       propagate(ctx, entry, s);
       return;
     }
+    const u32 rung = (field_sensitive && sp_depth > 0)
+                         ? recursion_rung(ctx, entry)
+                         : 0;
+    const bool recursive = rung >= 1;
     const ArgTuple args = {s[isa::kA0], s[isa::kA1], s[isa::kA2], s[isa::kA3]};
     bool all_unknown = true;
     for (const AbsVal& a : args) {
       if (a.kind != Kind::kUnknown) all_unknown = false;
     }
-    if (all_unknown) {
+    if (all_unknown && !recursive) {
       // No argument precision to preserve: the joined context *is* this
       // context (not a fallback).
       propagate(0, entry, s);
       return;
     }
-    const CtxKey key{entry, args};
+    const CtxKey key{entry, args, recursive ? rung : 0};
     if (const auto it = context_index.find(key); it != context_index.end()) {
       propagate(it->second, entry, s);  // memo hit
       return;
     }
-    if (contexts[ctx].depth >= context_depth ||
-        contexts_cloned >= max_context_clones) {
+    const bool admit =
+        recursive ? (rung <= sp_depth && contexts_cloned < max_context_clones)
+                  : (contexts[ctx].depth < context_depth &&
+                     contexts_cloned < max_context_clones);
+    if (!admit) {
       context_fallbacks += 1;
       propagate(0, entry, s);
       return;
     }
-    const u32 c = new_context(entry, args, contexts[ctx].depth + 1);
+    // Rung clones keep the parent's argument-tuple depth: recursion depth
+    // is budgeted by sp_depth, not by context_depth.
+    const u32 depth =
+        recursive ? contexts[ctx].depth : contexts[ctx].depth + 1;
+    const u32 c = new_context(entry, args, depth, recursive ? rung : 0,
+                              static_cast<i32>(ctx));
     context_index.emplace(key, c);
     contexts_cloned += 1;
+    if (recursive) sp_contexts += 1;
     propagate(c, entry, s);
   }
 
@@ -798,7 +1007,18 @@ struct FixpointPass {
     }
     State merged;
     for (u8 r = 0; r < isa::kNumRegs; ++r) {
-      merged[r] = join(in_state[ctx][i][r], s[r]);
+      merged[r] = join(in_state[ctx][i][r], s[r], field_sensitive);
+      // Induction filter: a residue grid born purely from joining dense or
+      // singleton inputs is kept only when a recorded loop-carried step
+      // explains it; otherwise it is two unrelated constants meeting at a
+      // join point and the dense hull is the honest value.  Grids that
+      // arrived through transfer (shift/mul) or an already-strided input
+      // pass through untouched.
+      if (field_sensitive && induction != nullptr && merged[r].stride >= 2 &&
+          in_state[ctx][i][r].stride < 2 && s[r].stride < 2 &&
+          !induction->explains(r, merged[r].stride)) {
+        merged[r] = make(merged[r].kind, merged[r].lo, merged[r].hi, 1);
+      }
     }
     merged[0] = abs_const(0);
     if (merged == in_state[ctx][i]) return;
@@ -831,9 +1051,22 @@ struct FixpointPass {
           // 2*|thresholds|+2 events fire per (block, register); the strike
           // cap is a defensive backstop on top of that.
           AbsVal w = merged[r];
-          if (w.lo != in_state[ctx][i][r].lo) w.lo = threshold_lo(w.lo);
-          if (w.hi != in_state[ctx][i][r].hi) w.hi = threshold_hi(w.hi);
-          merged[r] = w;
+          // Stride-preserving widening: jump the changing bound(s) to the
+          // threshold, then realign onto the value's own residue grid —
+          // lo moves down to the last on-grid point >= the threshold, hi up
+          // to the first on-grid point <= it, so the widened set still
+          // covers the merged set (lo' <= lo, hi' >= hi, both on-grid) and
+          // a dense value (stride 1) reproduces the plain threshold jump.
+          const i64 ws = std::max<i64>(w.stride, 1);
+          if (w.lo != in_state[ctx][i][r].lo) {
+            const i64 t = threshold_lo(w.lo);
+            w.lo -= ((w.lo - t) / ws) * ws;
+          }
+          if (w.hi != in_state[ctx][i][r].hi) {
+            const i64 t = threshold_hi(w.hi);
+            w.hi = w.lo + ((t - w.lo) / ws) * ws;
+          }
+          merged[r] = make(w.kind, w.lo, w.hi, w.stride);
         } else {
           merged[r] = AbsVal{};
         }
@@ -852,6 +1085,7 @@ struct FixpointPass {
     contexts_cloned = 0;
     context_fallbacks = 0;
     spawn_contexts = 0;
+    sp_contexts = 0;
     in_state.clear();
     has_state.clear();
     visits.clear();
@@ -922,13 +1156,13 @@ struct FixpointPass {
     visits[ctx][block.index] += 1;
     State out = in_state[ctx][block.index];
     for (Addr pc = block.start; pc + 4 < block.end; pc += 4) {
-      transfer(isa::decode(program.text_word(pc)), out);
+      transfer(isa::decode(program.text_word(pc)), out, field_sensitive);
     }
     const isa::Instr term = isa::decode(program.text_word(block.terminator_pc()));
 
     switch (block.exit) {
       case BlockExit::kFallThrough: {
-        transfer(term, out);
+        transfer(term, out, field_sensitive);
         propagate(ctx, block.end, out);
         break;
       }
@@ -1022,7 +1256,8 @@ struct FixpointPass {
 Summary summarize_function(const isa::Program& program,
                            const ControlFlowGraph& cfg, Addr lo, Addr hi,
                            const SummaryMap& summaries,
-                           const std::vector<i64>& thresholds) {
+                           const std::vector<i64>& thresholds, bool field,
+                           const InductionSteps* induction) {
   Summary sum;
   sum.entry = lo;
 
@@ -1033,6 +1268,8 @@ Summary summarize_function(const isa::Program& program,
   pass.region_hi = hi;
   pass.enter_callees = false;
   pass.thresholds = &thresholds;
+  pass.field_sensitive = field;
+  pass.induction = induction;
   pass.run(lo, root_state());
 
   const BasicBlock* entry_block = cfg.block_at(lo);
@@ -1098,11 +1335,11 @@ Summary summarize_function(const isa::Program& program,
         const SiteRange r = classify_site(s[in.rs], in.imm, access_size(in.op));
         switch (r.base) {
           case AddressBase::kAbsolute:
-            add_page_range(sum.pages, static_cast<Addr>(r.lo),
-                           static_cast<Addr>(r.hi));
+            add_page_range_strided(sum.pages, static_cast<Addr>(r.lo),
+                                   static_cast<Addr>(r.hi), r.stride, r.size);
             if (is_store(in.op)) {
-              add_page_range(sum.store_pages, static_cast<Addr>(r.lo),
-                             static_cast<Addr>(r.hi));
+              add_page_range_strided(sum.store_pages, static_cast<Addr>(r.lo),
+                                     static_cast<Addr>(r.hi), r.stride, r.size);
             }
             break;
           case AddressBase::kStack:
@@ -1116,7 +1353,7 @@ Summary summarize_function(const isa::Program& program,
             break;
         }
       }
-      if (pc + 4 < block.end) transfer(in, s);
+      if (pc + 4 < block.end) transfer(in, s, field);
     }
     // `s` is now the state before the terminator (terminators have no
     // register transfer of their own).
@@ -1154,8 +1391,10 @@ Summary summarize_function(const isa::Program& program,
       sum.returns = true;
       if (!(s[isa::kSp] == make(Kind::kSp, 0, 0))) sp_restored = false;
       if (!(s[isa::kGp] == make(Kind::kGp, 0, 0))) gp_restored = false;
-      sum.ret_v0 = first_return ? s[isa::kV0] : join(sum.ret_v0, s[isa::kV0]);
-      sum.ret_v1 = first_return ? s[isa::kV1] : join(sum.ret_v1, s[isa::kV1]);
+      sum.ret_v0 =
+          first_return ? s[isa::kV0] : join(sum.ret_v0, s[isa::kV0], field);
+      sum.ret_v1 =
+          first_return ? s[isa::kV1] : join(sum.ret_v1, s[isa::kV1], field);
       first_return = false;
     }
   }
@@ -1186,7 +1425,8 @@ Summary summarize_function(const isa::Program& program,
 SummaryMap compute_summaries(const isa::Program& program,
                              const ControlFlowGraph& cfg,
                              const std::set<Addr>& entries,
-                             const std::vector<i64>& thresholds) {
+                             const std::vector<i64>& thresholds, bool field,
+                             const InductionSteps* induction) {
   SummaryMap summaries;
   struct Region {
     Addr lo;
@@ -1237,8 +1477,8 @@ SummaryMap compute_summaries(const isa::Program& program,
     for (auto it = regions.rbegin(); it != regions.rend(); ++it) {
       Summary& cur = summaries.at(it->lo);
       if (force_flat.count(it->lo) != 0) continue;  // pinned unsummarized
-      Summary next =
-          summarize_function(program, cfg, it->lo, it->hi, summaries, thresholds);
+      Summary next = summarize_function(program, cfg, it->lo, it->hi,
+                                        summaries, thresholds, field, induction);
       if (next.summarized) {
         if (sp_dropped.count(it->lo) != 0 && next.has_sp) {
           next.has_sp = false;
@@ -1331,7 +1571,7 @@ std::map<Addr, AbsVal> harvest_spawn_bindings(const FixpointPass& pass,
       if (!pass.has_state[c][block.index]) continue;
       State s = pass.in_state[c][block.index];
       for (Addr pc = block.start; pc + 4 < block.end; pc += 4) {
-        transfer(isa::decode(program.text_word(pc)), s);
+        transfer(isa::decode(program.text_word(pc)), s, pass.field_sensitive);
       }
       const AbsVal v0 = s[isa::kV0];
       if (!(v0.kind == Kind::kAbs && is_singleton(v0))) {
@@ -1347,8 +1587,9 @@ std::map<Addr, AbsVal> harvest_spawn_bindings(const FixpointPass& pass,
       }
       const Addr target = static_cast<Addr>(a0.lo);
       const auto it = binding.find(target);
-      binding[target] =
-          (it == binding.end()) ? s[isa::kA1] : join(it->second, s[isa::kA1]);
+      binding[target] = (it == binding.end())
+                            ? s[isa::kA1]
+                            : join(it->second, s[isa::kA1], pass.field_sensitive);
     }
   }
   return binding;
@@ -1383,11 +1624,16 @@ PageFootprint compute_footprint(const isa::Program& program,
   };
 
   // --- Parametric per-function summaries (interprocedural mode). ------
+  const bool field = options.field_sensitive;
+  fp.field_sensitive = field;
+  InductionSteps induction;
+  if (field) induction = collect_induction(program, cfg);
+  const InductionSteps* ind = field ? &induction : nullptr;
   SummaryMap summaries;
   std::vector<i64> thresholds;
   if (options.interprocedural) {
     thresholds = collect_thresholds(program, cfg);
-    summaries = compute_summaries(program, cfg, entries, thresholds);
+    summaries = compute_summaries(program, cfg, entries, thresholds, field, ind);
   }
 
   // --- Program-wide fixpoint over block in-states.  Still enters callees
@@ -1405,6 +1651,9 @@ PageFootprint compute_footprint(const isa::Program& program,
     if (options.interprocedural) p->thresholds = &thresholds;
     p->context_depth = effective_depth;
     p->spawn_bindings = bindings;
+    p->field_sensitive = field;
+    p->sp_depth = field ? options.sp_depth : 0;
+    p->induction = ind;
     p->run(program.entry, root_state());
     return p;
   };
@@ -1442,7 +1691,7 @@ PageFootprint compute_footprint(const isa::Program& program,
           if (it == binding.end() || it->second.kind == Kind::kUnknown) {
             continue;
           }
-          const AbsVal widened = join(it->second, v);
+          const AbsVal widened = join(it->second, v, field);
           if (!(widened == it->second)) {
             stable = false;
             it->second = widened;
@@ -1459,6 +1708,7 @@ PageFootprint compute_footprint(const isa::Program& program,
   fp.contexts_cloned = pass->contexts_cloned;
   fp.context_fallbacks = pass->context_fallbacks;
   fp.spawn_contexts = pass->spawn_contexts;
+  fp.sp_contexts = pass->sp_contexts;
 
   // --- Collect access sites from reachable blocks. --------------------
   std::set<u32> pages;
@@ -1529,6 +1779,18 @@ PageFootprint compute_footprint(const isa::Program& program,
                                             : AccessPrecision::kOver;
             site.lo = lo;
             site.hi = hi;
+            // Merged residue grid across contexts: the gcd of every
+            // context's stride and anchor distance (the same argument as
+            // the abstract join) — exported when it is an actual grid.
+            if (field) {
+              i64 g = 0;
+              for (const SiteRange& r : ranges) {
+                g = std::gcd(g, r.stride);
+                g = std::gcd(g, r.lo >= ranges[0].lo ? r.lo - ranges[0].lo
+                                                     : ranges[0].lo - r.lo);
+              }
+              site.stride = g >= 2 ? g : 0;
+            }
           } else {
             // Resolved in every context but the bases differ: the hull is
             // not expressible as one (base, range).  The site counts as
@@ -1544,18 +1806,24 @@ PageFootprint compute_footprint(const isa::Program& program,
           for (const SiteRange& r : ranges) {
             switch (r.base) {
               case AddressBase::kAbsolute:
-                add_page_range(pages, static_cast<Addr>(r.lo),
-                               static_cast<Addr>(r.hi));
-                add_page_range(fn.pages, static_cast<Addr>(r.lo),
-                               static_cast<Addr>(r.hi));
+                add_page_range_strided(pages, static_cast<Addr>(r.lo),
+                                       static_cast<Addr>(r.hi), r.stride,
+                                       r.size);
+                add_page_range_strided(fn.pages, static_cast<Addr>(r.lo),
+                                       static_cast<Addr>(r.hi), r.stride,
+                                       r.size);
                 if (store) {
-                  add_page_range(store_pages, static_cast<Addr>(r.lo),
-                                 static_cast<Addr>(r.hi));
-                  add_page_range(fn.store_pages, static_cast<Addr>(r.lo),
-                                 static_cast<Addr>(r.hi));
+                  add_page_range_strided(store_pages, static_cast<Addr>(r.lo),
+                                         static_cast<Addr>(r.hi), r.stride,
+                                         r.size);
+                  add_page_range_strided(fn.store_pages,
+                                         static_cast<Addr>(r.lo),
+                                         static_cast<Addr>(r.hi), r.stride,
+                                         r.size);
                 }
-                add_page_range(pc_page_set, static_cast<Addr>(r.lo),
-                               static_cast<Addr>(r.hi));
+                add_page_range_strided(pc_page_set, static_cast<Addr>(r.lo),
+                                       static_cast<Addr>(r.hi), r.stride,
+                                       r.size);
                 break;
               case AddressBase::kStack:
                 record_envelope(fp.has_sp_range, fp.sp_lo, fp.sp_hi, r.lo,
@@ -1567,8 +1835,9 @@ PageFootprint compute_footprint(const isa::Program& program,
                                 r.hi);
                 if (r.lo >= 0) {
                   // Folds at the initial gp = 0, the loader convention.
-                  add_page_range(pc_page_set, static_cast<Addr>(r.lo),
-                                 static_cast<Addr>(r.hi));
+                  add_page_range_strided(pc_page_set, static_cast<Addr>(r.lo),
+                                         static_cast<Addr>(r.hi), r.stride,
+                                         r.size);
                 } else {
                   expressible = false;
                 }
@@ -1619,7 +1888,7 @@ PageFootprint compute_footprint(const isa::Program& program,
         fp.sites.push_back(site);
       }
       if (pc + 4 < block.end) {
-        for (State& s : states) transfer(in, s);
+        for (State& s : states) transfer(in, s, field);
       }
     }
   }

@@ -12,7 +12,11 @@
 // Abstract domain (documented in docs/analysis.md):
 //   * a register value is Unknown, Abs[lo,hi] (a signed-i32 constant range),
 //     Sp[lo,hi] (offset from the executing thread's initial stack pointer)
-//     or Gp[lo,hi] (offset from the initial global pointer);
+//     or Gp[lo,hi] (offset from the initial global pointer); in
+//     field-sensitive mode every non-Unknown value additionally carries a
+//     residue stride (the value set is {lo, lo+s, ..., hi}), introduced by
+//     shifts/multiplies and loop-carried induction, joined by gcd, and
+//     folded to exact page residues instead of the dense hull;
 //   * roots (the entry point and every address-taken block) seed all
 //     registers Unknown except r0 = 0, sp = Sp[0,0], gp = Gp[0,0];
 //   * call edges enter the callee with ra bound to the return site; the
@@ -68,6 +72,11 @@ struct AccessSite {
   AccessPrecision precision = AccessPrecision::kUnknown;
   i64 lo = 0;  // first byte the access can touch (inclusive)
   i64 hi = 0;  // last byte the access can touch (inclusive)
+  /// Residue grid of the base addresses inside [lo, hi] (field-sensitive
+  /// mode): 0 = dense or singleton (every byte of the hull is possible),
+  /// >= 2 = the base address only takes values lo + k*stride.  The page
+  /// fold uses it to skip pages the strided walk can never touch.
+  i64 stride = 0;
 };
 
 /// Per-function fold of the absolute sites (function = nearest preceding
@@ -132,6 +141,20 @@ struct FootprintOptions {
   /// `$a0` bound to the join of the create sites' `$a1` arguments.
   /// 0 = exact PR 4 behavior, bit-for-bit (`--context-depth 0`).
   u32 context_depth = 1;
+  /// Field-sensitive strided-interval domain: abstract values carry a
+  /// residue stride (`base + k*stride`) introduced by shifts, multiplies
+  /// and loop-carried induction, joins take the gcd of the strides and the
+  /// base distance, and the page fold emits exact residue pages instead of
+  /// the dense `[lo, hi]` hull.  Off = the pre-stride interval behavior,
+  /// bit-for-bit (`--no-field-sensitive`).
+  bool field_sensitive = true;
+  /// Recursion-context depth for field-sensitive mode: a *recursive* call
+  /// (its callee entry already on the ancestor context chain) clones a
+  /// per-$sp-depth context for up to this many rungs, so each recursion
+  /// level gets its own sp-relative envelope; deeper rungs fall back to
+  /// the joined context (counted in context_fallbacks).  Requires
+  /// `field_sensitive` and `context_depth > 0`.
+  u32 sp_depth = 2;
 };
 
 /// Program-wide page-granularity footprint signature.
@@ -169,6 +192,11 @@ struct PageFootprint {
   u32 context_fallbacks = 0;
   /// Address-taken thread entries whose `$a0` was bound from create sites.
   u32 spawn_contexts = 0;
+  /// Whether the strided-interval domain was active (FootprintOptions
+  /// mirror; recorded so consumers can tell the fold discipline apart).
+  bool field_sensitive = false;
+  /// Recursive calls that entered a per-$sp-depth clone (field mode).
+  u32 sp_contexts = 0;
 
   /// Per-pc refined page sets for sites the context-sensitive pass
   /// resolved more tightly than the single-range hull in `sites` can
@@ -177,7 +205,9 @@ struct PageFootprint {
   /// matching the loader convention).  A pc listed here is checked by the
   /// DDT against its own page set plus the runtime-registered stack pages
   /// (stack-relative context components fold into the sp envelope above).
-  /// Sorted by pc; empty at context depth 0.
+  /// Sorted by pc.  Context-insensitive runs only emit entries here in
+  /// field-sensitive mode, where a strided site's residue pages can be
+  /// strictly tighter than the hull even with a single context.
   struct SitePages {
     Addr pc = 0;
     bool is_store = false;

@@ -79,7 +79,8 @@ std::string GoldenCache::key_of(const WorkloadSetup& setup, bool fast) {
       << setup.machine.framework_present << '|' << setup.machine.core.ruu_size << '|'
       << setup.os.seed << '|' << setup.os.run_limit << '|' << setup.os.static_cfc << '|'
       << setup.os.static_ddt << '|' << setup.os.footprint_summaries << '|'
-      << setup.os.context_depth << '|' << (fast ? "fast" : "cycle-accurate");
+      << setup.os.context_depth << '|' << setup.os.field_sensitive << '|'
+      << (fast ? "fast" : "cycle-accurate");
   for (isa::ModuleId id : setup.host_enables) key << '|' << static_cast<int>(id);
   return key.str();
 }

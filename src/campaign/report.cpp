@@ -116,12 +116,16 @@ namespace {
 /// "static-ddt-summary" spelling byte-for-byte (so `--context-depth 0`
 /// reproduces the pre-context digests exactly); depth > 0 appends a
 /// "-ctx<depth>" suffix so goldens and digests never leak across depths.
-/// Flat mode ignores the depth (the analyzer does too).
+/// Flat mode ignores the depth (the analyzer does too).  Field-sensitive
+/// mode (the default) appends "-field" to every static-ddt family so the
+/// residue-page and dense-hull domains never share goldens or digests;
+/// `--no-field-sensitive` reproduces the pre-field tokens byte-for-byte.
 std::string ddt_mode_token(const CampaignSpec& spec) {
   if (!spec.static_ddt) return "dynamic-ddt";
-  if (!spec.footprint_summaries) return "static-ddt-flat";
-  if (spec.context_depth == 0) return "static-ddt-summary";
-  return "static-ddt-summary-ctx" + std::to_string(spec.context_depth);
+  const std::string field = spec.field_sensitive ? "-field" : "";
+  if (!spec.footprint_summaries) return "static-ddt-flat" + field;
+  if (spec.context_depth == 0) return "static-ddt-summary" + field;
+  return "static-ddt-summary-ctx" + std::to_string(spec.context_depth) + field;
 }
 
 }  // namespace
@@ -158,6 +162,7 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"footprint_summaries\": " << (report.spec.footprint_summaries ? "true" : "false")
      << ",\n";
   os << "  \"context_depth\": " << report.spec.context_depth << ",\n";
+  os << "  \"field_sensitive\": " << (report.spec.field_sensitive ? "true" : "false") << ",\n";
   os << "  \"fast_forward\": " << (report.spec.fast_forward ? "true" : "false") << ",\n";
   os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
   os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";

@@ -46,6 +46,12 @@ struct CampaignSpec {
   /// set, so goldens must never leak across depths.  Depth 0 reproduces
   /// the context-insensitive digest bit-for-bit.
   u32 context_depth = 1;
+  /// Field-sensitive strided-interval footprint domain (OsConfig::
+  /// field_sensitive; effective only with static_ddt).  Part of the
+  /// golden-cache key and the deterministic digest — residue page sets and
+  /// dense hulls check different page sets, so goldens must never leak
+  /// across the two domains.
+  bool field_sensitive = true;
   /// Fast-forward the fault-free prefix of eligible runs through the exec/
   /// fast engine and transplant into the cycle-accurate core at the
   /// injection cycle (docs/execution.md).  Off by default.  Classified

@@ -195,6 +195,7 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   setup.os.static_ddt = spec.static_ddt;
   setup.os.footprint_summaries = spec.footprint_summaries;
   setup.os.context_depth = spec.context_depth;
+  setup.os.field_sensitive = spec.field_sensitive;
   if (spec.static_ddt && std::find(setup.host_enables.begin(), setup.host_enables.end(),
                                    isa::ModuleId::kDdt) == setup.host_enables.end()) {
     // The footprint check rides the DDT's commit taps: the mode implies

@@ -199,6 +199,11 @@ WorkloadSetup make_workload(const std::string& name) {
     w.host_enables.push_back(isa::ModuleId::kDdt);
     return w;
   }
+  if (name == "stride") {
+    WorkloadSetup w = base_setup(name, workloads::stride_source({}));
+    w.host_enables.push_back(isa::ModuleId::kDdt);
+    return w;
+  }
   if (name == "kmeans") {
     workloads::KMeansParams params;
     params.patterns = 40;
@@ -223,7 +228,7 @@ WorkloadSetup make_workload(const std::string& name) {
 }
 
 std::vector<std::string> workload_names() {
-  return {"loop", "calls", "args", "kmeans", "kmeans-large", "server"};
+  return {"loop", "calls", "args", "stride", "kmeans", "kmeans-large", "server"};
 }
 
 }  // namespace rse::campaign

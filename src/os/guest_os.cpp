@@ -116,6 +116,8 @@ void GuestOs::load(const isa::Program& program) {
     analysis::AnalysisOptions options;
     options.interprocedural_footprint = config_.footprint_summaries;
     options.context_depth = config_.context_depth;
+    options.field_sensitive = config_.field_sensitive;
+    options.field_sp_depth = config_.field_sp_depth;
     analysis_ = std::make_unique<analysis::AnalysisResult>(
         analysis::analyze(program, options));
   }

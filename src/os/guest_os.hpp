@@ -93,6 +93,16 @@ struct OsConfig {
   /// instead of the whole-program set.  0 = context-insensitive (bit-for-bit
   /// the pre-context behavior).
   u32 context_depth = 1;
+  /// Field-sensitive strided-interval footprint domain (AnalysisOptions::
+  /// field_sensitive): per-site residue page sets instead of dense hulls.
+  /// Feeds the golden-run cache key and determinism digest.  Off =
+  /// bit-for-bit the dense interval behavior (`--no-field-sensitive`).
+  bool field_sensitive = true;
+  /// Abstract-$sp recursion context depth for field-sensitive summary
+  /// cloning (AnalysisOptions::field_sp_depth): recursive frames are cloned
+  /// per recursion rung up to this bound, then fall back to the joined
+  /// context.  Effective only with field_sensitive and context_depth > 0.
+  u32 field_sp_depth = 2;
 };
 
 struct RecoveryReport {

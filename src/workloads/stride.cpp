@@ -1,0 +1,96 @@
+// Strided-access workload: row/column/field walks over a global matrix
+// through one shared callee, plus a recursive frame writer.  Exercises the
+// field-sensitive footprint domain — every access pattern here is a strided
+// interval whose dense hull grossly over-approximates the touched pages:
+//
+//   - the column walks step by the row pitch (default 12288 bytes = 3
+//     pages, deliberately not a power of two), touching every third page of
+//     the matrix while the hull covers all of them;
+//   - the struct-field walk steps by 8, touching alternate words;
+//   - the recursive writer pushes a frame per rung, separating $sp values
+//     that only the recursion-rung contexts can keep apart.
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+namespace rse::workloads {
+
+std::string stride_source(const StrideParams& params) {
+  const u32 matrix_bytes = params.rows * params.pitch;
+  std::ostringstream os;
+  os << ".data\n";
+  os << "matrix: .space " << matrix_bytes << "\n";
+  os << "frames: .space 256\n";
+  os << "\n.text\n";
+  os << "main:\n";
+  os << "  li s0, 0\n";
+  os << "trip:\n";
+  os << "  li t0, " << params.trips << "\n";
+  os << "  bge s0, t0, done\n";
+  // Dense row walk: stride 4 within row 0.
+  os << "  la a0, matrix\n";
+  os << "  li a1, " << params.row_words << "\n";
+  os << "  li a2, 4\n";
+  os << "  jal walk\n";
+  // Column walk: one word per row, stepping by the full pitch.
+  os << "  la a0, matrix\n";
+  os << "  li a1, " << params.rows << "\n";
+  os << "  li a2, " << params.pitch << "\n";
+  os << "  jal walk\n";
+  // Second column at a struct-field offset inside each row.
+  os << "  la a0, matrix\n";
+  os << "  addi a0, a0, 8\n";
+  os << "  li a1, " << params.rows << "\n";
+  os << "  li a2, " << params.pitch << "\n";
+  os << "  jal walk\n";
+  // Struct-field walk: every other word of the first row.
+  os << "  la a0, matrix\n";
+  os << "  addi a0, a0, 4\n";
+  os << "  li a1, " << params.row_words / 2 << "\n";
+  os << "  li a2, 8\n";
+  os << "  jal walk\n";
+  // Recursive frame writer: one stack frame and one slot write per rung.
+  os << "  la a0, frames\n";
+  os << "  li a1, " << params.rec_depth << "\n";
+  os << "  jal recw\n";
+  os << "  addi s0, s0, 1\n";
+  os << "  b trip\n";
+  os << "done:\n";
+  os << "  la a0, matrix\n";
+  os << "  lw a0, 0(a0)\n";
+  os << "  li v0, 2\n";
+  os << "  syscall\n";
+  os << "  li a0, 0\n";
+  os << "  li v0, 1\n";
+  os << "  syscall\n";
+  os << "\n";
+  os << "walk:               # a0 = base, a1 = count, a2 = step bytes\n";
+  os << "  li t2, 0\n";
+  os << "wl:\n";
+  os << "  mul t3, t2, a2\n";
+  os << "  add t3, t3, a0\n";
+  os << "  lw t4, 0(t3)\n";
+  os << "  addi t4, t4, 1\n";
+  os << "  sw t4, 0(t3)\n";
+  os << "  addi t2, t2, 1\n";
+  os << "  blt t2, a1, wl\n";
+  os << "  jr ra\n";
+  os << "\n";
+  os << "recw:               # a0 = frame slot, a1 = remaining depth\n";
+  os << "  addi sp, sp, -8\n";
+  os << "  sw ra, 4(sp)\n";
+  os << "  sw a1, 0(sp)\n";
+  os << "  sw a1, 0(a0)\n";
+  os << "  bge r0, a1, recw_done\n";
+  os << "  addi a0, a0, 4\n";
+  os << "  addi a1, a1, -1\n";
+  os << "  jal recw\n";
+  os << "recw_done:\n";
+  os << "  lw a1, 0(sp)\n";
+  os << "  lw ra, 4(sp)\n";
+  os << "  addi sp, sp, 8\n";
+  os << "  jr ra\n";
+  return os.str();
+}
+
+}  // namespace rse::workloads

@@ -41,6 +41,19 @@ struct RouteParams {
 };
 std::string vpr_route_source(const RouteParams& params = {});
 
+// ---- strided matrix walks + recursive frame writer ------------------------
+struct StrideParams {
+  u32 rows = 16;        // matrix rows (48-page matrix at the default pitch)
+  u32 pitch = 12288;    // row pitch in bytes (3 pages, not a power of two)
+  u32 row_words = 32;   // words touched by the dense row walk
+  u32 rec_depth = 4;    // recursion depth of the frame writer
+  u32 trips = 6;        // outer repetitions
+};
+/// Strided global-array sweeps (row, column, and struct-field walks through
+/// a shared callee) plus a recursive frame writer — the field-sensitive
+/// footprint workload.
+std::string stride_source(const StrideParams& params = {});
+
 // ---- multithreaded network server (Figure 9) ------------------------------
 struct ServerParams {
   u32 threads = 4;           // worker pool size

@@ -1,0 +1,28 @@
+# Column walk with a three-page stride: four elements stepping 12288 bytes
+# through a 12-page matrix.  The field-sensitive footprint must report the
+# walk sites with stride 12288 and fold exact residue pages {0, 3, 6, 9}
+# (pages 0x10000/0x10003/0x10006/0x10009); the dense hull covers all ten.
+.data
+mat: .space 49152
+
+.text
+main:
+  la a0, mat
+  li a1, 4
+  li a2, 12288
+  jal walk
+  li a0, 0
+  li v0, 1
+  syscall
+
+walk:
+  li t2, 0
+wl:
+  mul t3, t2, a2
+  add t3, t3, a0
+  lw t4, 0(t3)
+  addi t4, t4, 1
+  sw t4, 0(t3)
+  addi t2, t2, 1
+  blt t2, a1, wl
+  jr ra

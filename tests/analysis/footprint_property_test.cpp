@@ -219,6 +219,71 @@ TEST(FootprintPropertyTest, StaticDdtCleanOnArgPointerProgramsBothDepths) {
       << "context cloning resolved nothing the flat pointer-argument join missed";
 }
 
+testing::RandomProgramOptions strided_options(u64 seed) {
+  testing::RandomProgramOptions options;
+  options.strided_loops = true;
+  options.recursive_writer = true;
+  options.with_calls = seed % 2 == 0;
+  return options;
+}
+
+/// Field-sensitivity soundness on strided-loop and recursive-writer
+/// programs: shared callees multiply an induction variable by per-call-site
+/// byte steps (word, struct-field, and multi-page strides), and a recursive
+/// writer pushes a frame per rung.  Under --static-ddt the strided residue
+/// pages replace the dense hulls, so a clean run raising a footprint
+/// violation would be an under-approximated residue fold — the false
+/// positive this suite exists to rule out.  Swept across the field domain
+/// on/off and context depths {0, 1}: zero violations in all four modes,
+/// and the field domain must never leave more sites unresolved than the
+/// dense hull.
+TEST(FootprintPropertyTest, StaticDdtCleanOnStridedProgramsFieldOnOff) {
+  u64 field_unknown = 0, dense_unknown = 0;
+  u64 checks = 0;
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source =
+        testing::generate_random_program(seed + 3000, strided_options(seed));
+    const isa::Program program = isa::assemble(source);
+
+    const AnalysisResult field = analyze(program);  // field_sensitive defaults on
+    ASSERT_FALSE(field.has_errors()) << "seed " << seed << ":\n"
+                                     << to_json(program, field);
+    AnalysisOptions dense_options;
+    dense_options.field_sensitive = false;
+    const AnalysisResult dense = analyze(program, dense_options);
+    field_unknown += field.footprint.unknown_sites;
+    dense_unknown += dense.footprint.unknown_sites;
+    EXPECT_LE(field.footprint.unknown_sites, dense.footprint.unknown_sites)
+        << "seed " << seed;
+
+    for (const bool field_on : {false, true}) {
+      for (const u32 depth : {0u, 1u}) {
+        os::MachineConfig machine_config;
+        machine_config.framework_present = true;
+        os::OsConfig os_config;
+        os_config.static_ddt = true;
+        os_config.field_sensitive = field_on;
+        os_config.context_depth = depth;
+        testing::SimRunner runner(machine_config, os_config);
+        runner.load_source(source);
+        runner.os().enable_module(isa::ModuleId::kDdt);
+        runner.run();
+        ASSERT_TRUE(runner.os().finished())
+            << "seed " << seed << " field " << field_on << " depth " << depth;
+
+        const modules::DdtModule* ddt = runner.machine().ddt();
+        ASSERT_NE(ddt, nullptr);
+        checks += ddt->stats().footprint_checks;
+        EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+            << "seed " << seed << " field " << field_on << " depth " << depth
+            << ": clean run tripped the static footprint (false positive)";
+      }
+    }
+  }
+  EXPECT_GT(checks, 0u) << "no strided program checked any site";
+  EXPECT_LE(field_unknown, dense_unknown);
+}
+
 /// The harness itself must be reproducible: same seed, same program, same
 /// footprint — byte for byte.
 TEST(FootprintPropertyTest, SeedDeterminism) {

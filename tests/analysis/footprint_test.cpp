@@ -13,10 +13,12 @@
 namespace rse::analysis {
 namespace {
 
-PageFootprint footprint_of(const std::string& source, bool interprocedural = true) {
+PageFootprint footprint_of(const std::string& source, bool interprocedural = true,
+                           bool field = true) {
   const isa::Program program = isa::assemble(source);
   AnalysisOptions options;
   options.interprocedural_footprint = interprocedural;
+  options.field_sensitive = field;
   return analyze(program, options).footprint;
 }
 
@@ -191,15 +193,23 @@ rec_done:
   EXPECT_TRUE(rec->summarized);
   EXPECT_TRUE(rec->returns);
   EXPECT_EQ(rec->clobbered_regs & (1u << isa::kSp), 0u);
-  // rec's own frame accesses stay unknown in both modes (sp widens through
-  // the recursive entry join — excluded, sound), but the store through t2
-  // after the recursive call resolves only because rec's summary proves t2
-  // preserved: it is the single site separating the two modes, and the only
-  // absolute store in the program.
-  const PageFootprint flat = footprint_of(source, /*interprocedural=*/false);
-  EXPECT_EQ(flat.unknown_sites, ipa.unknown_sites + 1);
-  EXPECT_FALSE(ipa.store_pages.empty());
+  // With the dense-hull domain, rec's own frame accesses stay unknown (sp
+  // widens through the recursive entry join — excluded, sound), but the
+  // store through t2 after the recursive call resolves only because rec's
+  // summary proves t2 preserved: it is the single site separating the two
+  // modes, and the only absolute store in the program.
+  const PageFootprint ipa_dense =
+      footprint_of(source, /*interprocedural=*/true, /*field=*/false);
+  const PageFootprint flat =
+      footprint_of(source, /*interprocedural=*/false, /*field=*/false);
+  EXPECT_EQ(flat.unknown_sites, ipa_dense.unknown_sites + 1);
+  EXPECT_FALSE(ipa_dense.store_pages.empty());
   EXPECT_TRUE(flat.store_pages.empty());
+  // The field-sensitive $sp rung contexts keep the recursive frames' sp
+  // values separated (and stride-joined past the rung budget), so rec's
+  // frame accesses additionally resolve into the sp envelope.
+  EXPECT_LT(ipa.unknown_sites, ipa_dense.unknown_sites);
+  EXPECT_FALSE(ipa.store_pages.empty());
 }
 
 /// Loop bounds larger than the widening visit budget still resolve: the

@@ -33,6 +33,17 @@ struct RandomProgramOptions {
   /// context-insensitive join of those bases is unknown, so the accesses
   /// resolve only under per-call-site summary cloning.
   bool arg_pointers = false;
+  /// Strided-walk callees for field-sensitivity testing: call sites pass a
+  /// buffer base, element count, and byte step through $a0..$a2 to a shared
+  /// callee that multiplies its induction variable by the step.  Steps mix
+  /// word, struct-field, and multi-page strides over a dedicated matrix
+  /// region sized for the largest walk, so the strided-interval domain must
+  /// fold exact residue pages while staying sound.
+  bool strided_loops = false;
+  /// Bounded recursive frame writer for $sp-depth context testing: each
+  /// rung pushes a real stack frame and stores through a slot pointer that
+  /// advances one word per rung.
+  bool recursive_writer = false;
   /// Emit mid-program print-int syscalls at random block boundaries.  Each
   /// one is an observable synchronization point: the differential harness
   /// snapshots the full register file there in both execution modes.
@@ -60,6 +71,11 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
 
   s << ".data\n.align 4\narena: .space "
     << (options.arena_words + kDumpOffsetWords + 16) * 4 << "\n";
+  if (options.strided_loops || options.recursive_writer) {
+    // Dedicated walk region: covers the widest strided walk (three pages of
+    // step times three steps) plus the recursive writer's slots.
+    s << "smatrix: .space 40960\n";
+  }
   s << ".text\nmain:\n  la s0, arena\n";
   if (options.call_heavy) s << "  la t8, arena\n";
   for (const std::string& r : regs) {
@@ -101,6 +117,7 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
   u32 loop_id = 0;
   u32 patch_count = 0;
   bool argfill_used[4] = {false, false, false, false};
+  bool stwalk_used = false, recwr_used = false;
   for (u32 block = 0; block < options.blocks; ++block) {
     s << "block_" << block << ":\n";
     if (options.print_progress && rng.next_below(3) == 0) {
@@ -163,6 +180,26 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
       // The arena base in t8 is live across the call: this store resolves
       // only if the analysis proves the callee leaves t8 alone.
       s << "  sw " << reg() << ", " << rng.next_below(options.arena_words) * 4 << "(t8)\n";
+    }
+    if (options.strided_loops && rng.next_below(2) == 0) {
+      // Strided walk through the shared callee: base in a0, element count
+      // in a1, byte step in a2.  The widest span (3 * 12288 + offset + 4)
+      // stays inside smatrix.
+      const u32 steps[] = {4, 8, 12, 4096, 8192, 12288};
+      s << "  la a0, smatrix\n";
+      s << "  addi a0, a0, " << rng.next_below(8) * 4 << "\n";
+      s << "  li a1, " << 2 + rng.next_below(3) << "\n";
+      s << "  li a2, " << steps[rng.next_below(6)] << "\n";
+      s << "  jal stwalk\n";
+      stwalk_used = true;
+    }
+    if (options.recursive_writer && rng.next_below(2) == 0) {
+      // Recursive frame writer: slot pointer in a0, depth in a1.
+      s << "  la a0, smatrix\n";
+      s << "  addi a0, a0, " << rng.next_below(8) * 4 << "\n";
+      s << "  li a1, " << 1 + rng.next_below(4) << "\n";
+      s << "  jal recwr\n";
+      recwr_used = true;
     }
     if (options.arg_pointers && rng.next_below(2) == 0) {
       const u32 k = rng.next_below(4);        // pointer register a0..a3
@@ -232,6 +269,32 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     s << "  addi a0, a0, -1\n  jal rec\n";
     s << "rec_done:\n";
     s << "  lw a0, 0(sp)\n  lw ra, 4(sp)\n  addi sp, sp, 8\n  jr ra\n";
+  }
+  if (stwalk_used) {
+    // Shared strided walker; only v0/v1/t9 are clobbered (plus the a-regs
+    // the caller just set), so the working registers stay call-preserved.
+    s << "stwalk:\n";
+    s << "  li v1, 0\n";
+    s << "stwl:\n";
+    s << "  mul t9, v1, a2\n";
+    s << "  add t9, t9, a0\n";
+    s << "  lw v0, 0(t9)\n";
+    s << "  addi v0, v0, 1\n";
+    s << "  sw v0, 0(t9)\n";
+    s << "  addi v1, v1, 1\n";
+    s << "  blt v1, a1, stwl\n";
+    s << "  jr ra\n";
+  }
+  if (recwr_used) {
+    // Recursive frame writer: depth = initial a1, one frame and one slot
+    // store per rung.
+    s << "recwr:\n";
+    s << "  addi sp, sp, -8\n  sw ra, 4(sp)\n  sw a1, 0(sp)\n";
+    s << "  sw a1, 0(a0)\n";
+    s << "  bge r0, a1, recwr_done\n";
+    s << "  addi a0, a0, 4\n  addi a1, a1, -1\n  jal recwr\n";
+    s << "recwr_done:\n";
+    s << "  lw a1, 0(sp)\n  lw ra, 4(sp)\n  addi sp, sp, 8\n  jr ra\n";
   }
   if (options.arg_pointers) {
     // argfill_<k> walks a<k+1>-many words through the buffer base received

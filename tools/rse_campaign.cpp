@@ -2,8 +2,8 @@
 // classification (docs/campaigns.md).
 //
 //   rse_campaign [options]
-//     --workload <name>     loop | calls | args | kmeans | kmeans-large |
-//                           server                                 (kmeans)
+//     --workload <name>     loop | calls | args | stride | kmeans |
+//                           kmeans-large | server                  (kmeans)
 //     --runs <n>            number of injected runs                (256)
 //     --seed <n>            campaign seed                          (1)
 //     --jobs <n>            worker threads, 0 = hardware           (0)
@@ -14,6 +14,9 @@
 //     --flat-footprint      static analysis without interprocedural summaries
 //     --context-depth <n>   context-sensitive footprint cloning depth
 //                           (default 1; 0 = context-insensitive)
+//     --field-sensitive / --no-field-sensitive
+//                           strided-interval (field-level) footprint domain
+//                           for --static-ddt (default on)
 //     --fast-forward        run each eligible run's fault-free prefix through
 //                           the exec/ fast engine, then transplant into the
 //                           cycle-accurate core at the injection cycle
@@ -36,7 +39,8 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
-            << "  [--static-ddt] [--flat-footprint] [--context-depth N] [--fast-forward]\n"
+            << "  [--static-ddt] [--flat-footprint] [--context-depth N] [--field-sensitive]\n"
+            << "  [--no-field-sensitive] [--fast-forward]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
@@ -92,6 +96,10 @@ int main(int argc, char** argv) {
       spec.footprint_summaries = false;
     } else if (arg == "--context-depth") {
       spec.context_depth = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--field-sensitive") {
+      spec.field_sensitive = true;
+    } else if (arg == "--no-field-sensitive") {
+      spec.field_sensitive = false;
     } else if (arg == "--fast-forward") {
       spec.fast_forward = true;
     } else if (arg == "--targets") {

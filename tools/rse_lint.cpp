@@ -9,6 +9,11 @@
 //     --context-depth N     context-sensitive cloning depth for the
 //                           footprint pass (default 1; 0 = joined summaries
 //                           only, the context-insensitive behavior)
+//     --field-sensitive     strided-interval (field-level) footprint domain
+//                           (default on)
+//     --no-field-sensitive  revert to dense interval hulls
+//     --sp-depth N          abstract-$sp recursion context depth for
+//                           field-sensitive summary cloning (default 2)
 //     --no-cfi              do not resolve indirect jumps via the
 //                           address-taken set
 //     --json                machine-readable report on stdout
@@ -37,7 +42,8 @@ namespace {
 int usage() {
   std::cerr << "usage: rse_lint <program.s> [--instrument] [--protected LO:HI]...\n"
             << "       rse_lint --workload NAME\n"
-            << "  [--no-cfi] [--flat-footprint] [--context-depth N] [--json] [--cfg] [--quiet]\n"
+            << "  [--no-cfi] [--flat-footprint] [--context-depth N] [--field-sensitive]\n"
+            << "  [--no-field-sensitive] [--sp-depth N] [--json] [--cfg] [--quiet]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
   std::cerr << "\n";
@@ -61,6 +67,7 @@ bool resolve_bound(const isa::Program& program, const std::string& token, Addr* 
 
 void dump_footprint(const isa::Program& program, const analysis::PageFootprint& fp) {
   std::cout << "footprint (" << (fp.interprocedural ? "interprocedural" : "flat")
+            << (fp.field_sensitive ? ", field-sensitive" : "")
             << "): " << fp.exact_sites << " exact + " << fp.over_sites
             << " over-approximate + " << fp.unknown_sites << " unknown sites\n";
   std::cout << "  pages:";
@@ -73,6 +80,18 @@ void dump_footprint(const isa::Program& program, const analysis::PageFootprint& 
   }
   if (fp.has_gp_range) {
     std::cout << "  gp envelope: [" << fp.gp_lo << ", " << fp.gp_hi << "]\n";
+  }
+  for (const analysis::AccessSite& site : fp.sites) {
+    if (site.stride < 2) continue;
+    std::cout << "  site 0x" << std::hex << site.pc << std::dec
+              << (site.is_store ? " store" : " load") << " stride " << site.stride
+              << " over [" << site.lo << ", " << site.hi << "]\n";
+  }
+  for (const analysis::PageFootprint::SitePages& sp : fp.context_pages) {
+    std::cout << "  context pages 0x" << std::hex << sp.pc << std::dec
+              << (sp.is_store ? " store:" : " load:");
+    for (u32 page : sp.pages) std::cout << " 0x" << std::hex << page << std::dec;
+    std::cout << "\n";
   }
   for (const analysis::FunctionFootprint& fn : fp.functions) {
     std::cout << "  fn 0x" << std::hex << fn.entry << std::dec;
@@ -145,6 +164,9 @@ int main(int argc, char** argv) {
     else if (arg == "--no-cfi") options.resolve_indirect_address_taken = false;
     else if (arg == "--flat-footprint") options.interprocedural_footprint = false;
     else if (arg == "--context-depth") options.context_depth = static_cast<u32>(std::strtoul(value(), nullptr, 0));
+    else if (arg == "--field-sensitive") options.field_sensitive = true;
+    else if (arg == "--no-field-sensitive") options.field_sensitive = false;
+    else if (arg == "--sp-depth") options.field_sp_depth = static_cast<u32>(std::strtoul(value(), nullptr, 0));
     else if (arg == "--json") json = true;
     else if (arg == "--cfg") cfg_dump = true;
     else if (arg == "--quiet") quiet = true;

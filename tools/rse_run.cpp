@@ -22,6 +22,11 @@
 //     --flat-footprint      static analysis without interprocedural summaries
 //     --context-depth N     context-sensitive footprint cloning depth
 //                           (default 1; 0 = context-insensitive)
+//     --field-sensitive / --no-field-sensitive
+//                           strided-interval (field-level) footprint domain
+//                           for --static-ddt (default on)
+//     --sp-depth N          abstract-$sp recursion context depth for the
+//                           field-sensitive footprint (default 2)
 //     --static-ddt          hand the DDT the static data-flow page footprint
 //                           at load and hand it to the CFC (implies --cfc)
 #include <fstream>
@@ -46,7 +51,8 @@ int usage() {
   std::cerr << "usage: rse_run <program.s> [--rse] [--icm|--mlr|--ddt|--ahbm|--cfc]...\n"
             << "  [--instrument] [--randomize] [--rerand N] [--limit N] [--fast]\n"
             << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n"
-            << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n";
+            << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n"
+            << "  [--field-sensitive] [--no-field-sensitive] [--sp-depth N]\n";
   return 2;
 }
 
@@ -148,6 +154,9 @@ int main(int argc, char** argv) {
     else if (arg == "--fast") fast = true;
     else if (arg == "--flat-footprint") os_config.footprint_summaries = false;
     else if (arg == "--context-depth") os_config.context_depth = static_cast<u32>(next_u64(os_config.context_depth));
+    else if (arg == "--field-sensitive") os_config.field_sensitive = true;
+    else if (arg == "--no-field-sensitive") os_config.field_sensitive = false;
+    else if (arg == "--sp-depth") os_config.field_sp_depth = static_cast<u32>(next_u64(os_config.field_sp_depth));
     else if (arg == "--static-cfc") {
       os_config.static_cfc = true;
       enable_cfc = true;
