@@ -4,12 +4,33 @@
 // should scale near-linearly until the worker count passes the core count.
 // The golden-run cache is shared across sweep points, so only the first
 // campaign pays for the fault-free baseline.
+//
+// On top of the scaling sweep the bench proves the execution-mode
+// optimizations end to end and records the trajectory in
+// BENCH_campaign.json:
+//  - --fast-forward must reproduce the classic digest byte-for-byte;
+//  - checkpoint-fork (--snapshot-fork) must reproduce the classic digest
+//    byte-for-byte AND deliver >= 2x end-to-end wall-clock speedup on a
+//    register-fault campaign with a late injection window (the regime the
+//    mode exists for: every from-reset run pays the whole prefix, every
+//    forked run only the post-injection suffix);
+//  - with --expect-ci, a sequential-refinement campaign must actually grow
+//    the run set and leave no stratum's Wilson interval straddling the
+//    threshold (unless the run cap was hit), jobs-invariantly.
+//
+//   bench_campaign_throughput [workload] [runs] [--smoke] [--expect-ci]
+//                             [--json PATH]
 #include <algorithm>
+#include <array>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "campaign/runner.hpp"
+#include "campaign/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 
@@ -17,8 +38,20 @@ using namespace rse;
 
 int main(int argc, char** argv) {
   campaign::CampaignSpec spec;
-  spec.workload = argc > 1 ? argv[1] : "loop";
-  spec.runs = argc > 2 ? static_cast<u32>(std::stoul(argv[2])) : 96;
+  bool smoke = false;
+  bool expect_ci = false;
+  std::string json_path = "BENCH_campaign.json";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--expect-ci") expect_ci = true;
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else positional.push_back(arg);
+  }
+  spec.workload = !positional.empty() ? positional[0] : "loop";
+  spec.runs = positional.size() > 1 ? static_cast<u32>(std::stoul(positional[1]))
+                                    : (smoke ? 48u : 96u);
   spec.seed = 7;
 
   // Sweep at least {1, 2, 4} even on small hosts: oversubscribed workers are
@@ -35,12 +68,16 @@ int main(int argc, char** argv) {
 
   campaign::GoldenCache cache;
   campaign::CampaignRunner runner(&cache);
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"campaign_throughput\",\n  \"workload\": \"" << spec.workload
+       << "\",\n  \"runs\": " << spec.runs << ",\n  \"jobs_sweep\": [\n";
 
   report::Table table({"jobs", "runs/sec", "wall s", "speedup", "digest match"});
   std::string baseline_digest;
   double baseline_rate = 0;
   std::vector<std::vector<std::string>> csv_rows;
-  for (const u32 jobs : job_counts) {
+  for (std::size_t p = 0; p < job_counts.size(); ++p) {
+    const u32 jobs = job_counts[p];
     spec.jobs = jobs;
     const campaign::CampaignReport report = runner.run(spec);
     const std::string digest = campaign::deterministic_digest(report);
@@ -56,6 +93,12 @@ int main(int argc, char** argv) {
     csv_rows.push_back({std::to_string(jobs), report::fmt_fixed(report.runs_per_second, 3),
                         report::fmt_fixed(report.wall_seconds, 4),
                         report::fmt_fixed(speedup, 3), match ? "1" : "0"});
+    json << "    {\"jobs\": " << jobs << ", \"runs_per_sec\": "
+         << report::fmt_fixed(report.runs_per_second, 3) << ", \"wall_s\": "
+         << report::fmt_fixed(report.wall_seconds, 4) << ", \"speedup\": "
+         << report::fmt_fixed(speedup, 3) << ", \"digest_match\": "
+         << (match ? "true" : "false") << "}" << (p + 1 < job_counts.size() ? "," : "")
+         << "\n";
     if (!match) {
       std::cerr << "DETERMINISM VIOLATION at jobs=" << jobs << "\n";
       return 1;
@@ -64,6 +107,7 @@ int main(int argc, char** argv) {
   table.print();
   std::cout << "(golden cache: " << cache.misses() << " simulated, " << cache.hits()
             << " reused)\n";
+  json << "  ],\n";
 
   // --fast-forward replays eligible fault-free prefixes through the exec/
   // fast engine (docs/execution.md); classification must not move at all, so
@@ -79,12 +123,111 @@ int main(int argc, char** argv) {
   }
   std::cout << "--fast-forward digest identical to the classic campaign\n";
 
+  // Checkpoint-fork on its home turf: register faults drawn from a late
+  // injection window, so a from-reset run pays the whole prefix and a
+  // forked run only the suffix.  The chain (built inside run(), counted in
+  // its wall clock) is one extra from-reset pass amortized over every run.
+  // Digest equality is the correctness proof; the 2x floor is the
+  // acceptance bar for the mode being worth its snapshot bytes.
+  {
+    constexpr double kForkFloor = 2.0;
+    campaign::CampaignSpec fork_spec;
+    fork_spec.workload = "kmeans";
+    fork_spec.runs = smoke ? 32 : 48;
+    fork_spec.seed = 7;
+    fork_spec.jobs = 4;
+    fork_spec.targets = {campaign::InjectTarget::kRegisterBit};
+    fork_spec.window_lo = 0.85;
+    fork_spec.window_hi = 1.0;
+    fork_spec.snapshot_buckets = 16;
+
+    fork_spec.snapshot_fork = false;
+    (void)runner.cache().get(campaign::make_workload(fork_spec.workload));  // warm golden
+    const campaign::CampaignReport classic = runner.run(fork_spec);
+    fork_spec.snapshot_fork = true;
+    const campaign::CampaignReport forked = runner.run(fork_spec);
+
+    const bool match = campaign::deterministic_digest(classic) ==
+                       campaign::deterministic_digest(forked);
+    const double speedup =
+        forked.wall_seconds > 0 ? classic.wall_seconds / forked.wall_seconds : 0;
+    std::cout << "checkpoint-fork (kmeans, reg faults, window 0.85:1.0): classic "
+              << report::fmt_fixed(classic.wall_seconds, 2) << "s, forked "
+              << report::fmt_fixed(forked.wall_seconds, 2) << "s, speedup "
+              << report::fmt_fixed(speedup, 2) << "x, digest "
+              << (match ? "identical" : "MISMATCH") << "\n";
+    json << "  \"checkpoint_fork\": {\"workload\": \"kmeans\", \"runs\": " << fork_spec.runs
+         << ", \"window\": [0.85, 1.0], \"classic_wall_s\": "
+         << report::fmt_fixed(classic.wall_seconds, 4) << ", \"forked_wall_s\": "
+         << report::fmt_fixed(forked.wall_seconds, 4) << ", \"speedup\": "
+         << report::fmt_fixed(speedup, 3) << ", \"floor\": " << kForkFloor
+         << ", \"digest_match\": " << (match ? "true" : "false") << "},\n";
+    if (!match) {
+      std::cerr << "CHECKPOINT-FORK DIGEST MISMATCH: --snapshot-fork changed campaign "
+                   "classification\n";
+      return 1;
+    }
+    if (speedup < kForkFloor) {
+      std::cerr << "checkpoint-fork speedup " << speedup << "x is below the " << kForkFloor
+                << "x floor\n";
+      return 1;
+    }
+  }
+
+  // Sequential refinement: the refined campaign must grow the run set
+  // deterministically and leave every stratum's interval clear of the
+  // threshold (or prove it hit the cap), at any jobs count.
+  if (expect_ci) {
+    campaign::CampaignSpec ci_spec;
+    ci_spec.workload = spec.workload;
+    ci_spec.runs = 16;
+    ci_spec.seed = 7;
+    ci_spec.ci_threshold = 0.05;
+    ci_spec.ci_batch = 16;
+    ci_spec.ci_max_runs = smoke ? 64 : 128;
+    ci_spec.jobs = 1;
+    const campaign::CampaignReport refined = runner.run(ci_spec);
+    ci_spec.jobs = 4;
+    const campaign::CampaignReport refined4 = runner.run(ci_spec);
+    const bool jobs_invariant = campaign::deterministic_digest(refined) ==
+                                campaign::deterministic_digest(refined4);
+    const u32 total = static_cast<u32>(refined.results.size());
+    const bool grew = total > 16;
+    const bool capped = total >= ci_spec.ci_max_runs;
+    const bool resolved =
+        campaign::strata_needing_refinement(refined.by_outcome, total, ci_spec.ci_threshold)
+            .empty();
+    std::cout << "ci refinement: 16 -> " << total << " runs, "
+              << (resolved ? "all strata resolved" : capped ? "run cap hit" : "UNRESOLVED")
+              << ", jobs-invariant " << (jobs_invariant ? "yes" : "NO") << "\n";
+    json << "  \"ci_refinement\": {\"threshold\": 0.05, \"initial_runs\": 16, "
+         << "\"refined_runs\": " << total << ", \"resolved\": "
+         << (resolved ? "true" : "false") << ", \"capped\": " << (capped ? "true" : "false")
+         << ", \"jobs_invariant\": " << (jobs_invariant ? "true" : "false") << "},\n";
+    if (!grew || (!resolved && !capped) || !jobs_invariant) {
+      std::cerr << "CI REFINEMENT FAILED: grew=" << grew << " resolved=" << resolved
+                << " capped=" << capped << " jobs_invariant=" << jobs_invariant << "\n";
+      return 1;
+    }
+  }
+
+  json << "  \"digest_match\": true\n}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << "\n";
+
   if (auto dir = report::csv_export_dir()) {
     report::CsvWriter csv(*dir + "/campaign_throughput.csv",
                           {"jobs", "runs_per_sec", "wall_s", "speedup", "digest_match"});
     for (auto& row : csv_rows) csv.row(std::move(row));
     csv.flush();
   }
+
+  if (smoke) return 0;  // the footprint-mode sweep below is the heavy part
 
   // Same determinism proof with the static DDT footprint in the loop: the
   // analyzer runs at load in every worker, so the digest must still be a

@@ -46,6 +46,11 @@ InjectionPlan::InjectionPlan(u64 campaign_seed, InjectionSpace space)
   if (space_.cycles == 0) throw ConfigError("InjectionPlan: empty cycle space");
   if (space_.targets.empty()) throw ConfigError("InjectionPlan: no targets enabled");
   if (space_.text_words == 0) throw ConfigError("InjectionPlan: empty text segment");
+  const Cycle lo = space_.window_lo != 0 ? space_.window_lo : 1;
+  const Cycle hi = space_.window_hi != 0 ? space_.window_hi : space_.cycles;
+  if (lo > hi || hi > space_.cycles) {
+    throw ConfigError("InjectionPlan: empty or out-of-range injection window");
+  }
 }
 
 InjectionRecord InjectionPlan::record(u32 run_index) const {
@@ -58,8 +63,11 @@ InjectionRecord InjectionPlan::record(u32 run_index) const {
     r.target = InjectTarget::kRegisterBit;  // no data segment to hit
   }
   // Draw the timing before the target-specific fields so every target class
-  // consumes the same stream prefix.
-  r.inject_cycle = 1 + rng.next_below(space_.cycles);
+  // consumes the same stream prefix.  The default window [1, cycles] keeps
+  // the historical next_below(cycles) draw bit-for-bit.
+  const Cycle window_lo = space_.window_lo != 0 ? space_.window_lo : 1;
+  const Cycle window_hi = space_.window_hi != 0 ? space_.window_hi : space_.cycles;
+  r.inject_cycle = window_lo + rng.next_below(window_hi - window_lo + 1);
 
   switch (r.target) {
     case InjectTarget::kRegisterBit: {

@@ -85,6 +85,13 @@ struct InjectionSpace {
   u32 ioq_slots = 16;
   u32 num_regs = 32;
   std::vector<InjectTarget> targets;  // enabled target classes (non-empty)
+
+  /// Injection-cycle window [window_lo, window_hi], inclusive.  0 means the
+  /// default bound (1 and `cycles` respectively), which reproduces the
+  /// historical full-range draw bit-for-bit: the default window consumes the
+  /// RNG stream exactly like the pre-window code did.
+  Cycle window_lo = 0;
+  Cycle window_hi = 0;
 };
 
 class InjectionPlan {

@@ -16,6 +16,16 @@ const char* to_string(Outcome outcome) {
   return "?";
 }
 
+bool parse_outcome(const std::string& name, Outcome* out) {
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    if (name == to_string(static_cast<Outcome>(o))) {
+      *out = static_cast<Outcome>(o);
+      return true;
+    }
+  }
+  return false;
+}
+
 bool is_detected(Outcome outcome) {
   switch (outcome) {
     case Outcome::kDetectedIcm:

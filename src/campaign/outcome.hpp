@@ -30,6 +30,9 @@ enum class Outcome : u8 {
 inline constexpr unsigned kNumOutcomes = 8;
 
 const char* to_string(Outcome outcome);
+/// Parse an outcome name as written by to_string ("masked", "sdc", ...);
+/// returns false on an unknown name.
+bool parse_outcome(const std::string& name, Outcome* out);
 bool is_detected(Outcome outcome);
 
 /// Evidence collected from one faulty run after it finished (or its cycle

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "campaign/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 
@@ -59,13 +60,23 @@ std::string summary_text(const CampaignReport& report) {
      << " seed=" << report.spec.seed << " jobs=" << report.spec.jobs
      << " golden_cycles=" << report.golden_cycles << "\n";
 
-  report::Table outcomes({"outcome", "runs", "share"});
+  const u32 total_runs = static_cast<u32>(report.results.size());
+  auto fmt_ci = [](const WilsonInterval& ci) {
+    std::string s = "[";
+    s += report::fmt_pct(ci.low);
+    s += ", ";
+    s += report::fmt_pct(ci.high);
+    s += "]";
+    return s;
+  };
+  report::Table outcomes({"outcome", "runs", "share", "95% CI"});
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     const u32 n = report.by_outcome[o];
     outcomes.row({to_string(static_cast<Outcome>(o)), std::to_string(n),
                   report::fmt_pct(report.results.empty()
                                       ? 0.0
-                                      : static_cast<double>(n) / report.results.size())});
+                                      : static_cast<double>(n) / report.results.size()),
+                  fmt_ci(wilson_interval(n, total_runs))});
   }
   outcomes.print(os);
 
@@ -104,7 +115,11 @@ std::string summary_text(const CampaignReport& report) {
   modules.print(os);
 
   os << "detection coverage (detected/unmasked): " << report::fmt_pct(report.coverage())
-     << "   SDC rate: " << report::fmt_pct(report.sdc_rate()) << "\n";
+     << " 95% CI " << fmt_ci(wilson_interval(report.detected(), report.unmasked()))
+     << "   SDC rate: " << report::fmt_pct(report.sdc_rate()) << " 95% CI "
+     << fmt_ci(wilson_interval(report.by_outcome[static_cast<unsigned>(Outcome::kSdc)],
+                               total_runs))
+     << "\n";
   os << "throughput: " << report::fmt_fixed(report.runs_per_second, 1) << " runs/sec ("
      << report::fmt_fixed(report.wall_seconds, 2) << " s wall clock)\n";
   return os.str();
@@ -128,6 +143,32 @@ std::string ddt_mode_token(const CampaignSpec& spec) {
   return "static-ddt-summary-ctx" + std::to_string(spec.context_depth) + field;
 }
 
+std::string fmt_fraction(double value) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << value;
+  return os.str();
+}
+
+/// Digest tokens for the modes that change the *executed run set* — and only
+/// those.  A non-default injection window redraws every injection cycle and
+/// CI refinement appends runs, so both must key the digest.  Execution
+/// strategy knobs (snapshot_fork/snapshot_buckets, shard_index/shard_count,
+/// jobs, fast_forward) are deliberately absent: they change how runs are
+/// simulated, never which runs exist or how they classify, and the
+/// shard-merge / checkpoint-fork determinism tests assert exactly that.
+/// Both tokens are empty at their defaults so historical digests are
+/// preserved byte-for-byte (same pattern as ddt_mode_token's depth-0 form).
+std::string run_set_tokens(const CampaignSpec& spec) {
+  std::string tokens;
+  if (spec.window_lo != 0.0 || spec.window_hi != 1.0) {
+    tokens += "|window" + fmt_fraction(spec.window_lo) + "-" + fmt_fraction(spec.window_hi);
+  }
+  if (spec.ci_threshold > 0.0) {
+    tokens += "|ci-refine" + fmt_fraction(spec.ci_threshold);
+  }
+  return tokens;
+}
+
 }  // namespace
 
 std::string deterministic_digest(const CampaignReport& report) {
@@ -135,7 +176,7 @@ std::string deterministic_digest(const CampaignReport& report) {
   os << report.spec.workload << '|' << report.spec.seed << '|' << report.results.size() << '|'
      << report.golden_cycles << '|' << report.faults_applied << '|'
      << (report.spec.static_cfc ? "static-cfc" : "range-cfc") << '|'
-     << ddt_mode_token(report.spec) << '\n';
+     << ddt_mode_token(report.spec) << run_set_tokens(report.spec) << '\n';
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     os << to_string(static_cast<Outcome>(o)) << '=' << report.by_outcome[o] << '\n';
   }
@@ -164,6 +205,13 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"context_depth\": " << report.spec.context_depth << ",\n";
   os << "  \"field_sensitive\": " << (report.spec.field_sensitive ? "true" : "false") << ",\n";
   os << "  \"fast_forward\": " << (report.spec.fast_forward ? "true" : "false") << ",\n";
+  os << "  \"snapshot_fork\": " << (report.spec.snapshot_fork ? "true" : "false") << ",\n";
+  os << "  \"snapshot_buckets\": " << report.spec.snapshot_buckets << ",\n";
+  os << "  \"shard_index\": " << report.spec.shard_index << ",\n";
+  os << "  \"shard_count\": " << report.spec.shard_count << ",\n";
+  os << "  \"ci_threshold\": " << fmt_fraction(report.spec.ci_threshold) << ",\n";
+  os << "  \"window_lo\": " << fmt_fraction(report.spec.window_lo) << ",\n";
+  os << "  \"window_hi\": " << fmt_fraction(report.spec.window_hi) << ",\n";
   os << "  \"golden_cycles\": " << report.golden_cycles << ",\n";
   os << "  \"golden_instructions\": " << report.golden_instructions << ",\n";
   os << "  \"faults_applied\": " << report.faults_applied << ",\n";
@@ -183,8 +231,21 @@ std::string to_json(const CampaignReport& report) {
     os << '}';
   }
   os << "},\n";
+  os << "  \"outcome_ci\": {";
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    const WilsonInterval ci =
+        wilson_interval(report.by_outcome[o], static_cast<u32>(report.results.size()));
+    os << (o ? ", " : "") << '"' << to_string(static_cast<Outcome>(o)) << "\": ["
+       << fmt_fraction(ci.low) << ", " << fmt_fraction(ci.high) << ']';
+  }
+  os << "},\n";
   os << "  \"detected\": " << report.detected() << ",\n";
   os << "  \"unmasked\": " << report.unmasked() << ",\n";
+  {
+    const WilsonInterval ci = wilson_interval(report.detected(), report.unmasked());
+    os << "  \"coverage_ci\": [" << fmt_fraction(ci.low) << ", " << fmt_fraction(ci.high)
+       << "],\n";
+  }
   os << std::fixed << std::setprecision(6);
   os << "  \"coverage\": " << report.coverage() << ",\n";
   os << "  \"sdc_rate\": " << report.sdc_rate() << ",\n";

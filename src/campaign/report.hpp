@@ -59,6 +59,37 @@ struct CampaignSpec {
   /// and without it; only per-run cycle counts (timing, excluded from the
   /// digest) may differ.
   bool fast_forward = false;
+  /// Checkpoint-fork injection: capture one whole-machine snapshot
+  /// (os::MachineSnapshot) per injection-cycle bucket and fork every run
+  /// from the latest snapshot at or before its injection cycle, paying only
+  /// the post-injection suffix.  Chains built from a from-reset pass are
+  /// bit-exact, so classified outcomes, per-run cycle counts, and the
+  /// deterministic digest are byte-identical to from-reset runs; neither
+  /// flag enters the digest or the golden-cache key.
+  bool snapshot_fork = false;
+  u32 snapshot_buckets = 8;
+  /// Contiguous-shard execution for multi-process scale-out: this process
+  /// runs plan indices [runs*shard_index/shard_count,
+  /// runs*(shard_index+1)/shard_count).  shard_count == 1 = unsharded.
+  /// Excluded from the digest and the golden-cache key — merging all shard
+  /// reports reproduces the unsharded digest byte-for-byte.
+  u32 shard_index = 0;
+  u32 shard_count = 1;
+  /// Stratified sequential refinement: while any outcome stratum's Wilson
+  /// 95% interval still straddles this reporting threshold, append
+  /// deterministic batches of extra runs (next plan indices) until every
+  /// stratum resolves or ci_max_runs is reached.  0 = off.  Part of the
+  /// deterministic digest (it changes the executed run set); incompatible
+  /// with sharding.
+  double ci_threshold = 0.0;
+  u32 ci_batch = 0;     // runs per refinement round (0 = max(16, runs/2))
+  u32 ci_max_runs = 0;  // total-run cap (0 = 4 * runs)
+  /// Injection-cycle window as fractions of the golden run's cycle count,
+  /// drawn inclusively.  The default [0, 1] reproduces the historical
+  /// full-range plan bit-for-bit (see InjectionSpace::window_lo).  Part of
+  /// the deterministic digest when non-default.
+  double window_lo = 0.0;
+  double window_hi = 1.0;
   std::vector<InjectTarget> targets = {
       InjectTarget::kRegisterBit, InjectTarget::kInstructionWord,
       InjectTarget::kDataWord, InjectTarget::kConfigBit};

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "campaign/stats.hpp"
 #include "common/error.hpp"
 
 namespace rse::campaign {
@@ -30,6 +31,17 @@ InjectionPlan CampaignRunner::plan_for(const CampaignSpec& spec, const GoldenRun
   space.ioq_slots = golden.ioq_slots;
   space.num_regs = isa::kNumRegs;
   space.targets = spec.targets;
+  if (spec.window_lo != 0.0 || spec.window_hi != 1.0) {
+    if (!(spec.window_lo >= 0.0 && spec.window_lo <= spec.window_hi && spec.window_hi <= 1.0)) {
+      throw ConfigError("campaign injection window must satisfy 0 <= lo <= hi <= 1");
+    }
+    // Leaving the defaults (0/0) at spec default [0, 1] keeps the historical
+    // full-range RNG draw bit-for-bit (InjectionSpace::window_lo).
+    space.window_lo = std::max<Cycle>(
+        1, static_cast<Cycle>(spec.window_lo * static_cast<double>(golden.cycles)));
+    space.window_hi = std::max(
+        space.window_lo, static_cast<Cycle>(spec.window_hi * static_cast<double>(golden.cycles)));
+  }
   return InjectionPlan(spec.seed, std::move(space));
 }
 
@@ -188,8 +200,142 @@ RunResult CampaignRunner::run_one_fast_forward(
   return result;
 }
 
+SnapshotChain CampaignRunner::build_snapshot_chain(const WorkloadSetup& setup,
+                                                   const GoldenRun& golden,
+                                                   const CampaignSpec& spec, Cycle budget,
+                                                   bool use_fast_forward) const {
+  SnapshotChain chain;
+  const u32 buckets = std::max(1u, spec.snapshot_buckets);
+  std::vector<Cycle> bounds;
+  for (u32 b = 0; b < buckets; ++b) {
+    const Cycle bound = golden.cycles * b / buckets;
+    if (bounds.empty() || bounds.back() != bound) bounds.push_back(bound);
+  }
+
+  os::OsConfig os_config = setup.os;
+  os_config.run_limit = budget;
+
+  if (!use_fast_forward) {
+    // One from-reset cycle-accurate pass captures every bucket boundary.
+    // Because the pass replicates the classic pre-injection loop exactly,
+    // each snapshot is bit-identical to the machine state a classic run
+    // reaches at that cycle — the chain is exact.
+    os::Machine machine(setup.machine);
+    os::GuestOs guest(machine, os_config);
+    guest.load(golden.program);
+    for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+    for (Cycle bound : bounds) {
+      while (!guest.finished() && machine.now() < bound && machine.now() < budget) guest.step();
+      while (!guest.finished() && machine.now() < budget &&
+             !os::MachineSnapshot::quiescent(machine)) {
+        guest.step();
+      }
+      if (guest.finished() || !os::MachineSnapshot::quiescent(machine)) break;
+      if (!chain.snaps.empty() && chain.snaps.back().at == machine.now()) continue;
+      chain.snaps.push_back(os::MachineSnapshot::capture(machine, guest));
+    }
+    return chain;
+  }
+
+  // Fast-forward mode: each boundary's fault-free prefix runs through the
+  // exec/ fast engine and is transplanted into the cycle-accurate core at
+  // the boundary.  The transplant drains the pipeline, so these snapshots
+  // are not microarchitecturally identical to a from-reset run's state —
+  // the chain is inexact and forking from it is register-fault-only.
+  chain.exact = false;
+  std::vector<Cycle> ff_bounds;
+  for (Cycle bound : bounds) {
+    if (bound > 0) ff_bounds.push_back(bound);
+  }
+  exec::FastForwardController::BoundaryMap bmap;
+  if (!ff_bounds.empty()) {
+    os::Machine machine(setup.machine);
+    os::GuestOs guest(machine, os_config);
+    guest.load(golden.program);
+    for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+    bmap = exec::FastForwardController::map_boundaries(guest, std::move(ff_bounds));
+  }
+  for (Cycle bound : bounds) {
+    os::Machine machine(setup.machine);
+    os::GuestOs guest(machine, os_config);
+    guest.load(golden.program);
+    for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+    if (bound > 0) {
+      const auto boundary = bmap.find(bound);
+      if (boundary == bmap.end()) break;  // golden finished before this bound
+      if (!exec::FastForwardController::fast_forward_to(guest, golden.program,
+                                                        boundary->second, bound)) {
+        continue;  // fast mode bailed; runs in this bucket fork from an earlier snap
+      }
+    }
+    while (!guest.finished() && machine.now() < budget &&
+           !os::MachineSnapshot::quiescent(machine)) {
+      guest.step();
+    }
+    if (guest.finished() || !os::MachineSnapshot::quiescent(machine)) continue;
+    if (!chain.snaps.empty() && chain.snaps.back().at >= machine.now()) continue;
+    chain.snaps.push_back(os::MachineSnapshot::capture(machine, guest));
+  }
+  return chain;
+}
+
+RunResult CampaignRunner::run_one_forked(const WorkloadSetup& setup, const GoldenRun& golden,
+                                         const InjectionRecord& record, Cycle budget,
+                                         const SnapshotChain& chain) const {
+  // Latest snapshot at or before the injection cycle.  Inexact (fast-
+  // forward-built) chains are only valid for register faults — the same
+  // eligibility rule as run_one_fast_forward.
+  const os::MachineSnapshot* snap = nullptr;
+  if (chain.exact || record.target == InjectTarget::kRegisterBit) {
+    for (const os::MachineSnapshot& s : chain.snaps) {
+      if (s.at > record.inject_cycle) break;
+      snap = &s;
+    }
+  }
+  if (snap == nullptr) return run_one_with_budget(setup, golden, record, budget);
+
+  os::OsConfig os_config = setup.os;
+  os_config.run_limit = budget;
+
+  os::Machine machine(setup.machine);
+  os::GuestOs guest(machine, os_config);
+  guest.load(golden.program);
+  for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+  // Restore failures are campaign bugs, not guest crashes: let them escape
+  // rather than classify as kCrash.
+  os::MachineSnapshot::restore(*snap, machine, guest);
+
+  RunResult result;
+  result.record = record;
+
+  // From here on the body is the classic run_one_with_budget loop verbatim:
+  // the snapshot stands in for the fault-free prefix it already simulated.
+  bool host_trap = false;
+  try {
+    while (!guest.finished() && machine.now() < record.inject_cycle && machine.now() < budget) {
+      guest.step();
+    }
+    if (!guest.finished() && machine.now() < budget) {
+      result.fault_applied = apply_fault(machine, record);
+    }
+    while (!guest.finished() && machine.now() < budget) guest.step();
+  } catch (const SimError&) {
+    host_trap = true;
+  }
+
+  finish_run(machine, guest, golden, host_trap, &result);
+  return result;
+}
+
 CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   if (spec.runs == 0) throw ConfigError("campaign needs at least one run");
+  if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
+    throw ConfigError("campaign shard index out of range");
+  }
+  if (spec.ci_threshold > 0.0 && spec.shard_count > 1) {
+    throw ConfigError("CI refinement is incompatible with sharding: the refined "
+                      "run set depends on global outcome counts no shard has");
+  }
   WorkloadSetup setup = make_workload(spec.workload);
   setup.os.static_cfc = spec.static_cfc;
   setup.os.static_ddt = spec.static_ddt;
@@ -211,14 +357,22 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   // A golden run with baseline detector activity disables the fast path
   // entirely — the detector events of the fault-free prefix would be missing
   // from a fast-forwarded run, skewing the against-golden classification.
+  // This shard executes the contiguous plan range [shard_lo, shard_hi).
+  // Unsharded campaigns cover the whole plan; merging every shard's report
+  // reproduces the unsharded digest byte-for-byte (campaign/shard.hpp).
+  const u32 shard_lo = static_cast<u32>(u64{spec.runs} * spec.shard_index / spec.shard_count);
+  const u32 shard_hi =
+      static_cast<u32>(u64{spec.runs} * (spec.shard_index + 1) / spec.shard_count);
+
   exec::FastForwardController::BoundaryMap boundaries;
   const bool golden_baseline_clean =
       golden->icm_mismatches == 0 && golden->cfc_violations == 0 &&
       golden->selfcheck_trips == 0 && golden->os_recoveries == 0 &&
       golden->ddt_footprint_violations == 0;
-  if (spec.fast_forward && golden_baseline_clean) {
+  const bool use_fast_forward = spec.fast_forward && golden_baseline_clean;
+  if (use_fast_forward && !spec.snapshot_fork) {
     std::vector<Cycle> cycles;
-    for (u32 i = 0; i < spec.runs; ++i) {
+    for (u32 i = shard_lo; i < shard_hi; ++i) {
       const InjectionRecord record = plan.record(i);
       if (record.target == InjectTarget::kRegisterBit) cycles.push_back(record.inject_cycle);
     }
@@ -232,38 +386,89 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
       boundaries = exec::FastForwardController::map_boundaries(guest, std::move(cycles));
     }
   }
-  const bool use_fast_forward = spec.fast_forward && golden_baseline_clean;
 
-  std::vector<RunResult> results(spec.runs);
-  std::atomic<u32> next_run{0};
-  const auto worker = [&] {
-    for (;;) {
-      const u32 index = next_run.fetch_add(1, std::memory_order_relaxed);
-      if (index >= spec.runs) return;
-      results[index] =
-          use_fast_forward
-              ? run_one_fast_forward(setup, *golden, plan.record(index), budget, boundaries)
-              : run_one_with_budget(setup, *golden, plan.record(index), budget);
+  u32 jobs = spec.jobs != 0 ? spec.jobs : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, std::max(1u, shard_hi - shard_lo));
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // The snapshot chain counts toward wall time — it is the checkpoint-fork
+  // mode's setup cost, amortized across every run that forks from it.
+  SnapshotChain chain;
+  if (spec.snapshot_fork) {
+    chain = build_snapshot_chain(setup, *golden, spec, budget, use_fast_forward);
+  }
+
+  // Execute plan indices [lo, hi), appending to `results` in index order.
+  // Work distribution stays a single atomic counter; each run writes its own
+  // preallocated slot, so any --jobs value yields identical results.
+  std::vector<RunResult> results;
+  const auto execute = [&](u32 lo, u32 hi) {
+    const size_t base = results.size();
+    results.resize(base + (hi - lo));
+    std::atomic<u32> next_run{lo};
+    const auto worker = [&] {
+      for (;;) {
+        const u32 index = next_run.fetch_add(1, std::memory_order_relaxed);
+        if (index >= hi) return;
+        const InjectionRecord record = plan.record(index);
+        RunResult& slot = results[base + (index - lo)];
+        if (spec.snapshot_fork) {
+          slot = run_one_forked(setup, *golden, record, budget, chain);
+        } else if (use_fast_forward) {
+          slot = run_one_fast_forward(setup, *golden, record, budget, boundaries);
+        } else {
+          slot = run_one_with_budget(setup, *golden, record, budget);
+        }
+      }
+    };
+    const u32 pool_size = std::min(jobs, hi - lo);
+    if (pool_size <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(pool_size);
+      for (u32 j = 0; j < pool_size; ++j) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
     }
   };
 
-  u32 jobs = spec.jobs != 0 ? spec.jobs : std::max(1u, std::thread::hardware_concurrency());
-  jobs = std::min(jobs, spec.runs);
+  execute(shard_lo, shard_hi);
 
-  const auto start = std::chrono::steady_clock::now();
-  if (jobs <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (u32 j = 0; j < jobs; ++j) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  // Sequential refinement: while any outcome stratum's Wilson interval still
+  // straddles the reporting threshold, append the next deterministic batch
+  // of plan indices.  The executed run set — and therefore the digest — is a
+  // pure function of (spec, classified outcomes), independent of --jobs.
+  if (spec.ci_threshold > 0.0) {
+    const u32 batch = spec.ci_batch != 0 ? spec.ci_batch : std::max(16u, spec.runs / 2);
+    const u32 max_runs = std::max(spec.ci_max_runs != 0 ? spec.ci_max_runs : 4 * spec.runs,
+                                  spec.runs);
+    u32 total = spec.runs;
+    while (total < max_runs) {
+      std::array<u32, kNumOutcomes> by_outcome{};
+      for (const RunResult& result : results) {
+        by_outcome[static_cast<size_t>(result.outcome)]++;
+      }
+      if (strata_needing_refinement(by_outcome, static_cast<u32>(results.size()),
+                                    spec.ci_threshold)
+              .empty()) {
+        break;
+      }
+      const u32 step = std::min(batch, max_runs - total);
+      execute(total, total + step);
+      total += step;
+    }
   }
+
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
   CampaignSpec recorded = spec;
   recorded.jobs = jobs;
+  // Refinement grows the executed run set; the recorded spec reflects it so
+  // the report is self-consistent.  Shards keep spec.runs — the *plan* size —
+  // which merging needs to re-derive the partition.
+  if (spec.ci_threshold > 0.0) recorded.runs = static_cast<u32>(results.size());
   return aggregate(recorded, golden->cycles, golden->instructions, std::move(results),
                    wall_seconds);
 }

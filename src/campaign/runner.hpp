@@ -16,8 +16,21 @@
 #include "campaign/injection.hpp"
 #include "campaign/report.hpp"
 #include "exec/fast_forward.hpp"
+#include "os/snapshot.hpp"
 
 namespace rse::campaign {
+
+/// One whole-machine snapshot per injection-cycle bucket, in increasing `at`
+/// order.  A chain built from a single from-reset pass is bit-exact (`exact`):
+/// restoring any snapshot reproduces the classic run's machine state at that
+/// cycle precisely, so runs of *every* fault target may fork from it.  A
+/// chain built through fast-forward transplants is not microarchitecturally
+/// exact; forking from it is restricted to register-bit faults — the same
+/// restriction run_one_fast_forward enforces.
+struct SnapshotChain {
+  std::vector<os::MachineSnapshot> snaps;
+  bool exact = true;
+};
 
 class CampaignRunner {
  public:
@@ -47,6 +60,26 @@ class CampaignRunner {
   RunResult run_one_fast_forward(const WorkloadSetup& setup, const GoldenRun& golden,
                                  const InjectionRecord& record, Cycle budget,
                                  const exec::FastForwardController::BoundaryMap& boundaries) const;
+
+  /// Checkpoint-fork variant: restore the latest chain snapshot at or before
+  /// the injection cycle into a fresh machine/guest pair, then replicate the
+  /// classic stepping loop from there — only the post-snapshot suffix is
+  /// simulated.  Records with no eligible snapshot (inexact chain + non-
+  /// register target, or empty chain) fall back to run_one_with_budget, so
+  /// classified outcomes are always the classic ones.
+  RunResult run_one_forked(const WorkloadSetup& setup, const GoldenRun& golden,
+                           const InjectionRecord& record, Cycle budget,
+                           const SnapshotChain& chain) const;
+
+  /// Build the per-bucket snapshot chain for a spec: bucket boundaries are
+  /// golden.cycles * b / snapshot_buckets.  With `use_fast_forward`, each
+  /// boundary's prefix runs through the exec/ fast engine (chain.exact =
+  /// false); otherwise one from-reset cycle-accurate pass captures every
+  /// boundary (bit-exact).  Each capture steps past its boundary to the next
+  /// quiescent cycle (os::MachineSnapshot::quiescent).
+  SnapshotChain build_snapshot_chain(const WorkloadSetup& setup, const GoldenRun& golden,
+                                     const CampaignSpec& spec, Cycle budget,
+                                     bool use_fast_forward) const;
 
   /// The plan a spec expands to (exposed for tests and --describe).
   InjectionPlan plan_for(const CampaignSpec& spec, const GoldenRun& golden,

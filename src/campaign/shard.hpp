@@ -1,0 +1,44 @@
+// Shard-report serialization and the merge reducer for multi-process
+// campaign scale-out.
+//
+// A sharded campaign (CampaignSpec::shard_index/shard_count) executes one
+// contiguous InjectionPlan range per process and serializes its partial
+// CampaignReport as a self-contained text file ("rse-shard-report v1"): the
+// full spec, the golden run's deterministic scalars, and every per-run
+// result with all plan fields.  The merge reducer validates that the shards
+// partition [0, runs) exactly, re-sorts by run index, and re-aggregates —
+// so the merged report's deterministic digest is byte-identical to an
+// unsharded run of the same spec, without re-simulating anything.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+
+namespace rse::campaign {
+
+/// Serialize a (shard) report as the "rse-shard-report v1" text format.
+std::string shard_report_text(const CampaignReport& report);
+
+/// Parse text produced by shard_report_text; throws SimError on malformed
+/// input.  Round-trips every deterministic field exactly (doubles are
+/// written with max_digits10 precision).
+CampaignReport parse_shard_report(const std::string& text);
+
+/// Write/read a shard report file.  write returns false on I/O error; read
+/// throws SimError when the file is unreadable or malformed.
+bool write_shard_report(const CampaignReport& report, const std::string& path);
+CampaignReport read_shard_report(const std::string& path);
+
+/// Fold shard reports into the report an unsharded run of the same spec
+/// would produce.  Requires all shards to share one spec (modulo
+/// shard_index) and one golden run, and their run indices to partition
+/// [0, runs) exactly; throws SimError otherwise.  Wall-clock fields are
+/// summed (total compute spent across shards).
+CampaignReport merge_shard_reports(const std::vector<CampaignReport>& shards);
+
+/// Convenience: read every path, then merge.
+CampaignReport merge_shard_files(const std::vector<std::string>& paths);
+
+}  // namespace rse::campaign

@@ -1,0 +1,41 @@
+#include "campaign/stats.hpp"
+
+#include <cmath>
+
+namespace rse::campaign {
+
+WilsonInterval wilson_interval(u32 hits, u32 total, double z) {
+  WilsonInterval interval;
+  if (total == 0) return interval;  // vacuous [0, 1]
+  const double n = static_cast<double>(total);
+  const double p = static_cast<double>(hits) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  interval.center = center;
+  interval.low = center - half;
+  interval.high = center + half;
+  if (interval.low < 0.0) interval.low = 0.0;
+  if (interval.high > 1.0) interval.high = 1.0;
+  return interval;
+}
+
+bool straddles(const WilsonInterval& interval, double threshold) {
+  return interval.low < threshold && threshold < interval.high;
+}
+
+std::vector<unsigned> strata_needing_refinement(
+    const std::array<u32, kNumOutcomes>& by_outcome, u32 total, double threshold,
+    double z) {
+  std::vector<unsigned> strata;
+  for (unsigned o = 0; o < kNumOutcomes; ++o) {
+    if (straddles(wilson_interval(by_outcome[o], total, z), threshold)) {
+      strata.push_back(o);
+    }
+  }
+  return strata;
+}
+
+}  // namespace rse::campaign

@@ -1,0 +1,44 @@
+// Stratified-sampling statistics for fault-injection campaigns: Wilson score
+// confidence intervals per outcome stratum and the sequential-refinement
+// predicate that decides which strata deserve more runs.
+//
+// The Wilson interval is preferred over the normal (Wald) approximation
+// because campaign strata are routinely degenerate — 0 hits (no SDC
+// observed) or n hits (everything masked) — where Wald collapses to a
+// zero-width interval and Wilson still reports honest uncertainty.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "campaign/outcome.hpp"
+#include "common/types.hpp"
+
+namespace rse::campaign {
+
+/// z for a two-sided 95% interval.
+inline constexpr double kZ95 = 1.959963984540054;
+
+struct WilsonInterval {
+  double low = 0.0;
+  double high = 1.0;
+  double center = 0.5;  // the adjusted (not raw) proportion
+};
+
+/// Wilson score interval for `hits` successes in `total` trials.  total == 0
+/// returns the vacuous [0, 1] interval.
+WilsonInterval wilson_interval(u32 hits, u32 total, double z = kZ95);
+
+/// True when the interval still straddles `threshold` — the stratum's rate
+/// cannot yet be reported as confidently above or below it.
+bool straddles(const WilsonInterval& interval, double threshold);
+
+/// Outcome strata whose Wilson interval still straddles the reporting
+/// threshold, i.e. the strata sequential refinement should spend extra runs
+/// on.  Strata with zero hits whose upper bound has already fallen below the
+/// threshold (or total hits whose lower bound exceeds it) need nothing.
+std::vector<unsigned> strata_needing_refinement(
+    const std::array<u32, kNumOutcomes>& by_outcome, u32 total, double threshold,
+    double z = kZ95);
+
+}  // namespace rse::campaign

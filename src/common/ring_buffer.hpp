@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace rse {
 
 template <typename T>
@@ -59,6 +61,19 @@ class RingBuffer {
   void clear() {
     head_ = 0;
     size_ = 0;
+  }
+
+  /// Snapshot hook: serializes all slots (capacity is part of the image, so
+  /// restore must target a buffer constructed with the same capacity).
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(slots_);
+    u64 head = head_;
+    u64 size = size_;
+    ar.field(head);
+    ar.field(size);
+    head_ = static_cast<std::size_t>(head);
+    size_ = static_cast<std::size_t>(size);
   }
 
  private:

@@ -33,6 +33,12 @@ class Xorshift64 {
   /// Uniform double in [0, 1).
   double next_unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
 
+  /// Snapshot hook: the whole generator is its 64-bit state word.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(state_);
+  }
+
  private:
   u64 state_;
 };

@@ -81,6 +81,15 @@ class BranchPredictor {
 
   const PredictorStats& stats() const { return stats_; }
 
+  /// Snapshot hook: counters, BTB, return-address stack and statistics.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(counters_);
+    ar.field(btb_);
+    ar.field(ras_);
+    ar.field(stats_);
+  }
+
  private:
   struct BtbEntry {
     bool valid = false;

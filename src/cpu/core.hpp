@@ -165,6 +165,39 @@ class Core {
   BranchPredictor& predictor() { return predictor_; }
   const CoreConfig& config() const { return config_; }
 
+  /// Snapshot hook: every value-state member of the pipeline.  Wiring
+  /// (memory/cache/framework/OS pointers) and the injection hooks are *not*
+  /// serialized — a restore targets a core constructed and wired through the
+  /// normal path, and hooks are installed after the fork if a run needs them.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.marker(0x434F5245u);  // "CORE"
+    ar.field(predictor_);
+    ar.field(regs_);
+    ar.field(pc_);
+    ar.field(thread_);
+    ar.field(fetch_pc_);
+    ar.field(fetch_ready_at_);
+    ar.field(fetch_buffer_);
+    ar.field(wrong_path_mode_);
+    ar.field(ruu_);
+    ar.field(ruu_head_);
+    ar.field(ruu_count_);
+    ar.field(lsq_count_);
+    ar.field(next_seq_);
+    ar.field(reg_producer_slot_);
+    ar.field(reg_producer_seq_);
+    ar.field(serialize_active_);
+    ar.field(mdu_busy_until_);
+    ar.field(running_);
+    ar.field(draining_);
+    ar.field(commit_stall_until_);
+    ar.field(functional_pos_);
+    ar.field(text_lo_);
+    ar.field(text_hi_);
+    ar.field(stats_);
+  }
+
  private:
   struct FetchedInstr {
     Addr pc = 0;

@@ -68,6 +68,13 @@ class BusArbiter {
   const BusStats& stats() const { return stats_; }
   void reset_stats() { stats_ = BusStats{}; }
 
+  /// Snapshot hook: occupancy horizon plus statistics.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(busy_until_);
+    ar.field(stats_);
+  }
+
  private:
   BusTiming timing_;
   Cycle busy_until_ = 0;

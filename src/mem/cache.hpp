@@ -68,6 +68,14 @@ class Cache : public MemLevel {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
+  /// Snapshot hook: tag/LRU/dirty state plus statistics (geometry is config).
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(stamp_);
+    ar.field(lines_);
+    ar.field(stats_);
+  }
+
  private:
   struct Line {
     bool valid = false;

@@ -3,6 +3,7 @@
 // this class answers "what value lives at address A" only.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -48,6 +49,40 @@ class MainMemory {
 
   /// Number of distinct pages touched so far.
   std::size_t pages_touched() const { return pages_.size(); }
+
+  /// Sorted page numbers of every touched page.
+  std::vector<u32> page_numbers() const {
+    std::vector<u32> pages;
+    pages.reserve(pages_.size());
+    for (const auto& [page, data] : pages_) pages.push_back(page);
+    std::sort(pages.begin(), pages.end());
+    return pages;
+  }
+
+  /// Snapshot hook: the byte image is the sorted set of touched pages.  A
+  /// restore drops every existing page first, so the restored store is
+  /// byte-identical even if the target had touched pages the snapshot lacks.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    if constexpr (Ar::kIsWriter) {
+      const std::vector<u32> pages = page_numbers();
+      u64 count = pages.size();
+      ar.raw(&count, sizeof count);
+      for (u32 page : pages) {
+        ar.raw(&page, sizeof page);
+        ar.raw(pages_.at(page).get(), kPageBytes);
+      }
+    } else {
+      pages_.clear();
+      u64 count = 0;
+      ar.raw(&count, sizeof count);
+      for (u64 i = 0; i < count; ++i) {
+        u32 page = 0;
+        ar.raw(&page, sizeof page);
+        ar.raw(page_ptr(page_base(page)), kPageBytes);
+      }
+    }
+  }
 
  private:
   u8* page_ptr(Addr addr);

@@ -66,6 +66,16 @@ class AhbmModule : public engine::Module {
 
   const AhbmStats& stats() const { return stats_; }
 
+  /// Snapshot hook: the entity CAM (counters, timeouts, estimator state)
+  /// plus statistics.  The hang handler is reinstalled by the guest OS.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    serialize_base(ar);
+    ar.field(stats_);
+    ar.field(slots_);
+    ar.field(next_sample_);
+  }
+
  private:
   struct Slot {
     bool used = false;

@@ -90,6 +90,17 @@ class CfcModule : public engine::Module {
 
   const CfcStats& stats() const { return stats_; }
 
+  /// Snapshot hook: per-thread stream state, successor table, text range and
+  /// statistics.  The violation handler is reinstalled by the guest OS.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    serialize_base(ar);
+    ar.field(config_);
+    ar.field(stats_);
+    ar.field(successors_);
+    ar.field(last_);
+  }
+
  private:
   struct LastCommit {
     Addr pc = 0;

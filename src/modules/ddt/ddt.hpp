@@ -66,10 +66,24 @@ struct DdtFootprint {
   struct SitePages {
     Addr pc = 0;
     std::vector<u32> pages;  // sorted
+
+    template <class Ar>
+    void serialize_state(Ar& ar) {
+      ar.field(pc);
+      ar.field(pages);
+    }
   };
   std::vector<SitePages> pc_pages;  // sorted by pc
 
   bool empty() const { return checked_pcs.empty(); }
+
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(checked_pcs);
+    ar.field(pages);
+    ar.field(store_pages);
+    ar.field(pc_pages);
+  }
 };
 
 class DdtModule : public engine::Module {
@@ -128,6 +142,23 @@ class DdtModule : public engine::Module {
 
   const DdtStats& stats() const { return stats_; }
   const DdtConfig& config() const { return config_; }
+
+  /// Snapshot hook: the PST, DDM, footprint tables and statistics.  The
+  /// SavePage / footprint-violation handlers are reinstalled by the guest OS
+  /// constructor on the restore target, not serialized.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    serialize_base(ar);
+    ar.field(stats_);
+    ar.field(footprint_);
+    ar.field(allowed_pages_);
+    ar.field(runtime_pages_);
+    ar.field(pst_);
+    ar.field(pst_stamp_);
+    ar.field(ddm_);
+    ar.field(last_dep_logged_at_);
+    ar.field(mau_buffer_);
+  }
 
  private:
   struct PstEntry {

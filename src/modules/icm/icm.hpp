@@ -71,6 +71,30 @@ class IcmModule : public engine::Module {
 
   const IcmStats& stats() const { return stats_; }
 
+  /// Snapshot hook.  Requires quiescence (no MAU request outstanding, i.e.
+  /// !mau_busy_) at capture: a kMemWait check's completion callback cannot be
+  /// serialized.  CheckerMemory layout is also captured so a restored module
+  /// matches even if registration order ever diverged from the fresh load.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    serialize_base(ar);
+    ar.field(stats_);
+    ar.field(pc_to_checker_);
+    ar.field(checker_to_pc_);
+    ar.field(checker_next_);
+    ar.field(cache_);
+    ar.field(cache_stamp_);
+    ar.field(pending_);
+    ar.field(mau_buffer_);
+    ar.field(mau_busy_);
+    ar.field(mau_addr_);
+    ar.field(mau_words_);
+  }
+
+  /// True while a CheckerMemory fill is outstanding at the MAU (its
+  /// completion callback holds a reference into this module).
+  bool mau_pending() const { return mau_busy_; }
+
  private:
   struct PendingCheck {
     engine::InstrTag chk_tag;   // IOQ entry to write

@@ -94,6 +94,34 @@ class MlrModule : public engine::Module {
 
   const MlrStats& stats() const { return stats_; }
 
+  /// True while a blocking randomization op is in flight (its MAU callbacks
+  /// chain through this module's state machine).
+  bool op_in_flight() const { return state_ != OpState::kIdle; }
+
+  /// Snapshot hook.  Requires quiescence (state_ == kIdle) at capture — the
+  /// blocking-op state machine chains MAU submits inside callbacks.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    serialize_base(ar);
+    ar.field(stats_);
+    ar.field(rng_);
+    ar.field(hdr_loc_);
+    ar.field(hdr_size_);
+    ar.field(pi_result_loc_);
+    ar.field(got_old_);
+    ar.field(got_size_);
+    ar.field(got_new_);
+    ar.field(plt_loc_);
+    ar.field(plt_size_);
+    ar.field(state_);
+    ar.field(blocking_tag_);
+    ar.field(blocking_live_);
+    ar.field(op_started_);
+    ar.field(rewrite_done_at_);
+    ar.field(buffer_);
+    ar.field(buffer2_);
+  }
+
  private:
   enum class OpState : u8 { kIdle, kPiReadHdr, kPiWriteResults, kGotRead, kGotWrite,
                             kPltRead, kPltRewrite, kPltWrite };

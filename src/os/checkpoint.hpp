@@ -4,6 +4,13 @@
 // oldest snapshots while keeping history information for deleted pages —
 // if recovery later needs a deleted page, the whole process must be
 // terminated (insufficient information).
+//
+// Scope note: this is the *guest-visible* DDT SavePage history — single
+// pre-store page images used by the OS recovery handler.  It is not a
+// whole-machine checkpoint; that is rse::os::MachineSnapshot
+// (src/os/snapshot.hpp), which the campaign engine's checkpoint-fork
+// injection path uses and which serializes this store as part of the OS
+// state.
 #pragma once
 
 #include <set>
@@ -18,6 +25,14 @@ struct PageCheckpoint {
   ThreadId new_writer = kNoThread;  // the thread whose write triggered SavePage
   Cycle at = 0;
   std::vector<u8> data;  // page content before new_writer's first write
+
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(page);
+    ar.field(new_writer);
+    ar.field(at);
+    ar.field(data);
+  }
 };
 
 class CheckpointStore {
@@ -50,6 +65,16 @@ class CheckpointStore {
     log_.clear();
     dropped_pages_.clear();
     bytes_ = 0;
+  }
+
+  /// Snapshot hook (MachineSnapshot): the SavePage log and GC bookkeeping.
+  /// The byte budget is construction-time config and carries over unchanged.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(log_);
+    ar.field(dropped_pages_);
+    ar.field(bytes_);
+    ar.field(dropped_count_);
   }
 
  private:

@@ -111,6 +111,15 @@ struct RecoveryReport {
   std::vector<ThreadId> survivors;  // healthy threads that keep running
   u32 pages_restored = 0;
   bool total_loss = false;  // needed history was garbage-collected: kill all
+
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(faulty);
+    ar.field(killed);
+    ar.field(survivors);
+    ar.field(pages_restored);
+    ar.field(total_loss);
+  }
 };
 
 /// One contiguous stretch of a thread owning the core (for Figure 8-style
@@ -191,6 +200,46 @@ class GuestOs : public cpu::OsClient {
   SyscallResult on_syscall(Cycle now) override;
   bool on_check_error(Cycle now, Addr pc, isa::ModuleId module) override;
   void on_illegal(Cycle now, Addr pc) override;
+
+  /// Snapshot hook (MachineSnapshot): every value-state member of the OS.
+  /// Config, the machine pointer, and the program analysis are *not*
+  /// serialized — a restore targets a GuestOs constructed with the same
+  /// config that has load()ed the same program, which reproduces them (and
+  /// reinstalls the module handler lambdas) exactly.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.marker(0x4755534Fu);  // "GUSO"
+    ar.field(rng_);
+    ar.field(network_);
+    ar.field(checkpoints_);
+    ar.field(threads_);
+    ar.field(ready_);
+    ar.field(current_);
+    ar.field(quantum_start_);
+    ar.field(switching_to_);
+    ar.field(switch_done_at_);
+    ar.field(pending_crash_);
+    ar.field(got_addr_);
+    ar.field(got_size_);
+    ar.field(plt_addr_);
+    ar.field(plt_size_);
+    ar.field(ptr_slots_);
+    ar.field(next_rerandomize_);
+    ar.field(rerandomize_pending_);
+    ar.field(process_exited_);
+    ar.field(exit_code_);
+    ar.field(output_);
+    ar.field(brk_);
+    ar.field(stack_base_);
+    ar.field(heap_base_);
+    ar.field(shlib_base_);
+    ar.field(check_error_counts_);
+    ar.field(recovery_reports_);
+    ar.field(record_slices_);
+    ar.field(run_slices_);
+    ar.field(slice_started_);
+    ar.field(stats_);
+  }
 
  private:
   struct Thread {

@@ -78,6 +78,16 @@ class SimNetwork {
   const NetworkConfig& config() const { return config_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// Snapshot hook: arrival schedule position, RNG and statistics.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(config_);
+    ar.field(rng_);
+    ar.field(arrivals_);
+    ar.field(next_accept_);
+    ar.field(stats_);
+  }
+
  private:
   Cycle jittered(Cycle mean) {
     if (config_.jitter_pct == 0 || mean == 0) return mean;

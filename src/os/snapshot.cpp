@@ -1,0 +1,93 @@
+#include "os/snapshot.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace rse::os {
+
+namespace {
+
+/// One serialization routine drives both directions so capture and restore
+/// can never disagree about field order.
+template <class Ar>
+void serialize_machine(Ar& ar, Machine& machine, GuestOs& guest) {
+  ar.marker(0x52534531u);  // "RSE1"
+  machine.memory().serialize_state(ar);
+  machine.bus().serialize_state(ar);
+  machine.il2().serialize_state(ar);
+  machine.dl2().serialize_state(ar);
+  machine.il1().serialize_state(ar);
+  machine.dl1().serialize_state(ar);
+  machine.core().serialize_state(ar);
+
+  u8 has_framework = machine.framework() != nullptr ? 1 : 0;
+  ar.field(has_framework);
+  if ((machine.framework() != nullptr) != (has_framework != 0)) {
+    throw SimError("MachineSnapshot: framework presence mismatch between snapshot and target");
+  }
+  if (has_framework) {
+    machine.framework()->serialize_state(ar);
+    machine.icm()->serialize_state(ar);
+    machine.mlr()->serialize_state(ar);
+    machine.ddt()->serialize_state(ar);
+    machine.ahbm()->serialize_state(ar);
+    machine.cfc()->serialize_state(ar);
+  }
+
+  guest.serialize_state(ar);
+}
+
+}  // namespace
+
+bool MachineSnapshot::quiescent(Machine& machine) {
+  engine::Framework* fw = machine.framework();
+  if (fw == nullptr) return true;
+  if (!fw->mau().idle()) return false;
+  if (machine.icm() != nullptr && machine.icm()->mau_pending()) return false;
+  if (machine.mlr() != nullptr && machine.mlr()->op_in_flight()) return false;
+  return true;
+}
+
+MachineSnapshot MachineSnapshot::capture(Machine& machine, GuestOs& guest) {
+  if (!quiescent(machine)) {
+    throw SimError("MachineSnapshot::capture: machine is not quiescent");
+  }
+  snap::Writer writer;
+  serialize_machine(writer, machine, guest);
+  MachineSnapshot snapshot;
+  snapshot.at = machine.now();
+  snapshot.bytes = writer.take();
+  return snapshot;
+}
+
+void MachineSnapshot::restore(const MachineSnapshot& snapshot, Machine& machine,
+                              GuestOs& guest) {
+  if (snapshot.empty()) throw SimError("MachineSnapshot::restore: empty snapshot");
+  if (machine.now() > snapshot.at) {
+    throw SimError("MachineSnapshot::restore: target machine is past the capture cycle");
+  }
+  snap::Reader reader(snapshot.bytes);
+  serialize_machine(reader, machine, guest);
+  if (!reader.exhausted()) {
+    throw SimError("MachineSnapshot::restore: trailing bytes in snapshot archive");
+  }
+  machine.warp_to(snapshot.at);
+}
+
+u64 MachineSnapshot::memory_digest(const mem::MainMemory& memory) {
+  u64 hash = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&hash](const u8* data, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      hash ^= data[i];
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (u32 page : memory.page_numbers()) {
+    mix(reinterpret_cast<const u8*>(&page), sizeof page);
+    const std::vector<u8> bytes = memory.snapshot_page(page);
+    mix(bytes.data(), bytes.size());
+  }
+  return hash;
+}
+
+}  // namespace rse::os

@@ -124,6 +124,26 @@ class Framework {
   /// Reset transient state between guest runs (modules, queues, IOQ).
   void reset();
 
+  /// Snapshot hook: queues, IOQ, MAU, the latched event stream and the
+  /// self-check state.  Module-internal state is serialized separately (the
+  /// machine walks its typed module pointers); the self-check observer and
+  /// module wiring are reconstructed by the normal construction path.
+  /// Requires mau().idle() at capture time — see Mau::serialize_state.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.marker(0x46524D57u);  // "FRMW"
+    ar.field(queues_);
+    ar.field(ioq_);
+    ar.field(mau_);
+    ar.field(pending_);
+    ar.field(safe_mode_);
+    ar.field(verdict_);
+    ar.field(alarm_counts_);
+    ar.field(alarm_window_start_);
+    ar.field(free_high_since_);
+    ar.field(stats_);
+  }
+
  private:
   struct DispatchEvent {
     DispatchInfo info;

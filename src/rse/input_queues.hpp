@@ -46,6 +46,12 @@ class LatchBank {
     for (Slot& s : slots_) s.valid = false;
   }
 
+  /// Snapshot hook: all latched slots (bank size is construction config).
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(slots_);
+  }
+
  private:
   struct Slot {
     Payload payload{};
@@ -70,6 +76,13 @@ struct InputQueues {
     fetch_out.clear();
     execute_out.clear();
     memory_out.clear();
+  }
+
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(fetch_out);
+    ar.field(execute_out);
+    ar.field(memory_out);
   }
 };
 

@@ -123,6 +123,14 @@ class Ioq {
   IoqStuckFault injected_fault() const { return fault_; }
   u32 injected_fault_slot() const { return fault_slot_; }
 
+  /// Snapshot hook: every entry plus the injected stuck-at fault state.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(entries_);
+    ar.field(fault_);
+    ar.field(fault_slot_);
+  }
+
  private:
   std::vector<Entry> entries_;
   IoqStuckFault fault_ = IoqStuckFault::kNone;

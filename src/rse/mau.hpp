@@ -68,6 +68,17 @@ class Mau {
 
   const MauStats& stats() const { return stats_; }
 
+  /// Snapshot hook.  In-flight requests hold raw module-buffer pointers and
+  /// completion callbacks, which cannot be serialized — snapshots are only
+  /// taken at quiescent cycles (idle() holds), so only the bus-completion
+  /// horizon and statistics carry over.  The restore target is a freshly
+  /// constructed (idle) MAU.
+  template <class Ar>
+  void serialize_state(Ar& ar) {
+    ar.field(done_at_);
+    ar.field(stats_);
+  }
+
  private:
   struct Request {
     isa::ModuleId module = isa::ModuleId::kFramework;

@@ -71,6 +71,15 @@ class Module {
   ModuleFaultMode fault_mode() const { return fault_mode_; }
   void inject_fault(ModuleFaultMode mode) { fault_mode_ = mode; }
 
+  /// Snapshot hook for the base-class state; concrete modules call this from
+  /// their own serialize_state.  Assigns enabled_ directly — set_enabled's
+  /// reset-on-disable side effect must not fire during a restore.
+  template <class Ar>
+  void serialize_base(Ar& ar) {
+    ar.field(enabled_);
+    ar.field(fault_mode_);
+  }
+
  protected:
   Framework* fw_;
 

@@ -1,0 +1,130 @@
+// Wilson score interval and sequential-refinement predicate unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "campaign/stats.hpp"
+
+using namespace rse;
+using campaign::kNumOutcomes;
+using campaign::straddles;
+using campaign::strata_needing_refinement;
+using campaign::wilson_interval;
+using campaign::WilsonInterval;
+
+namespace {
+
+TEST(WilsonIntervalTest, MatchesClosedFormAtZ95) {
+  // Hand-computed Wilson bounds for p = 30/100 at z = 1.95996...:
+  // center = (p + z^2/2n) / (1 + z^2/n), half = z/(1+z^2/n) *
+  // sqrt(p(1-p)/n + z^2/4n^2) -> [0.218949, 0.395849].
+  const WilsonInterval ci = wilson_interval(30, 100);
+  EXPECT_NEAR(ci.low, 0.218949, 1e-5);
+  EXPECT_NEAR(ci.high, 0.395849, 1e-5);
+  EXPECT_NEAR(ci.center, (ci.low + ci.high) / 2.0, 1e-12);
+  // The adjusted center is pulled toward 1/2 relative to the raw p.
+  EXPECT_GT(ci.center, 0.30);
+}
+
+TEST(WilsonIntervalTest, ZeroHitsIsDegenerateButHonest) {
+  // 0/n: the lower bound collapses to exactly 0 but the upper bound stays
+  // strictly positive — the "rule of three" regime Wald gets wrong.
+  const WilsonInterval ci = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.low, 0.0);
+  EXPECT_GT(ci.high, 0.0);
+  EXPECT_NEAR(ci.high, 0.0713, 1e-3);  // z^2 / (n + z^2)
+}
+
+TEST(WilsonIntervalTest, AllHitsMirrorsZeroHits) {
+  const WilsonInterval all = wilson_interval(50, 50);
+  const WilsonInterval none = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  // Symmetry: the interval for n/n is the mirror image of 0/n.
+  EXPECT_NEAR(all.low, 1.0 - none.high, 1e-12);
+}
+
+TEST(WilsonIntervalTest, NoTrialsIsVacuous) {
+  const WilsonInterval ci = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(ci.low, 0.0);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+}
+
+TEST(WilsonIntervalTest, WidthShrinksWithSampleSize) {
+  double previous_width = 1.0;
+  for (const u32 n : {10u, 40u, 160u, 640u}) {
+    const WilsonInterval ci = wilson_interval(n / 4, n);
+    const double width = ci.high - ci.low;
+    EXPECT_LT(width, previous_width) << n;
+    previous_width = width;
+  }
+}
+
+TEST(WilsonIntervalTest, BoundsAlwaysClampToUnitInterval) {
+  for (u32 total : {1u, 2u, 5u, 100u}) {
+    for (u32 hits = 0; hits <= total; ++hits) {
+      const WilsonInterval ci = wilson_interval(hits, total);
+      EXPECT_GE(ci.low, 0.0);
+      EXPECT_LE(ci.high, 1.0);
+      EXPECT_LE(ci.low, ci.high);
+      // The raw proportion always lies inside the interval.
+      const double p = static_cast<double>(hits) / total;
+      EXPECT_LE(ci.low, p + 1e-12);
+      EXPECT_GE(ci.high, p - 1e-12);
+    }
+  }
+}
+
+TEST(StraddlesTest, ThresholdInsideOutsideAndOnTheBoundary) {
+  const WilsonInterval ci = wilson_interval(30, 100);  // ~[0.219, 0.395]
+  EXPECT_TRUE(straddles(ci, 0.30));
+  EXPECT_FALSE(straddles(ci, 0.10));  // clearly below the interval
+  EXPECT_FALSE(straddles(ci, 0.50));  // clearly above
+  // Exactly on a bound: resolved, not straddling (strict inequalities).
+  EXPECT_FALSE(straddles(ci, ci.low));
+  EXPECT_FALSE(straddles(ci, ci.high));
+}
+
+TEST(RefinementTest, StopsWhenEveryStratumResolves) {
+  // 1000 runs: every stratum is either far above or far below a 5%
+  // threshold, so nothing needs refinement.
+  std::array<u32, kNumOutcomes> by_outcome{};
+  by_outcome[0] = 800;  // 80% — lower bound far above 5%
+  by_outcome[5] = 200;  // 20% — same
+  EXPECT_TRUE(strata_needing_refinement(by_outcome, 1000, 0.05).empty());
+}
+
+TEST(RefinementTest, FlagsExactlyTheStraddlingStrata) {
+  // 40 runs: 2 hits (5%) in stratum 5 straddles a 5% threshold; 38 hits in
+  // stratum 0 is far above it; empty strata have upper bound z^2/(n+z^2)
+  // ~ 8.8% > 5%, so they straddle too — they genuinely are unresolved at
+  // this sample size.
+  std::array<u32, kNumOutcomes> by_outcome{};
+  by_outcome[0] = 38;
+  by_outcome[5] = 2;
+  const std::vector<unsigned> strata = strata_needing_refinement(by_outcome, 40, 0.05);
+  EXPECT_TRUE(std::find(strata.begin(), strata.end(), 5u) != strata.end());
+  EXPECT_TRUE(std::find(strata.begin(), strata.end(), 0u) == strata.end());
+  EXPECT_TRUE(std::find(strata.begin(), strata.end(), 1u) != strata.end());
+}
+
+TEST(RefinementTest, EmptyStrataResolveOnceTheSampleIsLargeEnough) {
+  // With enough total runs, a zero-hit stratum's upper bound drops below
+  // the threshold and it stops demanding runs: 0/200 -> high ~ 1.9% < 5%.
+  std::array<u32, kNumOutcomes> by_outcome{};
+  by_outcome[0] = 200;
+  const std::vector<unsigned> strata = strata_needing_refinement(by_outcome, 200, 0.05);
+  EXPECT_TRUE(std::find(strata.begin(), strata.end(), 1u) == strata.end());
+}
+
+TEST(RefinementTest, ZeroTotalDemandsEverything) {
+  // No data: every stratum's interval is [0, 1], which straddles any
+  // interior threshold.
+  std::array<u32, kNumOutcomes> by_outcome{};
+  EXPECT_EQ(strata_needing_refinement(by_outcome, 0, 0.05).size(), kNumOutcomes);
+}
+
+}  // namespace

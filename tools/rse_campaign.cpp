@@ -21,6 +21,23 @@
 //                           the exec/ fast engine, then transplant into the
 //                           cycle-accurate core at the injection cycle
 //                           (identical digest; docs/execution.md)
+//     --snapshot-fork       checkpoint-fork injection: one whole-machine
+//                           snapshot per injection-cycle bucket, every run
+//                           forks from the latest snapshot before its
+//                           injection cycle (identical digest)
+//     --snapshot-buckets n  snapshot-chain bucket count               (8)
+//     --shard i/N           execute plan range i of N (multi-process
+//                           scale-out; write the partial report with
+//                           --shard-out, fold with --merge)
+//     --shard-out <path>    write this shard's report file
+//     --merge f1 f2 ...     merge shard report files into one report and
+//                           exit (all remaining args are shard files)
+//     --window LO:HI        injection-cycle window as fractions of the
+//                           golden run (default 0:1 = full range)
+//     --ci-threshold <f>    refine outcome strata whose Wilson 95% interval
+//                           straddles f with extra deterministic runs
+//     --ci-batch <n>        refinement batch size (0 = max(16, runs/2))
+//     --ci-max-runs <n>     refinement total-run cap (0 = 4 x runs)
 //     --describe <index>    print one run's injection point and exit
 //     --digest              print the deterministic digest instead of the
 //                           summary (for cross---jobs comparisons)
@@ -30,6 +47,7 @@
 #include <string>
 
 #include "campaign/runner.hpp"
+#include "campaign/shard.hpp"
 #include "common/error.hpp"
 
 using namespace rse;
@@ -40,8 +58,11 @@ int usage() {
   std::cerr << "usage: rse_campaign [--workload NAME] [--runs N] [--seed N] [--jobs N]\n"
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
             << "  [--static-ddt] [--flat-footprint] [--context-depth N] [--field-sensitive]\n"
-            << "  [--no-field-sensitive] [--fast-forward]\n"
+            << "  [--no-field-sensitive] [--fast-forward] [--snapshot-fork]\n"
+            << "  [--snapshot-buckets N] [--shard I/N] [--shard-out PATH] [--window LO:HI]\n"
+            << "  [--ci-threshold F] [--ci-batch N] [--ci-max-runs N]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
+            << "  | rse_campaign --merge SHARD-FILE... [--runs-csv PATH] [--json PATH|-]\n"
             << "workloads:";
   for (const std::string& name : campaign::workload_names()) std::cerr << ' ' << name;
   std::cerr << "\n";
@@ -65,8 +86,10 @@ bool parse_targets(const std::string& list, std::vector<campaign::InjectTarget>*
 int main(int argc, char** argv) {
   campaign::CampaignSpec spec;
   spec.jobs = 0;  // default: all hardware threads
-  std::string runs_csv, json_path;
+  std::string runs_csv, json_path, shard_out;
   bool digest_only = false;
+  bool merge_mode = false;
+  std::vector<std::string> merge_paths;
   long describe_index = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +125,38 @@ int main(int argc, char** argv) {
       spec.field_sensitive = false;
     } else if (arg == "--fast-forward") {
       spec.fast_forward = true;
+    } else if (arg == "--snapshot-fork") {
+      spec.snapshot_fork = true;
+    } else if (arg == "--snapshot-buckets") {
+      spec.snapshot_buckets = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--shard") {
+      const std::string v = value();
+      const auto slash = v.find('/');
+      if (slash == std::string::npos) {
+        std::cerr << "--shard expects I/N\n";
+        return usage();
+      }
+      spec.shard_index = static_cast<u32>(std::stoul(v.substr(0, slash)));
+      spec.shard_count = static_cast<u32>(std::stoul(v.substr(slash + 1)));
+    } else if (arg == "--shard-out") {
+      shard_out = value();
+    } else if (arg == "--merge") {
+      merge_mode = true;
+    } else if (arg == "--window") {
+      const std::string v = value();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--window expects LO:HI fractions\n";
+        return usage();
+      }
+      spec.window_lo = std::stod(v.substr(0, colon));
+      spec.window_hi = std::stod(v.substr(colon + 1));
+    } else if (arg == "--ci-threshold") {
+      spec.ci_threshold = std::stod(value());
+    } else if (arg == "--ci-batch") {
+      spec.ci_batch = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--ci-max-runs") {
+      spec.ci_max_runs = static_cast<u32>(std::stoul(value()));
     } else if (arg == "--targets") {
       if (!parse_targets(value(), &spec.targets)) {
         std::cerr << "bad --targets list\n";
@@ -115,9 +170,15 @@ int main(int argc, char** argv) {
       describe_index = std::stol(value());
     } else if (arg == "--digest") {
       digest_only = true;
+    } else if (merge_mode && arg.rfind("--", 0) != 0) {
+      merge_paths.push_back(arg);
     } else {
       return usage();
     }
+  }
+  if (merge_mode && merge_paths.empty()) {
+    std::cerr << "--merge needs at least one shard report file\n";
+    return usage();
   }
 
   try {
@@ -131,12 +192,17 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const campaign::CampaignReport report = runner.run(spec);
+    const campaign::CampaignReport report =
+        merge_mode ? campaign::merge_shard_files(merge_paths) : runner.run(spec);
 
     if (digest_only) {
       std::cout << campaign::deterministic_digest(report);
     } else {
       std::cout << campaign::summary_text(report);
+    }
+    if (!shard_out.empty() && !campaign::write_shard_report(report, shard_out)) {
+      std::cerr << "failed to write " << shard_out << "\n";
+      return 1;
     }
     if (!runs_csv.empty() && !campaign::write_runs_csv(report, runs_csv)) {
       std::cerr << "failed to write " << runs_csv << "\n";
