@@ -174,6 +174,63 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Memory-word fast-forward end to end: instruction-/data-word faults drawn
+  // from a late window, so every classic run pays the whole prefix cycle-
+  // accurately while a fast-forwarded run pays one shared instrumented
+  // replay plus a fast-engine prefix per run.  Digest equality is the
+  // correctness proof; the 1.5x floor is the acceptance bar for extending
+  // eligibility beyond register bits.
+  {
+    constexpr double kMemFfFloor = 1.5;
+    campaign::CampaignSpec mem_spec;
+    mem_spec.workload = "kmeans";
+    mem_spec.runs = smoke ? 32 : 48;
+    mem_spec.seed = 7;
+    mem_spec.jobs = 4;
+    mem_spec.targets = {campaign::InjectTarget::kInstructionWord,
+                        campaign::InjectTarget::kDataWord};
+    mem_spec.window_lo = 0.85;
+    mem_spec.window_hi = 1.0;
+
+    const campaign::CampaignReport classic = runner.run(mem_spec);
+    mem_spec.fast_forward = true;
+    const campaign::CampaignReport fast = runner.run(mem_spec);
+    const campaign::FastForwardStats ff = runner.fast_forward_stats();
+
+    const bool match = campaign::deterministic_digest(classic) ==
+                       campaign::deterministic_digest(fast);
+    const double speedup =
+        fast.wall_seconds > 0 ? classic.wall_seconds / fast.wall_seconds : 0;
+    std::cout << "memory-word fast-forward (kmeans, instr+data faults, window 0.85:1.0): "
+              << "classic " << report::fmt_fixed(classic.wall_seconds, 2) << "s, fast "
+              << report::fmt_fixed(fast.wall_seconds, 2) << "s, speedup "
+              << report::fmt_fixed(speedup, 2) << "x, " << ff.fast << " fast / "
+              << ff.fallbacks() << " fallback, digest "
+              << (match ? "identical" : "MISMATCH") << "\n";
+    json << "  \"fast_forward_memory\": {\"workload\": \"kmeans\", \"runs\": "
+         << mem_spec.runs << ", \"window\": [0.85, 1.0], \"classic_wall_s\": "
+         << report::fmt_fixed(classic.wall_seconds, 4) << ", \"fast_wall_s\": "
+         << report::fmt_fixed(fast.wall_seconds, 4) << ", \"speedup\": "
+         << report::fmt_fixed(speedup, 3) << ", \"floor\": " << kMemFfFloor
+         << ", \"fast_runs\": " << ff.fast << ", \"fallback_runs\": " << ff.fallbacks()
+         << ", \"digest_match\": " << (match ? "true" : "false") << "},\n";
+    if (!match) {
+      std::cerr << "MEMORY-WORD FAST-FORWARD DIGEST MISMATCH: --fast-forward changed "
+                   "campaign classification on instr/data faults\n";
+      return 1;
+    }
+    if (ff.fast == 0) {
+      std::cerr << "memory-word fast-forward took zero fast paths — eligibility "
+                   "has regressed\n";
+      return 1;
+    }
+    if (speedup < kMemFfFloor) {
+      std::cerr << "memory-word fast-forward speedup " << speedup << "x is below the "
+                << kMemFfFloor << "x floor\n";
+      return 1;
+    }
+  }
+
   // Sequential refinement: the refined campaign must grow the run set
   // deterministically and leave every stratum's interval clear of the
   // threshold (or prove it hit the cap), at any jobs count.

@@ -155,20 +155,81 @@ RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
   return result;
 }
 
+FastForwardStats CampaignRunner::fast_forward_stats() const {
+  FastForwardStats stats;
+  stats.fast = ff_accum_.fast.load(std::memory_order_relaxed);
+  stats.fallback_target = ff_accum_.fallback_target.load(std::memory_order_relaxed);
+  stats.fallback_unmapped = ff_accum_.fallback_unmapped.load(std::memory_order_relaxed);
+  stats.fallback_conflict = ff_accum_.fallback_conflict.load(std::memory_order_relaxed);
+  stats.fallback_checked = ff_accum_.fallback_checked.load(std::memory_order_relaxed);
+  stats.fallback_syscall = ff_accum_.fallback_syscall.load(std::memory_order_relaxed);
+  stats.fallback_suspend = ff_accum_.fallback_suspend.load(std::memory_order_relaxed);
+  stats.fallback_illegal = ff_accum_.fallback_illegal.load(std::memory_order_relaxed);
+  stats.fallback_other = ff_accum_.fallback_other.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void CampaignRunner::reset_fast_forward_stats() const {
+  ff_accum_.fast.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_target.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_unmapped.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_conflict.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_checked.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_syscall.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_suspend.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_illegal.store(0, std::memory_order_relaxed);
+  ff_accum_.fallback_other.store(0, std::memory_order_relaxed);
+}
+
 RunResult CampaignRunner::run_one_fast_forward(
     const WorkloadSetup& setup, const GoldenRun& golden, const InjectionRecord& record,
-    Cycle budget, const exec::FastForwardController::BoundaryMap& boundaries) const {
-  // Only register faults are fast-forward-safe: memory faults can interact
-  // with in-flight stores and stale fetch buffers, and config faults with
-  // in-flight CHK IOQ entries — microarchitectural windows the fast prefix
-  // does not reproduce.  Records whose injection cycle the fault-free run
-  // never reaches have no boundary entry (the classic path applies no fault
-  // there either).
-  if (record.target != InjectTarget::kRegisterBit) {
+    Cycle budget, const exec::FastForwardController::BoundaryMap& boundaries,
+    const exec::FastForwardController::SyscallSchedule* schedule) const {
+  const auto bump = [](std::atomic<u64>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Register-bit faults fast-forward unconditionally; instruction-/data-word
+  // faults fast-forward unless the word was in flight in the pipeline at the
+  // boundary (fetched-but-uncommitted text, or the target of a dispatched
+  // store) — the classic run's pipeline holds the clean word across the flip
+  // there, which the pipeline-less fast prefix cannot reproduce.  Config
+  // faults interact with in-flight CHK IOQ entries and stay classic.
+  // Records whose injection cycle the fault-free run never reaches have no
+  // boundary entry (the classic path applies no fault there either).
+  const bool memory_fault = record.target == InjectTarget::kInstructionWord ||
+                            record.target == InjectTarget::kDataWord;
+  if (record.target != InjectTarget::kRegisterBit && !memory_fault) {
+    bump(ff_accum_.fallback_target);
     return run_one_with_budget(setup, golden, record, budget);
   }
   const auto boundary = boundaries.find(record.inject_cycle);
-  if (boundary == boundaries.end()) return run_one_with_budget(setup, golden, record, budget);
+  if (boundary == boundaries.end()) {
+    bump(ff_accum_.fallback_unmapped);
+    return run_one_with_budget(setup, golden, record, budget);
+  }
+  if (memory_fault && boundary->second.conflicts(record.addr, 4)) {
+    bump(ff_accum_.fallback_conflict);
+    return run_one_with_budget(setup, golden, record, budget);
+  }
+  // An instruction-word fault on an ICM-checked instruction (one preceded
+  // by a `chk icm`) stays classic: the ICM compares the fetched word at
+  // dispatch, including wrong-path dispatches that are later squashed, so
+  // whether the corrupted word is ever *checked* depends on branch-predictor
+  // and pipeline state at the injection cycle — state the pipeline-less fast
+  // prefix cannot reproduce.  Faults on unchecked words (and on the chk
+  // words themselves) have no speculation-visible detector, so the committed
+  // path the transplant reproduces fully determines their classification.
+  if (record.target == InjectTarget::kInstructionWord &&
+      record.addr >= golden.program.text_base + 4) {
+    const std::size_t prev = (record.addr - 4 - golden.program.text_base) / 4;
+    if (prev < golden.program.text.size()) {
+      const isa::Instr before = isa::decode(golden.program.text[prev]);
+      if (before.op == isa::Op::kChk && before.chk_module == isa::ModuleId::kIcm) {
+        bump(ff_accum_.fallback_checked);
+        return run_one_with_budget(setup, golden, record, budget);
+      }
+    }
+  }
 
   os::OsConfig os_config = setup.os;
   os_config.run_limit = budget;
@@ -178,12 +239,21 @@ RunResult CampaignRunner::run_one_fast_forward(
   guest.load(golden.program);
   for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
 
-  if (!exec::FastForwardController::fast_forward_to(guest, golden.program, boundary->second,
-                                                    record.inject_cycle)) {
-    // Fast mode bailed (non-whitelisted syscall, early exit, illegal word):
+  exec::FastSession::BailReason bail = exec::FastSession::BailReason::kNone;
+  if (!exec::FastForwardController::fast_forward_to(guest, golden.program,
+                                                    boundary->second.position,
+                                                    record.inject_cycle, schedule, &bail)) {
+    // Fast mode bailed (non-resumable syscall, early exit, illegal word):
     // rerun classically on a fresh machine — correctness over speed.
+    switch (bail) {
+      case exec::FastSession::BailReason::kSyscall: bump(ff_accum_.fallback_syscall); break;
+      case exec::FastSession::BailReason::kSuspend: bump(ff_accum_.fallback_suspend); break;
+      case exec::FastSession::BailReason::kIllegal: bump(ff_accum_.fallback_illegal); break;
+      case exec::FastSession::BailReason::kNone: bump(ff_accum_.fallback_other); break;
+    }
     return run_one_with_budget(setup, golden, record, budget);
   }
+  ff_accum_.fast.fetch_add(1, std::memory_order_relaxed);
 
   RunResult result;
   result.record = record;
@@ -264,7 +334,7 @@ SnapshotChain CampaignRunner::build_snapshot_chain(const WorkloadSetup& setup,
       const auto boundary = bmap.find(bound);
       if (boundary == bmap.end()) break;  // golden finished before this bound
       if (!exec::FastForwardController::fast_forward_to(guest, golden.program,
-                                                        boundary->second, bound)) {
+                                                        boundary->second.position, bound)) {
         continue;  // fast mode bailed; runs in this bucket fork from an earlier snap
       }
     }
@@ -364,7 +434,9 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   const u32 shard_hi =
       static_cast<u32>(u64{spec.runs} * (spec.shard_index + 1) / spec.shard_count);
 
+  reset_fast_forward_stats();
   exec::FastForwardController::BoundaryMap boundaries;
+  exec::FastForwardController::SyscallSchedule schedule;
   const bool golden_baseline_clean =
       golden->icm_mismatches == 0 && golden->cfc_violations == 0 &&
       golden->selfcheck_trips == 0 && golden->os_recoveries == 0 &&
@@ -374,7 +446,10 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
     std::vector<Cycle> cycles;
     for (u32 i = shard_lo; i < shard_hi; ++i) {
       const InjectionRecord record = plan.record(i);
-      if (record.target == InjectTarget::kRegisterBit) cycles.push_back(record.inject_cycle);
+      const bool eligible = record.target == InjectTarget::kRegisterBit ||
+                            record.target == InjectTarget::kInstructionWord ||
+                            record.target == InjectTarget::kDataWord;
+      if (eligible) cycles.push_back(record.inject_cycle);
     }
     if (!cycles.empty()) {
       os::OsConfig os_config = setup.os;
@@ -383,7 +458,10 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
       os::GuestOs guest(machine, os_config);
       guest.load(golden->program);
       for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
-      boundaries = exec::FastForwardController::map_boundaries(guest, std::move(cycles));
+      // The same replay that samples boundary positions and in-flight
+      // ranges also records the syscall schedule that arms bail-and-resume.
+      boundaries = exec::FastForwardController::map_boundaries(guest, std::move(cycles),
+                                                               &schedule);
     }
   }
 
@@ -416,7 +494,7 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
         if (spec.snapshot_fork) {
           slot = run_one_forked(setup, *golden, record, budget, chain);
         } else if (use_fast_forward) {
-          slot = run_one_fast_forward(setup, *golden, record, budget, boundaries);
+          slot = run_one_fast_forward(setup, *golden, record, budget, boundaries, &schedule);
         } else {
           slot = run_one_with_budget(setup, *golden, record, budget);
         }

@@ -12,6 +12,8 @@
 // cycle count; runs that exceed it classify as kHang.
 #pragma once
 
+#include <atomic>
+
 #include "campaign/golden.hpp"
 #include "campaign/injection.hpp"
 #include "campaign/report.hpp"
@@ -30,6 +32,28 @@ namespace rse::campaign {
 struct SnapshotChain {
   std::vector<os::MachineSnapshot> snaps;
   bool exact = true;
+};
+
+/// Fallback accounting for the fast-forward path, aggregated over one run()
+/// call (reset at campaign start).  Purely observational — the classified
+/// outcomes and the deterministic digest never depend on which path a run
+/// took — but it answers "why wasn't this campaign faster?" precisely.
+struct FastForwardStats {
+  u64 fast = 0;               // prefixes that ran on the fast engine
+  u64 fallback_target = 0;    // ineligible fault target (config faults)
+  u64 fallback_unmapped = 0;  // no boundary: golden finished before the cycle,
+                              // or a CI-refinement index past the mapped plan
+  u64 fallback_conflict = 0;  // memory-word fault overlapped in-flight state
+  u64 fallback_checked = 0;   // instr-word fault on an ICM-checked instruction
+  u64 fallback_syscall = 0;   // un-executed, non-resumable syscall in prefix
+  u64 fallback_suspend = 0;   // post-syscall suspend fast mode couldn't resume
+  u64 fallback_illegal = 0;   // illegal word or host trap in the prefix
+  u64 fallback_other = 0;     // early exit / boundary position mismatch
+
+  u64 fallbacks() const {
+    return fallback_target + fallback_unmapped + fallback_conflict + fallback_checked +
+           fallback_syscall + fallback_suspend + fallback_illegal + fallback_other;
+  }
 };
 
 class CampaignRunner {
@@ -52,14 +76,24 @@ class CampaignRunner {
 
   /// Fast-forward variant: the fault-free prefix runs through the exec/ fast
   /// engine and is transplanted into the cycle-accurate core at the
-  /// injection cycle.  Only register-target records with a boundary entry
-  /// take the fast path; everything else (memory/config faults, records past
-  /// the fault-free run's end, fast-mode bails) falls back to the classic
+  /// injection cycle.  Register-bit records and instruction-/data-word
+  /// records whose boundary reports no in-flight overlap take the fast path
+  /// (the fault itself is applied after the transplant, exactly where the
+  /// classic loop applies it); a non-null `schedule` additionally lets the
+  /// prefix bail-and-resume through non-whitelisted syscalls.  Everything
+  /// else (config faults, records past the fault-free run's end, in-flight
+  /// conflicts, fast-mode bails) falls back to the classic
   /// run_one_with_budget — so the classified outcome is always the classic
   /// one (docs/execution.md).
   RunResult run_one_fast_forward(const WorkloadSetup& setup, const GoldenRun& golden,
                                  const InjectionRecord& record, Cycle budget,
-                                 const exec::FastForwardController::BoundaryMap& boundaries) const;
+                                 const exec::FastForwardController::BoundaryMap& boundaries,
+                                 const exec::FastForwardController::SyscallSchedule* schedule =
+                                     nullptr) const;
+
+  /// Fast-forward fallback accounting for the most recent run() (or the
+  /// run_one_fast_forward calls since then).  Not part of any digest.
+  FastForwardStats fast_forward_stats() const;
 
   /// Checkpoint-fork variant: restore the latest chain snapshot at or before
   /// the injection cycle into a fresh machine/guest pair, then replicate the
@@ -90,9 +124,25 @@ class CampaignRunner {
  private:
   Cycle budget_for(const GoldenRun& golden, double hang_factor) const;
   bool apply_fault(os::Machine& machine, const InjectionRecord& record) const;
+  void reset_fast_forward_stats() const;
 
   GoldenCache own_cache_;
   GoldenCache* cache_;
+
+  // Workers increment concurrently; relaxed atomics, snapshot via
+  // fast_forward_stats().
+  struct AtomicFfStats {
+    std::atomic<u64> fast{0};
+    std::atomic<u64> fallback_target{0};
+    std::atomic<u64> fallback_unmapped{0};
+    std::atomic<u64> fallback_conflict{0};
+    std::atomic<u64> fallback_checked{0};
+    std::atomic<u64> fallback_syscall{0};
+    std::atomic<u64> fallback_suspend{0};
+    std::atomic<u64> fallback_illegal{0};
+    std::atomic<u64> fallback_other{0};
+  };
+  mutable AtomicFfStats ff_accum_;
 };
 
 }  // namespace rse::campaign

@@ -48,6 +48,23 @@ void Core::halt(Cycle now) {
   draining_ = false;
 }
 
+std::vector<std::pair<Addr, u32>> Core::inflight_ranges() const {
+  std::vector<std::pair<Addr, u32>> ranges;
+  ranges.reserve(fetch_buffer_.size() + ruu_count_);
+  for (std::size_t i = 0; i < fetch_buffer_.size(); ++i) {
+    ranges.emplace_back(fetch_buffer_.at(i).pc, 4u);
+  }
+  for (u32 offset = 0; offset < ruu_count_; ++offset) {
+    const RuuEntry& entry = ruu_[(ruu_head_ + offset) % config_.ruu_size];
+    if (!entry.valid) continue;
+    ranges.emplace_back(entry.pc, 4u);
+    if (entry.is_store && !entry.wrong_path && entry.mem_size != 0) {
+      ranges.emplace_back(entry.eff_addr, static_cast<u32>(entry.mem_size));
+    }
+  }
+  return ranges;
+}
+
 void Core::cycle(Cycle now) {
   if (!running_) return;
   ++stats_.run_cycles;

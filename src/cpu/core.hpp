@@ -16,6 +16,7 @@
 
 #include <array>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
@@ -101,6 +102,10 @@ class Core {
   ThreadId thread() const { return thread_; }
 
   void resume() { running_ = true; }
+  /// Stop executing without discarding in-flight state — the bare
+  /// `running_ = false` of a post-syscall suspend.  Unlike halt(), nothing
+  /// is flushed, so a later resume() continues exactly where commit stopped.
+  void suspend() { running_ = false; }
   /// Stop fetching; once the pipeline drains the core suspends itself.
   void request_drain() { draining_ = true; }
   /// Immediately stop and discard all in-flight state (used when the OS
@@ -159,6 +164,16 @@ class Core {
   /// first N instructions of the functional stream — the alignment contract
   /// the exec/ fast-forward controller relies on (docs/execution.md).
   u64 functional_pos() const { return functional_pos_; }
+
+  /// Guest-address ranges the pipeline holds in flight right now: the PC of
+  /// every fetch-buffer entry, the PC of every RUU entry, and the byte range
+  /// of every dispatched correct-path store that has not yet committed.
+  /// A memory word flipped at this instant is *not* seen by those — the
+  /// clean word was already captured at fetch/dispatch, or will be
+  /// overwritten when the store commits — so the exec/ fast-forward
+  /// controller refuses memory-word faults overlapping any returned range
+  /// (the fast prefix has no pipeline and would observe the flip).
+  std::vector<std::pair<Addr, u32>> inflight_ranges() const;
 
   const CoreStats& stats() const { return stats_; }
   CoreStats& mutable_stats() { return stats_; }

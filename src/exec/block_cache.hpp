@@ -8,10 +8,21 @@
 // seed extra block boundaries so fast-mode blocks line up with the blocks
 // the static analyses reason about.
 //
+// With chaining enabled (the default), decode does not stop at the first
+// terminator: statically-known single-successor transfers (`j`, `jal`) are
+// followed in place and straight-line decode continues across registered
+// leaders and fall-through block ends, forming a *superblock* the engine
+// dispatches without returning to the cache between constituent blocks.
+// Chaining stops at anything with more than one or a dynamic successor
+// (conditional branches, `jr`/`jalr`), at syscalls and undecodable words,
+// at jumps leaving the registered text range, on revisiting a PC already in
+// the superblock (loop guard), and at kMaxSuperblockInstrs.
+//
 // Invalidation is page-granular on the lookup side: every block registers
-// itself with each 4 KB page its byte range overlaps, and invalidate(addr,
-// size) erases every block registered on a page the written range touches.
-// That over-approximates (a store to one instruction kills neighbours on the
+// itself with the 4 KB page of every constituent instruction (a superblock's
+// tail can sit pages away from its leader), and invalidate(addr, size)
+// erases every block registered on a page the written range touches.  That
+// over-approximates (a store to one instruction kills neighbours on the
 // page) but keeps the common case — no stores to text — entirely free.
 #pragma once
 
@@ -27,31 +38,69 @@ namespace rse::exec {
 
 struct DecodedBlock {
   Addr start = 0;
-  /// Pre-decoded instructions; instruction i sits at start + 4*i.
+  /// Pre-decoded instructions; instruction i sits at pcs[i].  Without
+  /// chaining pcs[i] == start + 4*i; a superblock's tail may live anywhere
+  /// in text after a followed jump.
   std::vector<isa::Instr> instrs;
+  std::vector<Addr> pcs;
+  /// True if decode followed at least one jump or crossed a leader —
+  /// i.e. this block would not exist without chaining.
+  bool chained = false;
+
+  /// Threaded-dispatch successor links (chaining mode only): the blocks
+  /// that followed this one on recent exits, keyed by exit PC.  Two slots
+  /// cover a conditional terminator's pair of successors without thrash.
+  /// A link is valid only while its `link_epoch` matches the cache's epoch
+  /// — any invalidation or clear bumps the epoch, orphaning every link at
+  /// once without walking the cache.  Mutable: the engine patches links
+  /// through the const pointer lookup() hands out.
+  mutable Addr link_pc[2] = {0, 0};
+  mutable const DecodedBlock* link[2] = {nullptr, nullptr};
+  mutable u64 link_epoch[2] = {0, 0};
+  mutable u8 link_victim = 0;
 };
 
 struct BlockCacheStats {
   u64 lookups = 0;
   u64 decodes = 0;        // cache misses that built a block
   u64 invalidations = 0;  // blocks dropped by stores to text
+  u64 superblocks = 0;    // decoded blocks that chained past a terminator
 };
 
 class BlockCache {
  public:
   explicit BlockCache(mem::MainMemory& memory) : memory_(&memory) {}
 
-  /// Extra block boundaries (typically the static CFG's leaders).  A decoded
-  /// block never runs across a registered leader, so block identity is
-  /// stable regardless of which PC execution entered a region from.
+  /// Extra block boundaries (typically the static CFG's leaders).  Without
+  /// chaining a decoded block never runs across a registered leader, so
+  /// block identity is stable regardless of which PC execution entered a
+  /// region from.  Superblocks deliberately chain straight through leaders
+  /// (the fast path has no module taps that care about block identity).
   void add_leader(Addr pc) { leaders_.insert(pc); }
+
+  /// Superblock formation toggle (default on).  Turning it off restores the
+  /// one-basic-block-per-entry decode; cached blocks from the other mode
+  /// are dropped so the two shapes never mix.
+  void set_chaining(bool on) {
+    if (on != chaining_) clear();
+    chaining_ = on;
+  }
+  bool chaining() const { return chaining_; }
+
+  /// Executable range [lo, hi) for chained decode: superblock formation
+  /// never follows a jump outside it and never decodes words outside it.
+  /// Unset (hi == 0) means unknown — jumps are then never followed.
+  void set_text_range(Addr lo, Addr hi) {
+    text_lo_ = lo;
+    text_hi_ = hi;
+  }
 
   /// Decoded block starting at `pc`, building it on first use.  The pointer
   /// stays valid until the block is invalidated — callers must not hold it
   /// across a store to text.
   const DecodedBlock* lookup(Addr pc);
 
-  /// Drop every block whose byte range shares a page with [addr, addr+size).
+  /// Drop every block that has an instruction on a page of [addr, addr+size).
   void invalidate(Addr addr, u32 size);
 
   /// Drop everything (program reload).
@@ -60,17 +109,29 @@ class BlockCache {
   const BlockCacheStats& stats() const { return stats_; }
   std::size_t blocks_cached() const { return blocks_.size(); }
 
+  /// Monotonic generation for threaded-dispatch links: bumped whenever any
+  /// block is (or may have been) erased, so a DecodedBlock::link stamped
+  /// with an older epoch is known stale without being individually cleared.
+  u64 epoch() const { return epoch_; }
+
   /// Decoded-block length cap; also bounds how stale a block can be.
   static constexpr u32 kMaxBlockInstrs = 64;
+  /// Superblock length cap (chaining enabled).
+  static constexpr u32 kMaxSuperblockInstrs = 256;
 
  private:
+  bool in_text(Addr addr) const { return text_hi_ != 0 && addr >= text_lo_ && addr < text_hi_; }
   void index_block(const DecodedBlock& block);
 
   mem::MainMemory* memory_;
   std::unordered_map<Addr, DecodedBlock> blocks_;
-  // page number -> leader PCs of blocks overlapping that page
+  // page number -> leader PCs of blocks with an instruction on that page
   std::unordered_map<u32, std::vector<Addr>> page_index_;
   std::unordered_set<Addr> leaders_;
+  bool chaining_ = true;
+  Addr text_lo_ = 0;
+  Addr text_hi_ = 0;
+  u64 epoch_ = 1;
   BlockCacheStats stats_;
 };
 

@@ -9,15 +9,29 @@ namespace rse::exec {
 using isa::Op;
 
 FastEngine::Stop FastEngine::run_until(u64 target) {
+  // Threaded dispatch (chaining mode): block transitions stay inside the
+  // engine.  A back-edge to the current block's own start re-enters it
+  // directly, and each block carries an epoch-stamped link to its last
+  // observed successor, so steady-state execution touches the hash map only
+  // on cold transitions.  With chaining off the dispatcher is the plain
+  // lookup-per-block oracle the differential suites compare against.
+  const bool threaded = cache_->chaining();
+  const DecodedBlock* block = nullptr;
   while (executed_ < target) {
-    if (text_hi_ != 0 && (pc_ < text_lo_ || pc_ >= text_hi_)) return Stop::kIllegal;
-    const DecodedBlock* block = cache_->lookup(pc_);
-    const Addr start = block->start;
+    if (block == nullptr) {
+      if (text_hi_ != 0 && (pc_ < text_lo_ || pc_ >= text_hi_)) return Stop::kIllegal;
+      block = cache_->lookup(pc_);
+    }
     const std::size_t count = block->instrs.size();
+    if (count == 0) return Stop::kIllegal;  // decode refused (outside text)
 
-    Addr pc = start;
+    Addr pc = block->start;
     std::size_t i = 0;
-    while (i < count) {
+    // A store landing in the text segment drops overlapping cached blocks
+    // — including possibly the one being executed — so the inner loop must
+    // end before touching `block` again.
+    bool invalidated = false;
+    for (;;) {
       if (executed_ == target) {
         pc_ = pc;
         return Stop::kBoundary;
@@ -27,10 +41,6 @@ FastEngine::Stop FastEngine::run_until(u64 target) {
       const Word rs = regs_[in.rs];
       const Word rt = regs_[in.rt];
       const u32 uimm = static_cast<u32>(in.imm) & 0xFFFFu;
-      // A store landing in the text segment drops overlapping cached blocks
-      // — including possibly the one being executed — so the inner loop must
-      // end before touching `block` again.
-      bool invalidated = false;
       auto wr = [this](u8 reg, Word value) {
         if (reg != 0) regs_[reg] = value;
       };
@@ -149,11 +159,51 @@ FastEngine::Stop FastEngine::run_until(u64 target) {
 
       ++executed_;
       regs_[0] = 0;
-      pc = next;
-      if (invalidated) break;  // `block` may be gone; re-enter via the cache
+      if (invalidated) {
+        // `block` may be gone; re-enter via the cache.
+        pc_ = next;
+        break;
+      }
       ++i;
+      // Superblock continuity needs no PC probe: decode terminates a block
+      // at every instruction whose successor is dynamic (conditional
+      // branches, jr/jalr, syscalls), so every non-terminator entry was
+      // decoded at exactly the PC execution goes to — the straight-line
+      // neighbor or a followed j/jal target (block->pcs[i] == next by
+      // construction; the differential suites pin this).
+      if (i < count) {
+        pc = next;
+        continue;
+      }
+      pc_ = next;
+      break;
     }
-    pc_ = pc;
+
+    // Block transition.  pc_ holds the next leader.
+    if (invalidated || !threaded) {
+      block = nullptr;  // re-enter via the cache (and re-check the range)
+      continue;
+    }
+    if (pc_ == block->start) continue;  // hot loop back-edge: same block
+    const u64 epoch = cache_->epoch();
+    if (block->link_epoch[0] == epoch && block->link_pc[0] == pc_) {
+      block = block->link[0];
+      continue;
+    }
+    if (block->link_epoch[1] == epoch && block->link_pc[1] == pc_) {
+      block = block->link[1];
+      continue;
+    }
+    // Cold transition: look the successor up once and patch a link so the
+    // next time this block exits to the same leader stays off the hash map.
+    if (text_hi_ != 0 && (pc_ < text_lo_ || pc_ >= text_hi_)) return Stop::kIllegal;
+    const DecodedBlock* succ = cache_->lookup(pc_);
+    const u8 slot = block->link_victim;
+    block->link_pc[slot] = pc_;
+    block->link[slot] = succ;
+    block->link_epoch[slot] = epoch;
+    block->link_victim = slot ^ 1;
+    block = succ;
   }
   return Stop::kBoundary;
 }

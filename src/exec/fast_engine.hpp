@@ -32,7 +32,11 @@ class FastEngine {
   /// illegal (mirroring the core's execute protection); stores inside it
   /// invalidate the block cache.
   FastEngine(mem::MainMemory& memory, BlockCache& cache, Addr text_lo, Addr text_hi)
-      : memory_(&memory), cache_(&cache), text_lo_(text_lo), text_hi_(text_hi) {}
+      : memory_(&memory), cache_(&cache), text_lo_(text_lo), text_hi_(text_hi) {
+    // Superblock formation must know where text ends: chained decode never
+    // follows a jump outside the executable range.
+    cache_->set_text_range(text_lo, text_hi);
+  }
 
   enum class Stop {
     kBoundary,  ///< executed() reached the requested target

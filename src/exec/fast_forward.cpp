@@ -7,23 +7,44 @@
 namespace rse::exec {
 
 FastForwardController::BoundaryMap FastForwardController::map_boundaries(
-    os::GuestOs& guest, std::vector<Cycle> cycles) {
+    os::GuestOs& guest, std::vector<Cycle> cycles, SyscallSchedule* schedule) {
   std::sort(cycles.begin(), cycles.end());
   cycles.erase(std::unique(cycles.begin(), cycles.end()), cycles.end());
 
-  BoundaryMap map;
   os::Machine& machine = guest.machine();
+  cpu::Core& core = machine.core();
+  if (schedule != nullptr) {
+    // The hook fires before commit advances functional_pos() past the
+    // syscall, so the key equals FastEngine::executed() at the moment a
+    // fast prefix stops ON the same syscall.
+    core.set_commit_trace([&core, schedule](Cycle now, Addr, const isa::Instr& instr, ThreadId) {
+      if (instr.op == isa::Op::kSyscall) (*schedule)[core.functional_pos()] = now;
+    });
+  }
+
+  BoundaryMap map;
   for (const Cycle cycle : cycles) {
     while (!guest.finished() && machine.now() < cycle) guest.step();
     if (guest.finished()) break;  // later cycles never apply a fault either
-    map[cycle] = machine.core().functional_pos();
+    Boundary boundary;
+    boundary.position = core.functional_pos();
+    boundary.inflight = core.inflight_ranges();
+    map.emplace(cycle, std::move(boundary));
   }
+  if (schedule != nullptr) core.set_commit_trace(nullptr);
   return map;
 }
 
 bool FastForwardController::fast_forward_to(os::GuestOs& guest, const isa::Program& program,
-                                            u64 position, Cycle inject_cycle) {
-  FastSession session(guest);  // strict syscall whitelist
+                                            u64 position, Cycle inject_cycle,
+                                            const SyscallSchedule* schedule,
+                                            FastSession::BailReason* bail) {
+  FastSessionConfig config;  // strict syscall whitelist
+  if (schedule != nullptr) {
+    config.resume = true;
+    config.syscall_schedule = schedule;
+  }
+  FastSession session(guest, config);
   session.seed_leaders(program);
   FastSession::Status status;
   try {
@@ -32,9 +53,13 @@ bool FastForwardController::fast_forward_to(os::GuestOs& guest, const isa::Progr
     // A host-side trap in the fault-free prefix cannot happen on the
     // classic path (the golden run completed); treat it as a bail so the
     // classic rerun decides.
+    if (bail != nullptr) *bail = FastSession::BailReason::kIllegal;
     return false;
   }
-  if (status != FastSession::Status::kBoundary || session.executed() != position) return false;
+  if (status != FastSession::Status::kBoundary || session.executed() != position) {
+    if (bail != nullptr) *bail = session.bail_reason();
+    return false;
+  }
   session.transplant(inject_cycle);
   return true;
 }

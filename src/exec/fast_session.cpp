@@ -1,5 +1,7 @@
 #include "exec/fast_session.hpp"
 
+#include <algorithm>
+
 #include "analysis/cfg.hpp"
 
 namespace rse::exec {
@@ -11,6 +13,7 @@ FastSession::FastSession(os::GuestOs& guest, FastSessionConfig config)
       cache_(machine_->memory()),
       engine_(machine_->memory(), cache_, machine_->core().text_lo(),
               machine_->core().text_hi()) {
+  cache_.set_chaining(config_.superblocks);
   const cpu::ThreadContext ctx = machine_->core().context();
   engine_.set_regs(ctx.regs);
   engine_.set_pc(ctx.pc);
@@ -23,7 +26,7 @@ void FastSession::seed_leaders(const isa::Program& program) {
 }
 
 Cycle FastSession::virtual_now() const {
-  return start_now_ + engine_.executed() + stall_accum_;
+  return std::max(start_now_ + engine_.executed() + stall_accum_, floor_);
 }
 
 bool FastSession::syscall_allowed(u32 number) const {
@@ -48,6 +51,25 @@ bool FastSession::syscall_allowed(u32 number) const {
   }
 }
 
+bool FastSession::resume_eligible(u32 number) const {
+  if (!config_.resume) return false;
+  // Crash recovery replays DDT SavePage history the fast prefix never
+  // recorded, and re-randomization relocates segments under the block
+  // cache's feet — both stay classic-only.
+  if (static_cast<os::Sys>(number) == os::Sys::kCrash) return false;
+  if (guest_->config().rerandomize_interval > 0) return false;
+  // A strict excursion must run at exactly the classic commit cycle, so it
+  // needs a schedule entry for this stream position; relaxed excursions run
+  // at virtual time (the relaxed consumers accept timing divergence).
+  if (!config_.relaxed) {
+    if (config_.syscall_schedule == nullptr) return false;
+    if (config_.syscall_schedule->find(engine_.executed()) == config_.syscall_schedule->end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 FastSession::Status FastSession::execute_syscall() {
   cpu::Core& core = machine_->core();
   // Mirror the core's commit semantics: the PC moves past the syscall at
@@ -67,9 +89,103 @@ FastSession::Status FastSession::execute_syscall() {
 
   if (guest_->finished()) return Status::kExited;
   if (result.suspend) {
-    // A whitelisted syscall never blocks a single-threaded guest; treat a
-    // suspend as a bail so the cycle-accurate machine takes over cleanly.
-    bail_ = BailReason::kSyscall;
+    // A whitelisted syscall never blocks a single-threaded guest; if one
+    // suspends anyway, report it as what it is — a post-execution suspend,
+    // not an un-executed syscall (the state is past the instruction).
+    bail_ = BailReason::kSuspend;
+    return Status::kBail;
+  }
+  return Status::kBoundary;
+}
+
+FastSession::Status FastSession::execute_syscall_excursion(u64 target) {
+  cpu::Core& core = machine_->core();
+  Cycle when = 0;
+  if (config_.syscall_schedule != nullptr) {
+    const auto it = config_.syscall_schedule->find(engine_.executed());
+    if (it == config_.syscall_schedule->end()) {
+      // resume_eligible() guarantees an entry in strict mode; a relaxed
+      // session may carry a schedule too and still fall through to virtual
+      // time when a position is missing.
+      when = std::max<Cycle>(virtual_now(), machine_->now() + 1);
+    } else {
+      when = it->second;
+    }
+  } else {
+    when = std::max<Cycle>(virtual_now(), machine_->now() + 1);
+  }
+  // The classic run committed this syscall at cycle `when`, and every
+  // handler decision may depend on that time (clock values, IO wake-ups,
+  // scheduler quanta).  Warp to `when - 1` so that, if the handler
+  // suspends, the first machine step in resume_from_suspension() lands on
+  // `when` itself and replays the machine/framework/scheduler ticks of the
+  // commit cycle — which the direct handler call below skips.
+  machine_->warp_to(when - 1);
+
+  engine_.set_pc(engine_.pc() + 4);
+  for (u8 r = 1; r < isa::kNumRegs; ++r) core.set_reg(r, engine_.reg(r));
+  core.set_pc(engine_.pc());
+  if (probe_) probe_(engine_.pc(), engine_.regs());
+
+  const cpu::OsClient::SyscallResult result = guest_->on_syscall(when);
+  stall_accum_ += result.stall;
+  engine_.credit_instruction();
+
+  if (guest_->finished()) return Status::kExited;
+
+  if (result.suspend) {
+    // Classic commit would stop the core here (`running_ = false`, nothing
+    // flushed); replicate that before handing control to the scheduler.
+    core.suspend();
+    if (engine_.executed() == target) {
+      // The boundary sits inside the suspension, between this syscall's
+      // commit and the scheduler's wake-up.  Stop without stepping: the
+      // caller's transplant leaves the core suspended (set_context does not
+      // resume), and the wake-up replays at its absolute classic cycle when
+      // the caller steps the machine.
+      const cpu::ThreadContext ctx = core.context();
+      engine_.set_regs(ctx.regs);
+      engine_.set_pc(ctx.pc);
+      suspended_ = true;
+      return Status::kBoundary;
+    }
+    return resume_from_suspension();
+  }
+
+  const cpu::ThreadContext ctx = core.context();
+  engine_.set_regs(ctx.regs);
+  engine_.set_pc(ctx.pc);
+  if (guest_->live_thread_count() > 1) {
+    // Quantum preemption becomes possible the moment a second thread is
+    // live, and the fast engine cannot reproduce where it would land.
+    bail_ = BailReason::kSuspend;
+    return Status::kBail;
+  }
+  return Status::kBoundary;
+}
+
+FastSession::Status FastSession::resume_from_suspension() {
+  cpu::Core& core = machine_->core();
+  suspended_ = false;
+  // Replay the suspension on the real scheduler: IO wake-ups and thread
+  // switches use absolute cycle arithmetic, so stepping from the commit
+  // cycle reproduces the classic run's wake-up exactly.
+  const Cycle limit = guest_->config().run_limit;
+  while (!guest_->finished() && !core.running() && machine_->now() < limit) guest_->step();
+  if (guest_->finished()) return Status::kExited;
+  if (!core.running()) {
+    bail_ = BailReason::kSuspend;  // suspension unresolved within the run limit
+    return Status::kBail;
+  }
+  floor_ = machine_->now();
+
+  const cpu::ThreadContext ctx = core.context();
+  engine_.set_regs(ctx.regs);
+  engine_.set_pc(ctx.pc);
+  if (guest_->live_thread_count() > 1) {
+    // More than one live thread: the next preemption point depends on
+    // cycle-accurate timing the fast engine does not model.
+    bail_ = BailReason::kSuspend;
     return Status::kBail;
   }
   return Status::kBoundary;
@@ -77,6 +193,12 @@ FastSession::Status FastSession::execute_syscall() {
 
 FastSession::Status FastSession::run_until(u64 target_instructions) {
   bail_ = BailReason::kNone;
+  if (suspended_) {
+    // A previous run_until stopped mid-suspension and the caller continued
+    // fast instead of transplanting: finish the suspension first.
+    const Status status = resume_from_suspension();
+    if (status != Status::kBoundary) return status;
+  }
   while (engine_.executed() < target_instructions) {
     const FastEngine::Stop stop = engine_.run_until(target_instructions);
     if (stop == FastEngine::Stop::kBoundary) break;
@@ -84,13 +206,19 @@ FastSession::Status FastSession::run_until(u64 target_instructions) {
       bail_ = BailReason::kIllegal;
       return Status::kBail;
     }
-    // Stopped ON a syscall.  Delegate if whitelisted, otherwise bail with
-    // the PC still pointing at it.
-    if (!syscall_allowed(engine_.reg(isa::kV0))) {
+    // Stopped ON a syscall.  Delegate if whitelisted, run it as an
+    // excursion if resumable, otherwise bail with the PC still pointing at
+    // it.
+    const u32 number = engine_.reg(isa::kV0);
+    Status status;
+    if (syscall_allowed(number)) {
+      status = execute_syscall();
+    } else if (resume_eligible(number)) {
+      status = execute_syscall_excursion(target_instructions);
+    } else {
       bail_ = BailReason::kSyscall;
       return Status::kBail;
     }
-    const Status status = execute_syscall();
     if (status != Status::kBoundary) return status;
   }
   return Status::kBoundary;

@@ -4,6 +4,13 @@
 // output/brk/rng state stay exactly on the classic trajectory), and
 // transplants the resulting state back into cpu::Core.
 //
+// With `resume` enabled the session additionally survives non-whitelisted
+// syscalls: it runs the handler on the real guest OS as an *excursion* —
+// in strict mode at exactly the cycle the classic run committed the syscall
+// (per the recorded syscall schedule), replaying any suspension on the real
+// scheduler — then re-lifts the context and continues fast.  Threaded and
+// network prefixes become fast-forwardable this way.
+//
 // FastForwardController is the campaign-facing piece: it maps injection
 // cycles to functional-stream positions with one instrumented golden replay
 // (cpu::Core::functional_pos()), fast-forwards each eligible run to its
@@ -13,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <utility>
 
 #include "exec/block_cache.hpp"
@@ -28,6 +36,23 @@ struct FastSessionConfig {
   /// clock — clock then reads *virtual* time (instructions + syscall costs),
   /// a documented divergence from the cycle-accurate run.
   bool relaxed = false;
+
+  /// Bail-and-resume: execute non-whitelisted syscalls on the cycle-accurate
+  /// machine (an excursion) and continue fast afterwards, instead of
+  /// abandoning fast mode at the first one.  Strict mode additionally
+  /// requires `syscall_schedule` so every excursion runs at exactly its
+  /// classic commit cycle; without a schedule entry the session still bails.
+  bool resume = false;
+
+  /// Syscall stream position -> classic commit cycle, recorded by
+  /// FastForwardController::map_boundaries during the instrumented replay.
+  /// Not owned; must outlive the session.
+  const std::map<u64, Cycle>* syscall_schedule = nullptr;
+
+  /// Superblock chaining in the session's block cache (BlockCache::
+  /// set_chaining).  Architecturally invisible — dispatch shape only; the
+  /// differential suites run both settings.
+  bool superblocks = true;
 };
 
 class FastSession {
@@ -38,21 +63,36 @@ class FastSession {
     kBail,      ///< hit work only the cycle-accurate core can run
   };
 
-  enum class BailReason { kNone, kSyscall, kIllegal };
+  enum class BailReason {
+    kNone,
+    kSyscall,  ///< PC rests ON an un-executed, non-resumable syscall
+    kIllegal,  ///< PC rests on an undecodable word (or outside text)
+    kSuspend,  ///< a syscall *was* executed and suspended the guest in a way
+               ///< fast mode cannot continue from (multithreaded wake-up,
+               ///< suspension unresolved within the run limit)
+  };
 
   /// The guest must be load()ed and single-threaded-so-far; the session
   /// starts from the core's current architectural context.
   explicit FastSession(os::GuestOs& guest, FastSessionConfig config = {});
 
   /// Fast-execute until `target` total instructions (counted exactly like
-  /// cpu::Core::functional_pos()), the process exits, or a bail.  On kBail
-  /// the state rests ON the un-executed syscall/illegal word, so a
-  /// transplant hands the cycle-accurate core a consistent context.
+  /// cpu::Core::functional_pos()), the process exits, or a bail.  On a
+  /// kSyscall/kIllegal bail the state rests ON the un-executed instruction;
+  /// on a kSuspend bail the syscall has executed and the lifted context is
+  /// the thread the scheduler left on the core — either way a transplant
+  /// hands the cycle-accurate core a consistent context.
   Status run_until(u64 target_instructions);
 
   u64 executed() const { return engine_.executed(); }
   BailReason bail_reason() const { return bail_; }
-  /// Virtual time: cycles at session start + instructions + syscall stalls.
+  /// True when the boundary landed inside a suspension (between a syscall's
+  /// commit and the scheduler's wake-up).  transplant() then leaves the core
+  /// suspended; the wake-up replays at its absolute classic cycle once the
+  /// caller steps the machine.
+  bool suspended() const { return suspended_; }
+  /// Virtual time: cycles at session start + instructions + syscall stalls,
+  /// floored at the machine clock (excursions advance the real clock).
   Cycle virtual_now() const;
 
   const FastEngine& engine() const { return engine_; }
@@ -80,7 +120,10 @@ class FastSession {
 
  private:
   bool syscall_allowed(u32 number) const;
+  bool resume_eligible(u32 number) const;
   Status execute_syscall();
+  Status execute_syscall_excursion(u64 target);
+  Status resume_from_suspension();
 
   os::GuestOs* guest_;
   os::Machine* machine_;
@@ -89,6 +132,8 @@ class FastSession {
   FastEngine engine_;
   Cycle start_now_ = 0;
   Cycle stall_accum_ = 0;
+  Cycle floor_ = 0;  // machine clock after the last replayed suspension
+  bool suspended_ = false;
   BailReason bail_ = BailReason::kNone;
   SyscallProbe probe_;
 };

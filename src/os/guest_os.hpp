@@ -173,6 +173,7 @@ class GuestOs : public cpu::OsClient {
 
   // ---- introspection ----
   Machine& machine() { return *machine_; }
+  const OsConfig& config() const { return config_; }
   SimNetwork& network() { return network_; }
   const OsStats& stats() const { return stats_; }
   const CheckpointStore& checkpoints() const { return checkpoints_; }

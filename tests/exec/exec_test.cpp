@@ -5,6 +5,7 @@
 // baseline's equivalence to the cycle-accurate one.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,7 @@ TEST(BlockCache, RegisteredLeaderCutsStraightLineCode) {
   mem::MainMemory memory;
   write_program(memory, program);
   exec::BlockCache cache(memory);
+  cache.set_chaining(false);  // per-block shape: chaining crosses leaders
   cache.add_leader(program.symbol("mid"));
 
   const exec::DecodedBlock* head = cache.lookup(program.entry);
@@ -115,9 +117,157 @@ TEST(BlockCache, BlockLengthIsCapped) {
   mem::MainMemory memory;
   write_program(memory, program);
   exec::BlockCache cache(memory);
+  cache.set_chaining(false);  // superblocks use the larger kMaxSuperblockInstrs
   const exec::DecodedBlock* block = cache.lookup(program.entry);
   ASSERT_NE(block, nullptr);
   EXPECT_EQ(block->instrs.size(), exec::BlockCache::kMaxBlockInstrs);
+}
+
+// ---------------------------------------------------------------- superblocks
+
+TEST(BlockCache, SuperblockChainsAcrossUnconditionalJumps) {
+  const isa::Program program = isa::assemble(
+      ".text\nmain:\n"
+      "  addi t0, r0, 1\n"
+      "  j mid\n"
+      "pad:\n"
+      "  addi t3, r0, 9\n"
+      "  syscall\n"
+      "mid:\n"
+      "  addi t1, r0, 2\n"
+      "  j tail\n"
+      "tail:\n"
+      "  addi t2, r0, 3\n"
+      "  syscall\n");
+  mem::MainMemory memory;
+  write_program(memory, program);
+  exec::BlockCache cache(memory);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+  cache.set_text_range(program.text_base, text_end);
+
+  const exec::DecodedBlock* block = cache.lookup(program.entry);
+  ASSERT_NE(block, nullptr);
+  EXPECT_TRUE(block->chained);
+  // addi, j, addi, j, addi, syscall — both jumps chained through.
+  ASSERT_EQ(block->instrs.size(), 6u);
+  EXPECT_EQ(block->pcs[2], program.symbol("mid"));
+  EXPECT_EQ(block->pcs[4], program.symbol("tail"));
+  EXPECT_EQ(block->instrs[5].op, isa::Op::kSyscall);
+  EXPECT_EQ(cache.stats().superblocks, 1u);
+}
+
+TEST(BlockCache, SuperblockCrossesRegisteredLeaders) {
+  const isa::Program program = isa::assemble(
+      ".text\nmain:\n"
+      "  addi t0, r0, 1\n"
+      "  addi t1, r0, 2\n"
+      "mid:\n"
+      "  addi t2, r0, 3\n"
+      "  syscall\n");
+  mem::MainMemory memory;
+  write_program(memory, program);
+  exec::BlockCache cache(memory);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+  cache.set_text_range(program.text_base, text_end);
+  cache.add_leader(program.symbol("mid"));
+
+  const exec::DecodedBlock* head = cache.lookup(program.entry);
+  ASSERT_NE(head, nullptr);
+  EXPECT_TRUE(head->chained);
+  EXPECT_EQ(head->instrs.size(), 4u);  // runs straight through the leader
+}
+
+TEST(BlockCache, SuperblockStopsOnBackEdgeLoop) {
+  // j back to an already-visited pc must terminate the chain, not spin.
+  const isa::Program program = isa::assemble(
+      ".text\nmain:\n"
+      "  addi t0, r0, 1\n"
+      "  j main\n");
+  mem::MainMemory memory;
+  write_program(memory, program);
+  exec::BlockCache cache(memory);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+  cache.set_text_range(program.text_base, text_end);
+
+  const exec::DecodedBlock* block = cache.lookup(program.entry);
+  ASSERT_NE(block, nullptr);
+  ASSERT_EQ(block->instrs.size(), 2u);  // addi + j, then the revisit stops it
+  EXPECT_EQ(block->instrs[1].op, isa::Op::kJ);
+}
+
+TEST(BlockCache, SuperblockLengthIsCapped) {
+  std::string source = ".text\nmain:\n";
+  for (u32 i = 0; i < exec::BlockCache::kMaxSuperblockInstrs + 8; ++i) {
+    source += "  addi t0, t0, 1\n";
+  }
+  source += "  syscall\n";
+  const isa::Program program = isa::assemble(source);
+  mem::MainMemory memory;
+  write_program(memory, program);
+  exec::BlockCache cache(memory);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+  cache.set_text_range(program.text_base, text_end);
+  const exec::DecodedBlock* block = cache.lookup(program.entry);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->instrs.size(), exec::BlockCache::kMaxSuperblockInstrs);
+}
+
+TEST(BlockCache, StoreIntoMiddleOfSuperblockInvalidatesIt) {
+  // Satellite: page-granular invalidation must tear down superblocks that
+  // merely *span* the stored page, not just ones that start on it.  Build a
+  // superblock whose chained tail sits on a different page from its start.
+  std::string source = ".text\nmain:\n  j far\n";
+  source += "pad:\n";
+  for (u32 i = 0; i < 2048; ++i) source += "  addi t3, t3, 1\n";  // 8 KiB of padding
+  source +=
+      "far:\n"
+      "  addi t1, r0, 2\n"
+      "  syscall\n";
+  const isa::Program program = isa::assemble(source);
+  mem::MainMemory memory;
+  write_program(memory, program);
+  exec::BlockCache cache(memory);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+  cache.set_text_range(program.text_base, text_end);
+
+  const exec::DecodedBlock* block = cache.lookup(program.entry);
+  ASSERT_NE(block, nullptr);
+  ASSERT_TRUE(block->chained);
+  const Addr far_pc = program.symbol("far");
+  ASSERT_NE(mem::page_of(far_pc), mem::page_of(program.entry));  // spans pages
+  EXPECT_EQ(cache.blocks_cached(), 1u);
+
+  // A store into the chained tail's page — far from the block's start page —
+  // must drop the superblock.
+  cache.invalidate(far_pc + 4, 4);
+  EXPECT_EQ(cache.blocks_cached(), 0u);
+
+  // Per-block mode never had the tail in the head block, so the same store
+  // leaves the head block alone.
+  cache.set_chaining(false);
+  ASSERT_NE(cache.lookup(program.entry), nullptr);
+  EXPECT_EQ(cache.blocks_cached(), 1u);
+  cache.invalidate(far_pc + 4, 4);
+  EXPECT_EQ(cache.blocks_cached(), 1u);
+}
+
+TEST(BlockCache, SetChainingTogglesClearTheCache) {
+  const isa::Program program = isa::assemble(
+      ".text\nmain:\n"
+      "  addi t0, r0, 1\n"
+      "  syscall\n");
+  mem::MainMemory memory;
+  write_program(memory, program);
+  exec::BlockCache cache(memory);
+  ASSERT_NE(cache.lookup(program.entry), nullptr);
+  EXPECT_EQ(cache.blocks_cached(), 1u);
+  cache.set_chaining(false);  // shapes differ per mode: toggle must clear
+  EXPECT_EQ(cache.blocks_cached(), 0u);
+  cache.set_chaining(false);  // no-op: already off
+  ASSERT_NE(cache.lookup(program.entry), nullptr);
+  EXPECT_EQ(cache.blocks_cached(), 1u);
+  cache.set_chaining(true);
+  EXPECT_EQ(cache.blocks_cached(), 0u);
 }
 
 // ---------------------------------------------------------------- FastEngine
@@ -190,6 +340,83 @@ TEST(FastEngine, SelfModifyingStoreExecutesThePatchedWord) {
   EXPECT_GE(cache.stats().invalidations, 1u);
 }
 
+TEST(FastEngine, SuperblockDispatchMatchesPerBlockDispatch) {
+  // The same jump-threaded program must produce identical architectural
+  // results whether dispatch runs chained superblocks or per-basic-block.
+  const std::string source =
+      ".text\nmain:\n"
+      "  addi t0, r0, 5\n"
+      "loop:\n"
+      "  addi t1, t1, 3\n"
+      "  j step\n"
+      "step:\n"
+      "  addi t0, t0, -1\n"
+      "  bne t0, r0, loop\n"
+      "  syscall\n";
+  const isa::Program program = isa::assemble(source);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+
+  u64 chained_executed = 0;
+  std::array<Word, isa::kNumRegs> chained_regs{};
+  {
+    mem::MainMemory memory;
+    write_program(memory, program);
+    exec::BlockCache cache(memory);
+    exec::FastEngine engine(memory, cache, program.text_base, text_end);
+    engine.set_pc(program.entry);
+    ASSERT_EQ(engine.run_until(~0ull), exec::FastEngine::Stop::kSyscall);
+    EXPECT_GE(cache.stats().superblocks, 1u);
+    chained_executed = engine.executed();
+    chained_regs = engine.regs();
+  }
+  {
+    mem::MainMemory memory;
+    write_program(memory, program);
+    exec::BlockCache cache(memory);
+    cache.set_chaining(false);
+    exec::FastEngine engine(memory, cache, program.text_base, text_end);
+    engine.set_pc(program.entry);
+    ASSERT_EQ(engine.run_until(~0ull), exec::FastEngine::Stop::kSyscall);
+    EXPECT_EQ(cache.stats().superblocks, 0u);
+    EXPECT_EQ(engine.executed(), chained_executed);
+    EXPECT_EQ(engine.regs(), chained_regs);
+  }
+}
+
+TEST(FastEngine, SelfModifyingStoreIntoChainedSuperblockTail) {
+  // Satellite sweep, unit flavor: a store into the *middle* of a running
+  // superblock (the chained tail, reached through a j) must invalidate the
+  // block and execute the patched word — in both dispatch modes.
+  const std::string source =
+      ".text\nmain:\n"
+      "  la v1, donor\n"
+      "  lw v0, 0(v1)\n"
+      "  la t9, patch\n"
+      "  sw v0, 0(t9)\n"
+      "  j tail\n"
+      "tail:\n"
+      "  addi s0, s0, 1\n"
+      "patch:\n"
+      "  addi s1, s1, 1\n"
+      "  syscall\n"
+      "donor:\n"
+      "  addi s1, s1, 7\n";
+  const isa::Program program = isa::assemble(source);
+  const Addr text_end = program.text_base + static_cast<Addr>(program.text.size() * 4);
+  for (const bool chaining : {true, false}) {
+    mem::MainMemory memory;
+    write_program(memory, program);
+    exec::BlockCache cache(memory);
+    cache.set_chaining(chaining);
+    exec::FastEngine engine(memory, cache, program.text_base, text_end);
+    engine.set_pc(program.entry);
+    ASSERT_EQ(engine.run_until(~0ull), exec::FastEngine::Stop::kSyscall);
+    EXPECT_EQ(engine.reg(16), 1u) << "chaining=" << chaining;  // s0: tail ran
+    EXPECT_EQ(engine.reg(17), 7u) << "chaining=" << chaining;  // s1: donor word
+    EXPECT_GE(cache.stats().invalidations, 1u);
+  }
+}
+
 TEST(FastEngine, StopsIllegalOutsideTextRange) {
   const isa::Program program = isa::assemble(
       ".text\nmain:\n"
@@ -250,6 +477,83 @@ TEST(FastSession, StrictModeBailsOnClockRelaxedModeFinishes) {
   EXPECT_EQ(relaxed.run_until(1000), exec::FastSession::Status::kExited);
   EXPECT_TRUE(relaxed_runner.os().finished());
   EXPECT_EQ(relaxed_runner.os().exit_code(), 0);
+}
+
+TEST(FastSession, ResumeRunsThroughYieldAndFinishesFast) {
+  // Bail-and-resume: a yield suspends the only thread; the session executes
+  // it as an excursion on the cycle-accurate machine, replays the
+  // suspension on the real scheduler, and continues fast to completion.
+  const std::string source =
+      ".text\nmain:\n"
+      "  li v0, 8\n  syscall\n"  // sys_yield: suspends, scheduler resumes us
+      "  li a0, 7\n  li v0, 2\n  syscall\n"  // print_int 7
+      "  li a0, 0\n  li v0, 1\n  syscall\n";
+  SimRunner runner;
+  runner.load_source(source);
+  exec::FastSessionConfig config;
+  config.relaxed = true;  // relaxed excursions run at virtual time
+  config.resume = true;
+  exec::FastSession session(runner.os(), config);
+  session.seed_leaders(runner.program());
+  EXPECT_EQ(session.run_until(1000), exec::FastSession::Status::kExited);
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().output(), "7");
+  // Without resume, the same prefix bails with the PC still ON the yield.
+  SimRunner bail_runner;
+  bail_runner.load_source(source);
+  exec::FastSession no_resume(bail_runner.os());
+  no_resume.seed_leaders(bail_runner.program());
+  EXPECT_EQ(no_resume.run_until(1000), exec::FastSession::Status::kBail);
+  EXPECT_EQ(no_resume.bail_reason(), exec::FastSession::BailReason::kSyscall);
+}
+
+TEST(FastSession, SecondLiveThreadBailsAsSuspendNotSyscall) {
+  // Regression (bail-reason split): once thread_create has *executed*, the
+  // session is past the instruction and must report kSuspend — reporting it
+  // as kSyscall would claim an un-executed syscall sits at the PC.
+  const std::string source =
+      ".text\nmain:\n"
+      "  la a0, worker\n"
+      "  li v0, 6\n  syscall\n"  // thread_create(worker) -> v0 = worker id
+      "  add a0, v0, r0\n  li v0, 9\n  syscall\n"  // join(worker)
+      "  li a0, 0\n  li v0, 1\n  syscall\n"
+      "worker:\n"
+      "  li v0, 7\n  syscall\n";  // thread_exit
+  SimRunner runner;
+  runner.load_source(source);
+  exec::FastSessionConfig config;
+  config.relaxed = true;
+  config.resume = true;
+  exec::FastSession session(runner.os(), config);
+  session.seed_leaders(runner.program());
+  const u64 before = session.executed();
+  EXPECT_EQ(session.run_until(1000), exec::FastSession::Status::kBail);
+  EXPECT_EQ(session.bail_reason(), exec::FastSession::BailReason::kSuspend);
+  EXPECT_GT(session.executed(), before);  // the syscall itself was credited
+  // Bail state is consistent: transplanting and running classically from
+  // here finishes the whole two-thread program.
+  session.transplant(session.virtual_now());
+  runner.run();
+  EXPECT_TRUE(runner.os().finished());
+  EXPECT_EQ(runner.os().exit_code(), 0);
+}
+
+TEST(FastSession, StrictResumeRequiresScheduleEntry) {
+  // A strict session with resume armed but no schedule entry for the
+  // syscall's stream position must bail kSyscall *before* executing it —
+  // excursions without a classic commit cycle would run at the wrong time.
+  const std::string source =
+      ".text\nmain:\n"
+      "  li v0, 8\n  syscall\n"  // yield — not whitelisted in strict mode
+      "  li a0, 0\n  li v0, 1\n  syscall\n";
+  SimRunner runner;
+  runner.load_source(source);
+  exec::FastSessionConfig config;
+  config.resume = true;  // strict: needs syscall_schedule, which is null
+  exec::FastSession session(runner.os(), config);
+  session.seed_leaders(runner.program());
+  EXPECT_EQ(session.run_until(1000), exec::FastSession::Status::kBail);
+  EXPECT_EQ(session.bail_reason(), exec::FastSession::BailReason::kSyscall);
 }
 
 // -------------------------------------------------------------- fast goldens

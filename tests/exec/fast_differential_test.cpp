@@ -77,14 +77,17 @@ RunTrace run_classic(const std::string& source, bool framework = false) {
   return trace;
 }
 
-RunTrace run_fast(const std::string& source, bool framework = false) {
+RunTrace run_fast(const std::string& source, bool framework = false, bool superblocks = true) {
   os::MachineConfig config;
   config.framework_present = framework;
   SimRunner runner(config);
   runner.load_source(source);
   RunTrace trace;
 
-  exec::FastSession session(runner.os(), exec::FastSessionConfig{/*relaxed=*/true});
+  exec::FastSessionConfig session_config;
+  session_config.relaxed = true;
+  session_config.superblocks = superblocks;
+  exec::FastSession session(runner.os(), session_config);
   session.seed_leaders(runner.program());
   session.set_syscall_probe([&trace](Addr pc, const std::array<Word, isa::kNumRegs>& regs) {
     trace.boundaries.push_back(Snapshot{pc, regs});
@@ -164,22 +167,70 @@ TEST_P(FastDifferentialCallHeavy, StateMatchesAtEveryBoundaryAndExit) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialCallHeavy, ::testing::Range<u64>(5200, 5250));
 
-class FastDifferentialSelfModifying : public ::testing::TestWithParam<u64> {};
+class FastDifferentialSelfModifying
+    : public ::testing::TestWithParam<std::tuple<u64, bool>> {};
 
 TEST_P(FastDifferentialSelfModifying, PatchedTextMatchesAtEveryBoundaryAndExit) {
   // Self-modifying stores to text: the generator serializes (syscall) and
   // pads past the fetch buffer between each patch and its site, so the OoO
   // core and the functional fast path must observe identical instructions.
+  // Runs in both dispatch modes — with superblock chaining the patch site
+  // usually sits in the *middle* of a chained superblock, so the sweep pins
+  // spanning-page invalidation tearing the whole superblock down.
   RandomProgramOptions options;
   options.with_memory = true;
   options.with_loops = true;
   options.self_modifying = true;
   options.print_progress = true;
-  expect_fast_matches_classic(generate_random_program(GetParam(), options));
+  const auto [seed, superblocks] = GetParam();
+  const std::string source = generate_random_program(seed, options);
+  expect_traces_equal(run_fast(source, /*framework=*/false, superblocks), run_classic(source));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialSelfModifying,
-                         ::testing::Range<u64>(5300, 5350));
+                         ::testing::Combine(::testing::Range<u64>(5300, 5350),
+                                            ::testing::Bool()));
+
+class FastDifferentialYielding : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FastDifferentialYielding, RelaxedResumeMatchesAtEveryBoundaryAndExit) {
+  // Bail-and-resume prefixes: yields suspend the single thread mid-program.
+  // A relaxed resumable session executes each yield as an excursion on the
+  // real scheduler and continues fast; every boundary snapshot and the
+  // final state must still match the cycle-accurate run.
+  RandomProgramOptions options;
+  options.with_memory = true;
+  options.with_loops = true;
+  options.yield_points = true;
+  options.print_progress = true;
+  const std::string source = generate_random_program(GetParam(), options);
+
+  SimRunner runner;
+  runner.load_source(source);
+  RunTrace trace;
+  exec::FastSessionConfig config;
+  config.relaxed = true;
+  config.resume = true;
+  exec::FastSession session(runner.os(), config);
+  session.seed_leaders(runner.program());
+  session.set_syscall_probe([&trace](Addr pc, const std::array<Word, isa::kNumRegs>& regs) {
+    trace.boundaries.push_back(Snapshot{pc, regs});
+  });
+  attach_commit_probe(runner, &trace.boundaries);
+  const exec::FastSession::Status status = session.run_until(kRunLimit);
+  if (status == exec::FastSession::Status::kBail) {
+    session.transplant(session.virtual_now());
+    runner.run();
+  }
+  trace.finished = runner.os().finished();
+  trace.exit_code = runner.os().exit_code();
+  trace.output = runner.os().output();
+  trace.arena = arena_bytes(runner);
+
+  expect_traces_equal(trace, run_classic(source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastDifferentialYielding, ::testing::Range<u64>(5500, 5550));
 
 class FastDifferentialInstrumented : public ::testing::TestWithParam<u64> {};
 

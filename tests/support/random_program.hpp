@@ -48,6 +48,11 @@ struct RandomProgramOptions {
   /// one is an observable synchronization point: the differential harness
   /// snapshots the full register file there in both execution modes.
   bool print_progress = false;
+  /// Emit sys_yield at random block boundaries.  Yield is outside every
+  /// fast-mode whitelist and suspends the calling thread, so these programs
+  /// exercise bail-and-resume: a resumable session must execute the yield as
+  /// a cycle-accurate excursion and continue fast afterwards.
+  bool yield_points = false;
   /// Emit self-modifying text patches: a block copies a donor instruction
   /// word over a later patch site, then crosses a serializing syscall plus a
   /// padding run longer than the core's fetch buffer before executing the
@@ -123,6 +128,12 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     if (options.print_progress && rng.next_below(3) == 0) {
       // Observable sync point: print a working register's current value.
       s << "  move a0, " << reg() << "\n  li v0, 2\n  syscall\n";
+    }
+    if (options.yield_points && rng.next_below(3) == 0) {
+      // Suspension point: the single thread yields and the scheduler
+      // immediately re-selects it.  Classic runs replay the suspension on
+      // the real scheduler; fast prefixes need bail-and-resume to cross it.
+      s << "  li v0, 8\n  syscall\n";
     }
     if (options.self_modifying && rng.next_below(3) == 0) {
       // Patch a later site in this block with a donor instruction word, then

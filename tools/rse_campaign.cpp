@@ -199,6 +199,18 @@ int main(int argc, char** argv) {
       std::cout << campaign::deterministic_digest(report);
     } else {
       std::cout << campaign::summary_text(report);
+      if (spec.fast_forward && !merge_mode) {
+        // Fallback accounting: why runs left the fast path.  Observational
+        // only — outcomes and the digest never depend on the path taken.
+        const campaign::FastForwardStats ff = runner.fast_forward_stats();
+        std::cout << "fast-forward: " << ff.fast << " fast, " << ff.fallbacks()
+                  << " fallback (target " << ff.fallback_target << ", unmapped "
+                  << ff.fallback_unmapped << ", conflict " << ff.fallback_conflict
+                  << ", checked " << ff.fallback_checked
+                  << ", syscall " << ff.fallback_syscall << ", suspend "
+                  << ff.fallback_suspend << ", illegal " << ff.fallback_illegal
+                  << ", other " << ff.fallback_other << ")\n";
+      }
     }
     if (!shard_out.empty() && !campaign::write_shard_report(report, shard_out)) {
       std::cerr << "failed to write " << shard_out << "\n";
