@@ -80,6 +80,10 @@ std::string GoldenCache::key_of(const WorkloadSetup& setup, bool fast) {
       << setup.os.seed << '|' << setup.os.run_limit << '|' << setup.os.static_cfc << '|'
       << setup.os.static_ddt << '|' << setup.os.footprint_summaries << '|'
       << setup.os.context_depth << '|' << setup.os.field_sensitive << '|'
+      // Layout randomization moves every stack/heap/shlib address, so a
+      // randomized golden (or one under a different MLR seed — DME variants)
+      // must never alias an unrandomized one.
+      << setup.os.randomize_layout << '|' << setup.machine.mlr.seed << '|'
       << (fast ? "fast" : "cycle-accurate");
   for (isa::ModuleId id : setup.host_enables) key << '|' << static_cast<int>(id);
   return key.str();

@@ -29,6 +29,12 @@ struct GoldenRun {
   u64 os_recoveries = 0;
   u64 ddt_footprint_violations = 0;
   u32 ioq_slots = 16;  // RUU/IOQ size, bounds kConfigBit slot sampling
+  /// DME baseline (--dme campaigns; set by the runner on its local copy, not
+  /// by the cache): whether the *fault-free* variant-A trace already diverges
+  /// from the reference variant (layout-dependent timing, e.g. sys_clock),
+  /// and where.  Faulty runs classify as detected_dme only relative to this.
+  u64 dme_divergences = 0;
+  u64 dme_first_divergence = ~u64{0};
 };
 
 /// Assemble and simulate the fault-free baseline for a workload setup.

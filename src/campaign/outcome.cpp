@@ -12,6 +12,7 @@ const char* to_string(Outcome outcome) {
     case Outcome::kSdc: return "sdc";
     case Outcome::kCrash: return "crash";
     case Outcome::kHang: return "hang";
+    case Outcome::kDetectedDme: return "detected_dme";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ bool is_detected(Outcome outcome) {
     case Outcome::kDetectedDdt:
     case Outcome::kDetectedCfc:
     case Outcome::kDetectedSelfCheck:
+    case Outcome::kDetectedDme:
       return true;
     default:
       return false;
@@ -50,6 +52,18 @@ Outcome classify(const RunEvidence& run, const GoldenRun& golden) {
     return Outcome::kDetectedDdt;  // static-footprint detection (--static-ddt)
   }
   if (run.recoveries > golden.os_recoveries) return Outcome::kDetectedDdt;
+  // DME trace divergence (--dme).  The golden baseline may itself diverge
+  // (layout-dependent timing, e.g. sys_clock values): a faulty run counts as
+  // detected only when it diverges *and* the baseline did not, or when it
+  // diverges strictly earlier in the canonical stream than the baseline did.
+  // Checked before kCrash — a wild write that corrupts the trace and then
+  // crashes was caught by the trace diff first (the checker only charges
+  // mismatches observed before the crash; see TraceChecker::finish_clean).
+  if (run.dme_divergences > golden.dme_divergences ||
+      (run.dme_divergences > 0 && golden.dme_divergences > 0 &&
+       run.dme_first_divergence < golden.dme_first_divergence)) {
+    return Outcome::kDetectedDme;
+  }
   if (run.crashes > 0 || run.illegal_traps > 0 || run.exit_code == 139) return Outcome::kCrash;
   if (run.output != golden.output || run.exit_code != golden.exit_code) return Outcome::kSdc;
   return Outcome::kMasked;

@@ -26,8 +26,9 @@ enum class Outcome : u8 {
   kSdc = 5,               // silent data corruption: wrong output, no detection
   kCrash = 6,             // abnormal termination without module detection
   kHang = 7,              // exceeded the cycle budget (watchdog)
+  kDetectedDme = 8,       // canonical-trace divergence between MLR variants
 };
-inline constexpr unsigned kNumOutcomes = 8;
+inline constexpr unsigned kNumOutcomes = 9;
 
 const char* to_string(Outcome outcome);
 /// Parse an outcome name as written by to_string ("masked", "sdc", ...);
@@ -48,6 +49,11 @@ struct RunEvidence {
   u64 ddt_footprint_violations = 0;  // static-footprint detections (--static-ddt)
   u64 crashes = 0;     // thread crashes (illegal instruction, kCrash, CFC kill)
   u64 illegal_traps = 0;
+  /// DME (rse/dme.hpp, --dme campaigns): 0 or 1 — whether this run's
+  /// canonical trace diverged from the reference variant's — plus the
+  /// trace position of the first mismatched record (~0 when convergent).
+  u64 dme_divergences = 0;
+  u64 dme_first_divergence = ~u64{0};
 };
 
 Outcome classify(const RunEvidence& run, const GoldenRun& golden);

@@ -112,6 +112,9 @@ std::string summary_text(const CampaignReport& report) {
   module_row("CFC", Outcome::kDetectedCfc);
   module_row("DDT", Outcome::kDetectedDdt);
   module_row("self-check", Outcome::kDetectedSelfCheck);
+  // Always printed — zero rows included — so detect/miss golden matrices
+  // diff cleanly across campaigns with and without --dme.
+  module_row("DME", Outcome::kDetectedDme);
   modules.print(os);
 
   os << "detection coverage (detected/unmasked): " << report::fmt_pct(report.coverage())
@@ -166,6 +169,12 @@ std::string run_set_tokens(const CampaignSpec& spec) {
   if (spec.ci_threshold > 0.0) {
     tokens += "|ci-refine" + fmt_fraction(spec.ci_threshold);
   }
+  // DME changes both the executed variant (randomized layout under seed A)
+  // and the classification evidence (trace diffs against seed B), so the
+  // seed pair keys the digest.  Empty at the default (--dme off).
+  if (spec.dme) {
+    tokens += "|dme" + std::to_string(spec.dme_seed_a) + "-" + std::to_string(spec.dme_seed_b);
+  }
   return tokens;
 }
 
@@ -207,6 +216,9 @@ std::string to_json(const CampaignReport& report) {
   os << "  \"fast_forward\": " << (report.spec.fast_forward ? "true" : "false") << ",\n";
   os << "  \"snapshot_fork\": " << (report.spec.snapshot_fork ? "true" : "false") << ",\n";
   os << "  \"snapshot_buckets\": " << report.spec.snapshot_buckets << ",\n";
+  os << "  \"dme\": " << (report.spec.dme ? "true" : "false") << ",\n";
+  os << "  \"dme_seed_a\": " << report.spec.dme_seed_a << ",\n";
+  os << "  \"dme_seed_b\": " << report.spec.dme_seed_b << ",\n";
   os << "  \"shard_index\": " << report.spec.shard_index << ",\n";
   os << "  \"shard_count\": " << report.spec.shard_count << ",\n";
   os << "  \"ci_threshold\": " << fmt_fraction(report.spec.ci_threshold) << ",\n";

@@ -68,6 +68,17 @@ struct CampaignSpec {
   /// flag enters the digest or the golden-cache key.
   bool snapshot_fork = false;
   u32 snapshot_buckets = 8;
+  /// Divergent multi-version execution (rse/dme.hpp): the campaign variant
+  /// runs with layout randomization under mlr seed `dme_seed_a`, and every
+  /// run's canonical committed-instruction trace is diffed against a
+  /// fault-free reference variant recorded once under `dme_seed_b`.  Adds
+  /// the detected_dme outcome; enters the digest and (via the mutated
+  /// setup) the golden-cache key.  Incompatible with snapshot_fork — the
+  /// trace checker is a per-run streaming hook that cannot start mid-trace
+  /// from a forked snapshot.
+  bool dme = false;
+  u64 dme_seed_a = 1;
+  u64 dme_seed_b = 2;
   /// Contiguous-shard execution for multi-process scale-out: this process
   /// runs plan indices [runs*shard_index/shard_count,
   /// runs*(shard_index+1)/shard_count).  shard_count == 1 = unsharded.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "campaign/stats.hpp"
@@ -88,18 +89,22 @@ bool CampaignRunner::apply_fault(os::Machine& machine, const InjectionRecord& re
 }
 
 RunResult CampaignRunner::run_one(const WorkloadSetup& setup, const GoldenRun& golden,
-                                  const InjectionRecord& record) const {
+                                  const InjectionRecord& record,
+                                  const dme::CanonicalTrace* dme_reference) const {
   const Cycle budget = budget_for(golden, /*hang_factor=*/8.0);
-  return run_one_with_budget(setup, golden, record, budget);
+  return run_one_with_budget(setup, golden, record, budget, dme_reference);
 }
 
 namespace {
 
 /// Classify a completed (or budget-bounded) faulty run from its machine and
 /// guest state — shared by the classic and fast-forward paths, which must
-/// gather evidence identically.
+/// gather evidence identically.  A non-null `checker` contributes the DME
+/// trace-comparison evidence: a length shortfall only counts as divergence
+/// when the run itself ended cleanly (a crash or hang truncates the trace
+/// for reasons the crash/hang outcome already explains).
 void finish_run(os::Machine& machine, os::GuestOs& guest, const GoldenRun& golden,
-                bool host_trap, RunResult* result) {
+                bool host_trap, dme::TraceChecker* checker, RunResult* result) {
   RunEvidence evidence;
   evidence.finished = guest.finished() || host_trap;
   evidence.output = guest.output();
@@ -114,16 +119,34 @@ void finish_run(os::Machine& machine, os::GuestOs& guest, const GoldenRun& golde
   evidence.crashes = guest.stats().crashes + (host_trap ? 1 : 0);
   evidence.illegal_traps = guest.stats().illegal_traps;
 
+  if (checker != nullptr) {
+    if (guest.finished() && !host_trap && evidence.crashes == 0 &&
+        evidence.illegal_traps == 0) {
+      checker->finish_clean();
+    }
+    evidence.dme_divergences = checker->divergences();
+    evidence.dme_first_divergence = checker->first_divergence();
+  }
+
   result->outcome = classify(evidence, golden);
   result->cycles = machine.now();
+}
+
+/// Install a streaming trace checker on the machine's commit hook.  The
+/// checker must outlive the machine's stepping (the caller keeps it on its
+/// stack frame until finish_run).
+void install_checker(os::Machine& machine, dme::TraceChecker& checker) {
+  machine.core().set_commit_record([&checker](const cpu::Core::CommitRecord& r) {
+    checker.push(r.pc, r.raw, r.is_mem, r.is_store, r.ea, r.value);
+  });
 }
 
 }  // namespace
 
 RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
                                               const GoldenRun& golden,
-                                              const InjectionRecord& record,
-                                              Cycle budget) const {
+                                              const InjectionRecord& record, Cycle budget,
+                                              const dme::CanonicalTrace* dme_reference) const {
   os::OsConfig os_config = setup.os;
   os_config.run_limit = budget;
 
@@ -131,6 +154,12 @@ RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
   os::GuestOs guest(machine, os_config);
   guest.load(golden.program);
   for (isa::ModuleId id : setup.host_enables) guest.enable_module(id);
+
+  std::optional<dme::TraceChecker> checker;
+  if (dme_reference != nullptr) {
+    checker.emplace(dme_reference, dme::RegionMap::of(guest));
+    install_checker(machine, *checker);
+  }
 
   RunResult result;
   result.record = record;
@@ -151,7 +180,7 @@ RunResult CampaignRunner::run_one_with_budget(const WorkloadSetup& setup,
     host_trap = true;
   }
 
-  finish_run(machine, guest, golden, host_trap, &result);
+  finish_run(machine, guest, golden, host_trap, checker ? &*checker : nullptr, &result);
   return result;
 }
 
@@ -184,7 +213,8 @@ void CampaignRunner::reset_fast_forward_stats() const {
 RunResult CampaignRunner::run_one_fast_forward(
     const WorkloadSetup& setup, const GoldenRun& golden, const InjectionRecord& record,
     Cycle budget, const exec::FastForwardController::BoundaryMap& boundaries,
-    const exec::FastForwardController::SyscallSchedule* schedule) const {
+    const exec::FastForwardController::SyscallSchedule* schedule,
+    const dme::CanonicalTrace* dme_reference) const {
   const auto bump = [](std::atomic<u64>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);
   };
@@ -200,16 +230,16 @@ RunResult CampaignRunner::run_one_fast_forward(
                             record.target == InjectTarget::kDataWord;
   if (record.target != InjectTarget::kRegisterBit && !memory_fault) {
     bump(ff_accum_.fallback_target);
-    return run_one_with_budget(setup, golden, record, budget);
+    return run_one_with_budget(setup, golden, record, budget, dme_reference);
   }
   const auto boundary = boundaries.find(record.inject_cycle);
   if (boundary == boundaries.end()) {
     bump(ff_accum_.fallback_unmapped);
-    return run_one_with_budget(setup, golden, record, budget);
+    return run_one_with_budget(setup, golden, record, budget, dme_reference);
   }
   if (memory_fault && boundary->second.conflicts(record.addr, 4)) {
     bump(ff_accum_.fallback_conflict);
-    return run_one_with_budget(setup, golden, record, budget);
+    return run_one_with_budget(setup, golden, record, budget, dme_reference);
   }
   // An instruction-word fault on an ICM-checked instruction (one preceded
   // by a `chk icm`) stays classic: the ICM compares the fetched word at
@@ -226,7 +256,7 @@ RunResult CampaignRunner::run_one_fast_forward(
       const isa::Instr before = isa::decode(golden.program.text[prev]);
       if (before.op == isa::Op::kChk && before.chk_module == isa::ModuleId::kIcm) {
         bump(ff_accum_.fallback_checked);
-        return run_one_with_budget(setup, golden, record, budget);
+        return run_one_with_budget(setup, golden, record, budget, dme_reference);
       }
     }
   }
@@ -251,9 +281,20 @@ RunResult CampaignRunner::run_one_fast_forward(
       case exec::FastSession::BailReason::kIllegal: bump(ff_accum_.fallback_illegal); break;
       case exec::FastSession::BailReason::kNone: bump(ff_accum_.fallback_other); break;
     }
-    return run_one_with_budget(setup, golden, record, budget);
+    return run_one_with_budget(setup, golden, record, budget, dme_reference);
   }
   ff_accum_.fast.fetch_add(1, std::memory_order_relaxed);
+
+  // The fast prefix committed `position` instructions that the checker never
+  // saw; advance it to the boundary so the suffix compares against the right
+  // reference records.  Valid because the campaign's DME gate requires a
+  // divergence-free fault-free baseline (the skipped prefix matches).
+  std::optional<dme::TraceChecker> checker;
+  if (dme_reference != nullptr) {
+    checker.emplace(dme_reference, dme::RegionMap::of(guest));
+    checker->set_position(boundary->second.position);
+    install_checker(machine, *checker);
+  }
 
   RunResult result;
   result.record = record;
@@ -266,7 +307,7 @@ RunResult CampaignRunner::run_one_fast_forward(
     host_trap = true;
   }
 
-  finish_run(machine, guest, golden, host_trap, &result);
+  finish_run(machine, guest, golden, host_trap, checker ? &*checker : nullptr, &result);
   return result;
 }
 
@@ -393,7 +434,7 @@ RunResult CampaignRunner::run_one_forked(const WorkloadSetup& setup, const Golde
     host_trap = true;
   }
 
-  finish_run(machine, guest, golden, host_trap, &result);
+  finish_run(machine, guest, golden, host_trap, /*checker=*/nullptr, &result);
   return result;
 }
 
@@ -405,6 +446,11 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   if (spec.ci_threshold > 0.0 && spec.shard_count > 1) {
     throw ConfigError("CI refinement is incompatible with sharding: the refined "
                       "run set depends on global outcome counts no shard has");
+  }
+  if (spec.dme && spec.snapshot_fork) {
+    throw ConfigError("DME is incompatible with checkpoint forking: the trace "
+                      "checker streams from commit zero and cannot start "
+                      "mid-trace from a restored snapshot");
   }
   WorkloadSetup setup = make_workload(spec.workload);
   setup.os.static_cfc = spec.static_cfc;
@@ -418,9 +464,41 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
     // enabling the module for the golden and every faulty run.
     setup.host_enables.push_back(isa::ModuleId::kDdt);
   }
+  if (spec.dme) {
+    // Variant A *is* the campaign: layout randomization on, MLR seed pinned
+    // to dme_seed_a.  Mutating the setup before the cache lookup keys the
+    // golden on the randomized layout (GoldenCache::key_of).
+    setup.machine.framework_present = true;
+    setup.machine.mlr.seed = spec.dme_seed_a;
+    setup.os.randomize_layout = true;
+  }
   const std::shared_ptr<const GoldenRun> golden = cache_->get(setup);
   const InjectionPlan plan = plan_for(spec, *golden, setup);
   const Cycle budget = budget_for(*golden, spec.hang_factor);
+
+  // DME reference: record variant B (same program, distinct MLR seed) once,
+  // then establish the fault-free baseline by recording variant A's trace
+  // and comparing.  The baseline lives on a local golden copy — the shared
+  // cache entry stays DME-agnostic.
+  dme::CanonicalTrace reference;
+  GoldenRun golden_local;
+  const GoldenRun* golden_ptr = golden.get();
+  if (spec.dme) {
+    os::OsConfig ref_os = setup.os;
+    ref_os.run_limit = std::min<Cycle>(ref_os.run_limit, budget);
+    dme::VariantSpec variant_b{setup.machine, ref_os, setup.host_enables, spec.dme_seed_b};
+    dme::RecordedTrace recorded_b = dme::record_trace(variant_b, golden->program);
+    reference = std::move(recorded_b.trace);
+
+    dme::VariantSpec variant_a{setup.machine, ref_os, setup.host_enables, spec.dme_seed_a};
+    const dme::RecordedTrace recorded_a = dme::record_trace(variant_a, golden->program);
+    const dme::DmeResult baseline = dme::compare_traces(recorded_a, reference);
+
+    golden_local = *golden;
+    golden_local.dme_divergences = baseline.divergences;
+    golden_local.dme_first_divergence = baseline.first_divergence;
+    golden_ptr = &golden_local;
+  }
 
   // Fast-forward prerequisites: one instrumented cycle-accurate replay maps
   // each register-fault injection cycle to its functional-stream position.
@@ -437,10 +515,14 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
   reset_fast_forward_stats();
   exec::FastForwardController::BoundaryMap boundaries;
   exec::FastForwardController::SyscallSchedule schedule;
+  // A DME baseline divergence (variant B disagrees with fault-free variant A)
+  // also disables fast-forward: the skipped prefix could hide where the
+  // baseline diverges, so set_position would desynchronize the checker.
   const bool golden_baseline_clean =
       golden->icm_mismatches == 0 && golden->cfc_violations == 0 &&
       golden->selfcheck_trips == 0 && golden->os_recoveries == 0 &&
-      golden->ddt_footprint_violations == 0;
+      golden->ddt_footprint_violations == 0 &&
+      (!spec.dme || golden_ptr->dme_divergences == 0);
   const bool use_fast_forward = spec.fast_forward && golden_baseline_clean;
   if (use_fast_forward && !spec.snapshot_fork) {
     std::vector<Cycle> cycles;
@@ -491,12 +573,14 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) {
         if (index >= hi) return;
         const InjectionRecord record = plan.record(index);
         RunResult& slot = results[base + (index - lo)];
+        const dme::CanonicalTrace* dme_ref = spec.dme ? &reference : nullptr;
         if (spec.snapshot_fork) {
-          slot = run_one_forked(setup, *golden, record, budget, chain);
+          slot = run_one_forked(setup, *golden_ptr, record, budget, chain);
         } else if (use_fast_forward) {
-          slot = run_one_fast_forward(setup, *golden, record, budget, boundaries, &schedule);
+          slot = run_one_fast_forward(setup, *golden_ptr, record, budget, boundaries,
+                                      &schedule, dme_ref);
         } else {
-          slot = run_one_with_budget(setup, *golden, record, budget);
+          slot = run_one_with_budget(setup, *golden_ptr, record, budget, dme_ref);
         }
       }
     };

@@ -19,6 +19,7 @@
 #include "campaign/report.hpp"
 #include "exec/fast_forward.hpp"
 #include "os/snapshot.hpp"
+#include "rse/dme.hpp"
 
 namespace rse::campaign {
 
@@ -67,12 +68,18 @@ class CampaignRunner {
   CampaignReport run(const CampaignSpec& spec);
 
   /// Reproduce a single run in isolation (tests, debugging a campaign hit)
-  /// with the default hang budget.
+  /// with the default hang budget.  A non-null `dme_reference` streams the
+  /// run's canonical committed-instruction trace (rse/dme.hpp) against the
+  /// reference variant and fills RunEvidence::dme_divergences; the caller is
+  /// responsible for recording the reference and for a golden whose DME
+  /// baseline fields reflect the fault-free comparison.
   RunResult run_one(const WorkloadSetup& setup, const GoldenRun& golden,
-                    const InjectionRecord& record) const;
+                    const InjectionRecord& record,
+                    const dme::CanonicalTrace* dme_reference = nullptr) const;
 
   RunResult run_one_with_budget(const WorkloadSetup& setup, const GoldenRun& golden,
-                                const InjectionRecord& record, Cycle budget) const;
+                                const InjectionRecord& record, Cycle budget,
+                                const dme::CanonicalTrace* dme_reference = nullptr) const;
 
   /// Fast-forward variant: the fault-free prefix runs through the exec/ fast
   /// engine and is transplanted into the cycle-accurate core at the
@@ -89,7 +96,8 @@ class CampaignRunner {
                                  const InjectionRecord& record, Cycle budget,
                                  const exec::FastForwardController::BoundaryMap& boundaries,
                                  const exec::FastForwardController::SyscallSchedule* schedule =
-                                     nullptr) const;
+                                     nullptr,
+                                 const dme::CanonicalTrace* dme_reference = nullptr) const;
 
   /// Fast-forward fallback accounting for the most recent run() (or the
   /// run_one_fast_forward calls since then).  Not part of any digest.

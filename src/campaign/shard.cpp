@@ -63,6 +63,9 @@ std::string shard_report_text(const CampaignReport& report) {
   os << "fast_forward " << (spec.fast_forward ? 1 : 0) << '\n';
   os << "snapshot_fork " << (spec.snapshot_fork ? 1 : 0) << '\n';
   os << "snapshot_buckets " << spec.snapshot_buckets << '\n';
+  os << "dme " << (spec.dme ? 1 : 0) << '\n';
+  os << "dme_seed_a " << spec.dme_seed_a << '\n';
+  os << "dme_seed_b " << spec.dme_seed_b << '\n';
   os << "shard_index " << spec.shard_index << '\n';
   os << "shard_count " << spec.shard_count << '\n';
   os << "ci_threshold " << fmt_double(spec.ci_threshold) << '\n';
@@ -113,6 +116,9 @@ CampaignReport parse_shard_report(const std::string& text) {
   spec.fast_forward = expect_value<int>(in, "fast_forward") != 0;
   spec.snapshot_fork = expect_value<int>(in, "snapshot_fork") != 0;
   spec.snapshot_buckets = expect_value<u32>(in, "snapshot_buckets");
+  spec.dme = expect_value<int>(in, "dme") != 0;
+  spec.dme_seed_a = expect_value<u64>(in, "dme_seed_a");
+  spec.dme_seed_b = expect_value<u64>(in, "dme_seed_b");
   spec.shard_index = expect_value<u32>(in, "shard_index");
   spec.shard_count = expect_value<u32>(in, "shard_count");
   spec.ci_threshold = expect_value<double>(in, "ci_threshold");
@@ -201,6 +207,7 @@ CampaignReport merge_shard_reports(const std::vector<CampaignReport>& shards) {
         a.hang_factor == b.hang_factor && a.static_cfc == b.static_cfc &&
         a.static_ddt == b.static_ddt && a.footprint_summaries == b.footprint_summaries &&
         a.context_depth == b.context_depth && a.field_sensitive == b.field_sensitive &&
+        a.dme == b.dme && a.dme_seed_a == b.dme_seed_a && a.dme_seed_b == b.dme_seed_b &&
         a.window_lo == b.window_lo && a.window_hi == b.window_hi && a.targets == b.targets &&
         first.golden_cycles == shard.golden_cycles &&
         first.golden_instructions == shard.golden_instructions;

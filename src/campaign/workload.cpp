@@ -214,6 +214,42 @@ WorkloadSetup make_workload(const std::string& name) {
   if (name == "kmeans-large") {
     return base_setup(name, workloads::kmeans_source({}));
   }
+  // Security attack corpus (docs/security.md): guests that attack
+  // themselves, each with a benign twin performing the same writes legally.
+  if (name == "attack-stack") {
+    return base_setup(name, workloads::stack_smash_source({}));
+  }
+  if (name == "benign-stack") {
+    workloads::StackSmashParams params;
+    params.payload_offset = 8;  // unused scratch slot instead of the saved ra
+    return base_setup(name, workloads::stack_smash_source(params));
+  }
+  if (name == "attack-got") {
+    return base_setup(name, workloads::got_overwrite_source({}));
+  }
+  if (name == "benign-got") {
+    workloads::GotOverwriteParams params;
+    params.wild = false;
+    return base_setup(name, workloads::got_overwrite_source(params));
+  }
+  if (name == "attack-heap" || name == "benign-heap") {
+    workloads::HeapSprayParams params;
+    params.wild = name == "attack-heap";
+    WorkloadSetup w = base_setup(name, workloads::heap_spray_source(params));
+    // Small entropy keeps the wild store inside the arena for *every* MLR
+    // seed — the scenario only DME can see (workloads.hpp).
+    w.machine.mlr.entropy_pages = 4;
+    return w;
+  }
+  if (name == "attack-chk") {
+    return base_setup(name, workloads::chk_bypass_source({}));
+  }
+  if (name == "benign-chk") {
+    workloads::ChkBypassParams params;
+    params.bypass = false;
+    params.hostile_patch = false;
+    return base_setup(name, workloads::chk_bypass_source(params));
+  }
   if (name == "server") {
     workloads::ServerParams params;
     params.threads = 4;
@@ -228,7 +264,10 @@ WorkloadSetup make_workload(const std::string& name) {
 }
 
 std::vector<std::string> workload_names() {
-  return {"loop", "calls", "args", "stride", "kmeans", "kmeans-large", "server"};
+  return {"loop",        "calls",      "args",       "stride",      "kmeans",
+          "kmeans-large", "server",     "attack-stack", "benign-stack",
+          "attack-got",   "benign-got", "attack-heap",  "benign-heap",
+          "attack-chk",   "benign-chk"};
 }
 
 }  // namespace rse::campaign

@@ -276,6 +276,9 @@ void Core::stage_commit(Cycle now) {
     }
 
     if (commit_trace_) commit_trace_(now, e.pc, e.instr, thread_);
+    if (commit_record_) {
+      commit_record_(CommitRecord{e.pc, e.raw, e.is_mem, e.is_store, e.eff_addr, e.mem_value});
+    }
     const OpClass cls = e.instr.op_class();
     if (cls == OpClass::kSyscall || e.instr.op == Op::kInvalid) {
       serialize_active_ = false;

@@ -149,6 +149,23 @@ class Core {
                                              ThreadId thread)>;
   void set_commit_trace(CommitTraceHook hook) { commit_trace_ = std::move(hook); }
 
+  /// Richer per-commit record (rse/dme.hpp trace canonicalization): every
+  /// committed instruction in retirement order — syscalls and invalid words
+  /// included — with the raw fetched word and, for memory operations, the
+  /// alignment-masked effective address and memory value (post-sign-extension
+  /// loaded value for loads, unmasked rt for stores).  Like every hook, this
+  /// is excluded from serialize_state (snapshots never capture callbacks).
+  struct CommitRecord {
+    Addr pc = 0;
+    Word raw = 0;
+    bool is_mem = false;
+    bool is_store = false;
+    Addr ea = 0;
+    Word value = 0;
+  };
+  using CommitRecordHook = std::function<void(const CommitRecord&)>;
+  void set_commit_record(CommitRecordHook hook) { commit_record_ = std::move(hook); }
+
   /// Execution-path fault injection: applied to the computed next PC of
   /// every control-flow instruction (pc, next) -> next'.  Models a soft
   /// error in the branch/address unit — the corruption class the CFC module
@@ -321,6 +338,7 @@ class Core {
   FetchFaultHook fetch_fault_;
   BranchFaultHook branch_fault_;
   CommitTraceHook commit_trace_;
+  CommitRecordHook commit_record_;
   Addr text_lo_ = 0;
   Addr text_hi_ = 0;
   CoreStats stats_;

@@ -37,6 +37,7 @@ FastEngine::Stop FastEngine::run_until(u64 target) {
         return Stop::kBoundary;
       }
       const isa::Instr in = block->instrs[i];
+      if (trace_ && in.op != Op::kSyscall && in.op != Op::kInvalid) trace_instr(pc, in);
       Addr next = pc + 4;
       const Word rs = regs_[in.rs];
       const Word rt = regs_[in.rt];
@@ -206,6 +207,65 @@ FastEngine::Stop FastEngine::run_until(u64 target) {
     block = succ;
   }
   return Stop::kBoundary;
+}
+
+void FastEngine::trace_instr(Addr pc, const isa::Instr& in) {
+  // Mirror cpu::Core's commit evidence exactly (the DME differential suite
+  // pins fast-recorded == cycle-recorded): the raw fetched word, the
+  // alignment-masked effective address, the post-sign-extension value for
+  // loads (read *before* execution — loads don't write memory, so pre ==
+  // post), and the unmasked rt for stores.
+  Word raw;
+  std::memcpy(&raw, data_host(pc), 4);
+  const Word rs = regs_[in.rs];
+  const Word rt = regs_[in.rt];
+  bool is_mem = false;
+  bool is_store = false;
+  Addr ea = 0;
+  Word value = 0;
+  switch (in.op) {
+    case Op::kLw: {
+      is_mem = true;
+      ea = (rs + static_cast<Word>(in.imm)) & ~3u;
+      std::memcpy(&value, data_host(ea), 4);
+      break;
+    }
+    case Op::kLh:
+    case Op::kLhu: {
+      is_mem = true;
+      ea = (rs + static_cast<Word>(in.imm)) & ~1u;
+      u16 half;
+      std::memcpy(&half, data_host(ea), 2);
+      value = in.op == Op::kLh ? static_cast<Word>(sign_extend(half, 16)) : half;
+      break;
+    }
+    case Op::kLb:
+    case Op::kLbu: {
+      is_mem = true;
+      ea = rs + static_cast<Word>(in.imm);
+      const u8 byte = *data_host(ea);
+      value = in.op == Op::kLb ? static_cast<Word>(sign_extend(byte, 8)) : byte;
+      break;
+    }
+    case Op::kSw:
+      is_mem = is_store = true;
+      ea = (rs + static_cast<Word>(in.imm)) & ~3u;
+      value = rt;
+      break;
+    case Op::kSh:
+      is_mem = is_store = true;
+      ea = (rs + static_cast<Word>(in.imm)) & ~1u;
+      value = rt;
+      break;
+    case Op::kSb:
+      is_mem = is_store = true;
+      ea = rs + static_cast<Word>(in.imm);
+      value = rt;
+      break;
+    default:
+      break;
+  }
+  trace_(pc, raw, is_mem, is_store, ea, value);
 }
 
 }  // namespace rse::exec

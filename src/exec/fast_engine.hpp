@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "exec/block_cache.hpp"
 #include "isa/instruction.hpp"
@@ -71,7 +72,21 @@ class FastEngine {
   /// `instructions`, so instruction-count comparisons subtract these.
   u64 chks_executed() const { return chks_executed_; }
 
+  /// Per-instruction trace hook (DME reference recording, rse/dme.hpp):
+  /// fired before each instruction executes with the same fields the cycle-
+  /// accurate core's commit-record hook reports — raw fetched word, masked
+  /// effective address, and the memory value (post-sign-extension loaded
+  /// value for loads, unmasked rt for stores).  Syscalls and illegal words
+  /// stop the engine unexecuted and are NOT traced here; FastSession emits
+  /// the record for the syscalls it delegates.  Unset in production runs —
+  /// the inner loop pays one branch.
+  using TraceHook =
+      std::function<void(Addr pc, Word raw, bool is_mem, bool is_store, Addr ea, Word value)>;
+  void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
  private:
+  void trace_instr(Addr pc, const isa::Instr& in);
+
   // One-entry data TLB: guest page -> host pointer.  Pages are stable
   // (mem::MainMemory keeps them behind unique_ptr), so entries stay valid
   // until the translation changes page.
@@ -96,6 +111,8 @@ class FastEngine {
 
   u32 dtlb_page_ = ~0u;
   u8* dtlb_host_ = nullptr;
+
+  TraceHook trace_;
 };
 
 }  // namespace rse::exec

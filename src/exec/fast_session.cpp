@@ -70,8 +70,24 @@ bool FastSession::resume_eligible(u32 number) const {
   return true;
 }
 
+void FastSession::set_instr_trace(FastEngine::TraceHook hook) {
+  trace_ = std::move(hook);
+  engine_.set_trace(trace_);
+}
+
+void FastSession::trace_syscall() {
+  // The engine stopped ON the syscall without executing it; the session
+  // commits it, so the session emits its trace record — at the syscall's own
+  // PC, matching the cycle-accurate core's commit-record hook (which reports
+  // syscalls with no memory evidence).
+  if (!trace_) return;
+  const Addr pc = engine_.pc();
+  trace_(pc, machine_->memory().read_u32(pc), /*is_mem=*/false, /*is_store=*/false, 0, 0);
+}
+
 FastSession::Status FastSession::execute_syscall() {
   cpu::Core& core = machine_->core();
+  trace_syscall();
   // Mirror the core's commit semantics: the PC moves past the syscall at
   // dispatch, then the OS handler runs against the architectural registers.
   engine_.set_pc(engine_.pc() + 4);
@@ -122,6 +138,7 @@ FastSession::Status FastSession::execute_syscall_excursion(u64 target) {
   // commit cycle — which the direct handler call below skips.
   machine_->warp_to(when - 1);
 
+  trace_syscall();
   engine_.set_pc(engine_.pc() + 4);
   for (u8 r = 1; r < isa::kNumRegs; ++r) core.set_reg(r, engine_.reg(r));
   core.set_pc(engine_.pc());

@@ -110,6 +110,14 @@ class FastSession {
   using SyscallProbe = std::function<void(Addr pc, const std::array<Word, isa::kNumRegs>&)>;
   void set_syscall_probe(SyscallProbe probe) { probe_ = std::move(probe); }
 
+  /// Instruction trace hook (DME reference recording): installs the engine's
+  /// per-instruction hook and additionally emits a record for each syscall
+  /// the session delegates or runs as an excursion — at the syscall's own PC,
+  /// before the PC moves past it — so the traced stream is exactly the
+  /// committed-instruction stream the cycle-accurate core's commit-record
+  /// hook reports.  Install before run_until.
+  void set_instr_trace(FastEngine::TraceHook hook);
+
   /// Transplant fast-mode architectural state (regs, pc) into the
   /// cycle-accurate core and warp the machine clock to `target_cycle`.
   /// Memory needs no copy — the engine wrote the machine's MainMemory in
@@ -121,6 +129,7 @@ class FastSession {
  private:
   bool syscall_allowed(u32 number) const;
   bool resume_eligible(u32 number) const;
+  void trace_syscall();
   Status execute_syscall();
   Status execute_syscall_excursion(u64 target);
   Status resume_from_suspension();
@@ -136,6 +145,7 @@ class FastSession {
   bool suspended_ = false;
   BailReason bail_ = BailReason::kNone;
   SyscallProbe probe_;
+  FastEngine::TraceHook trace_;
 };
 
 }  // namespace rse::exec

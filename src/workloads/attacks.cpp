@@ -1,0 +1,227 @@
+// Security attack corpus (docs/security.md).
+//
+// Each generator emits a guest that attacks itself with one corruption or
+// bypass primitive.  Two invariants shape every scenario:
+//
+//   - payload parameters (offsets, target addresses, payload values) are
+//     loaded from .data, never materialized as immediates, so the static
+//     analyzer sees an unresolved store and cannot whitelist or reject the
+//     attack at load time;
+//   - the benign twin performs the same writes through legal channels (its
+//     own frame slot, its own allocation pointer, a bit-identical patch), so
+//     any detector that fires on the twin is a false positive.
+//
+// The "default layout" addresses the wild attacks hardcode are what an
+// attacker reads off an unrandomized build: both pointer-table scenarios pad
+// .data to exactly one page, so the first sbrk returns
+// isa::kDefaultDataBase + 0x1000 whenever layout randomization is off.
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include "isa/program.hpp"
+
+namespace rse::workloads {
+
+namespace {
+
+/// Both table scenarios pad .data to one page so the unrandomized heap base
+/// is a build-time constant the "attacker" can hardcode.
+constexpr u32 kAttackDataBytes = 4096;
+constexpr Addr kDefaultHeapBase = isa::kDefaultDataBase + kAttackDataBytes;
+
+/// Shared epilogue: print marker char `c`, exit with `code`.
+void emit_exit(std::ostringstream& os, int c, int code) {
+  os << "  li a0, " << c << "\n";
+  os << "  li v0, 3\n";
+  os << "  syscall\n";
+  os << "  li a0, " << code << "\n";
+  os << "  li v0, 1\n";
+  os << "  syscall\n";
+}
+
+}  // namespace
+
+std::string stack_smash_source(const StackSmashParams& params) {
+  std::ostringstream os;
+  os << ".data\n";
+  os << "slot: .word " << params.payload_offset << "\n";
+  os << "pval: .word privileged\n";
+  os << "\n.text\n";
+  os << "main:\n";
+  os << "  jal worker\n";
+  emit_exit(os, 'n', 0);  // normal return path
+  os << "\n";
+  // Placed *before* worker: were it the instruction after worker's `jr ra`,
+  // the hijacked return would equal the jump's fallthrough address and the
+  // CFC would accept it without consulting the successor set.
+  os << "privileged:\n";
+  emit_exit(os, '!', 7);
+  os << "\n";
+  os << "worker:\n";
+  os << "  addi sp, sp, -32\n";
+  os << "  sw ra, 28(sp)\n";
+  // A little legal frame traffic so the smash hides among ordinary writes.
+  os << "  li t5, 5\n";
+  os << "  sw t5, 0(sp)\n";
+  os << "  lw t6, 0(sp)\n";
+  os << "  add t6, t6, t5\n";
+  os << "  sw t6, 4(sp)\n";
+  // The payload write: offset and value both come from .data.
+  os << "  la t0, slot\n";
+  os << "  lw t1, 0(t0)\n";
+  os << "  la t2, pval\n";
+  os << "  lw t3, 0(t2)\n";
+  os << "  add t4, sp, t1\n";
+  os << "  sw t3, 0(t4)\n";
+  os << "  lw ra, 28(sp)\n";
+  os << "  addi sp, sp, 32\n";
+  os << "  jr ra\n";
+  return os.str();
+}
+
+std::string got_overwrite_source(const GotOverwriteParams& params) {
+  const Addr entry_off = 4 * params.entry;
+  std::ostringstream os;
+  os << ".data\n";
+  os << "tval: .word privileged\n";
+  if (params.wild) {
+    os << "taddr: .word " << (kDefaultHeapBase + entry_off) << "\n";
+  } else {
+    os << "taddr: .word " << entry_off << "\n";  // table-relative, made legal below
+  }
+  os << "pad: .space " << (kAttackDataBytes - 8) << "\n";
+  os << "\n.text\n";
+  os << "main:\n";
+  os << "  li a0, 4096\n";
+  os << "  li v0, 5\n";
+  os << "  syscall\n";
+  os << "  move s0, v0\n";  // function-pointer table base
+  os << "  la t0, benign_fn\n";
+  os << "  li t1, 0\n";
+  os << "gfill:\n";
+  os << "  sll t2, t1, 2\n";
+  os << "  add t2, t2, s0\n";
+  os << "  sw t0, 0(t2)\n";
+  os << "  addi t1, t1, 1\n";
+  os << "  li t3, 8\n";
+  os << "  blt t1, t3, gfill\n";
+  // The overwrite: wild = absolute store at the default-layout entry
+  // address; benign = the same update through the allocation pointer.
+  os << "  la t4, taddr\n";
+  os << "  lw t4, 0(t4)\n";
+  if (!params.wild) os << "  add t4, t4, s0\n";
+  os << "  la t5, tval\n";
+  os << "  lw t5, 0(t5)\n";
+  os << "  sw t5, 0(t4)\n";
+  // Dispatch through the (possibly re-pointed) entry.
+  os << "  lw t7, " << entry_off << "(s0)\n";
+  os << "  jalr ra, t7\n";
+  emit_exit(os, 'n', 0);
+  os << "\n";
+  os << "benign_fn:\n";
+  os << "  li a0, 98\n";  // 'b'
+  os << "  li v0, 3\n";
+  os << "  syscall\n";
+  os << "  jr ra\n";
+  os << "\n";
+  os << "privileged:\n";
+  emit_exit(os, '!', 7);
+  return os.str();
+}
+
+std::string heap_spray_source(const HeapSprayParams& params) {
+  // Arena: 5 pages, densely initialized.  The wild store targets default
+  // heap base + 4 pages + 64: under entropy_pages = 4 the randomized base
+  // moves by r in [0, 4 pages), so the poison lands (4 pages + 64 - r) into
+  // the arena — always inside it, at a seed-dependent word index.
+  constexpr u32 kArenaBytes = 5 * 4096;
+  constexpr u32 kArenaWords = kArenaBytes / 4;
+  constexpr Addr kWildTarget = kDefaultHeapBase + 4 * 4096 + 64;
+  constexpr u32 kBenignOffset = 320;  // fixed arena-relative slot (word 80)
+  std::ostringstream os;
+  os << ".data\n";
+  os << "ha: .word " << (params.wild ? kWildTarget : kBenignOffset) << "\n";
+  os << "pv: .word 12648430\n";  // 0xC0FFEE poison
+  os << "pad: .space " << (kAttackDataBytes - 8) << "\n";
+  os << "\n.text\n";
+  os << "main:\n";
+  os << "  li a0, " << kArenaBytes << "\n";
+  os << "  li v0, 5\n";
+  os << "  syscall\n";
+  os << "  move s0, v0\n";
+  os << "  li t0, 0\n";
+  os << "hfill:\n";
+  os << "  sll t1, t0, 2\n";
+  os << "  add t1, t1, s0\n";
+  os << "  addi t3, t0, 5\n";
+  os << "  sw t3, 0(t1)\n";
+  os << "  addi t0, t0, 1\n";
+  os << "  li t2, " << kArenaWords << "\n";
+  os << "  blt t0, t2, hfill\n";
+  // The poison store.
+  os << "  la t3, ha\n";
+  os << "  lw t3, 0(t3)\n";
+  if (!params.wild) os << "  add t3, t3, s0\n";
+  os << "  la t4, pv\n";
+  os << "  lw t4, 0(t4)\n";
+  os << "  sw t4, 0(t3)\n";
+  // Checksum the arena and report it.
+  os << "  li t0, 0\n";
+  os << "  li t5, 0\n";
+  os << "hsum:\n";
+  os << "  sll t1, t0, 2\n";
+  os << "  add t1, t1, s0\n";
+  os << "  lw t6, 0(t1)\n";
+  os << "  add t5, t5, t6\n";
+  os << "  addi t0, t0, 1\n";
+  os << "  blt t0, t2, hsum\n";
+  os << "  move a0, t5\n";
+  os << "  li v0, 2\n";
+  os << "  syscall\n";
+  os << "  li a0, 0\n";
+  os << "  li v0, 1\n";
+  os << "  syscall\n";
+  return os.str();
+}
+
+std::string chk_bypass_source(const ChkBypassParams& params) {
+  std::ostringstream os;
+  os << ".data\n";
+  os << "gaddr: .word " << (params.bypass ? "gate_instr" : "gate") << "\n";
+  os << "\n.text\n";
+  os << "main:\n";
+  // Patch the checked gate instruction with the donor's text word.
+  os << "  la t0, " << (params.hostile_patch ? "donor" : "mirror") << "\n";
+  os << "  lw t1, 0(t0)\n";
+  os << "  la t2, gate_instr\n";
+  os << "  sw t1, 0(t2)\n";
+  // Enter through a .data-loaded address: either the gate's CHECK, or one
+  // instruction past it.
+  os << "  la t3, gaddr\n";
+  os << "  lw t4, 0(t3)\n";
+  os << "  jalr ra, t4\n";
+  os << "  move a0, s6\n";
+  os << "  li v0, 2\n";
+  os << "  syscall\n";
+  os << "  li a0, 0\n";
+  os << "  li v0, 1\n";
+  os << "  syscall\n";
+  os << "\n";
+  os << "gate:\n";
+  os << "  chk icm, 0, blk, r0, 0\n";
+  os << "gate_instr:\n";
+  os << "  addi s6, r0, 7\n";
+  os << "  jr ra\n";
+  os << "\n";
+  // Never executed: donor words the patch copies over gate_instr.
+  os << "donor:\n";
+  os << "  addi s6, r0, 666\n";
+  os << "  jr ra\n";
+  os << "mirror:\n";
+  os << "  addi s6, r0, 7\n";
+  os << "  jr ra\n";
+  return os.str();
+}
+
+}  // namespace rse::workloads

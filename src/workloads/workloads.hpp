@@ -73,6 +73,62 @@ std::string trr_software_source(const MlrProgParams& params);
 /// Hardware version: the same task driven by MLR CHECK instructions.
 std::string mlr_rse_source(const MlrProgParams& params);
 
+// ---- security attack corpus (docs/security.md) ----------------------------
+//
+// Guest programs that *attack themselves*: each scenario carries a deliberate
+// memory-corruption or check-bypass primitive whose payload parameters live
+// in .data (so no static analysis can prove them away), plus a benign twin
+// performing the same class of writes legally.  The campaign engine runs them
+// like any workload; docs/security.md tabulates which module detects which
+// scenario (the detect/miss matrix pinned by tests/campaign/attack_matrix).
+
+struct StackSmashParams {
+  /// Frame slot the overflowing write lands on.  28 is the worker's saved-ra
+  /// slot (the attack); 8 is an unused scratch slot (the benign twin).
+  u32 payload_offset = 28;
+};
+/// Stack-smash return-address overwrite: a callee writes a .data-supplied
+/// value (the address of a `privileged` text routine) at a .data-supplied
+/// frame offset, then returns through the saved slot.
+std::string stack_smash_source(const StackSmashParams& params = {});
+
+struct GotOverwriteParams {
+  /// Attack form: one absolute store at the *default-layout* address of the
+  /// table entry (the attacker hardcoded it from an unrandomized build).
+  /// false = benign twin: the same function-pointer update made legally
+  /// through the program's own allocation pointer.
+  bool wild = true;
+  u32 entry = 4;  // targeted function-pointer table entry
+};
+/// GOT/PLT-style function-pointer table overwrite — MLR's own target class.
+std::string got_overwrite_source(const GotOverwriteParams& params = {});
+
+struct HeapSprayParams {
+  /// Attack form: one wild absolute store of a poison word at a
+  /// default-layout arena address.  false = benign twin: the same poison
+  /// store at a fixed arena-relative offset.
+  bool wild = true;
+};
+/// Wild-pointer heap corruption: densely initialize an sbrk arena, land one
+/// poison word in it, then checksum the arena.  Run with a small MLR entropy
+/// (entropy_pages = 4) the wild store lands *somewhere* in the arena for
+/// every seed, at a seed-dependent index — only divergent multi-version
+/// execution (rse/dme.hpp) can see it.
+std::string heap_spray_source(const HeapSprayParams& params = {});
+
+struct ChkBypassParams {
+  /// Jump past the ICM CHECK guarding the gate instruction (the bypass);
+  /// false = call through the CHECK.
+  bool bypass = true;
+  /// Patch the gate with a hostile donor word (prints 666); false = patch
+  /// with a bit-identical word (the benign twin's "same write").
+  bool hostile_patch = true;
+};
+/// CHK-bypass attempt: the guest patches a checked text word, then enters
+/// the gate either through its ICM CHECK (caught) or one instruction past
+/// it (bypassed — the pinned ICM miss).
+std::string chk_bypass_source(const ChkBypassParams& params = {});
+
 // ---- compiler instrumentation pass (CHECK insertion) ----------------------
 struct InstrumentOptions {
   bool check_control = true;  // CHK before every branch/jump (the Table 4 setup)

@@ -16,6 +16,7 @@
 #include "../support/sim_runner.hpp"
 #include "analysis/analyzer.hpp"
 #include "isa/assembler.hpp"
+#include "modules/cfc/cfc.hpp"
 #include "modules/ddt/ddt.hpp"
 
 namespace rse::analysis {
@@ -282,6 +283,87 @@ TEST(FootprintPropertyTest, StaticDdtCleanOnStridedProgramsFieldOnOff) {
   }
   EXPECT_GT(checks, 0u) << "no strided program checked any site";
   EXPECT_LE(field_unknown, dense_unknown);
+}
+
+testing::RandomProgramOptions attack_pattern_options(u64 seed) {
+  testing::RandomProgramOptions options;
+  options.attack_patterns = true;
+  options.with_calls = seed % 2 == 0;
+  return options;
+}
+
+/// Adversarial-shape false-positive freedom (docs/security.md): programs
+/// full of attack-shaped — but legal — writes (framed helpers storing past
+/// their own $sp envelope, jump-table entries re-pointed between
+/// address-taken handlers before indirect dispatch) run clean under
+/// --static-ddt at both context depths.  A violation here would mean the
+/// footprint treats the *shape* of an attack as the attack.
+TEST(FootprintPropertyTest, StaticDdtCleanOnAttackPatternProgramsBothDepths) {
+  u64 checks[2] = {0, 0};
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source =
+        testing::generate_random_program(seed + 4000, attack_pattern_options(seed));
+    const isa::Program program = isa::assemble(source);
+    const AnalysisResult result = analyze(program);
+    ASSERT_FALSE(result.has_errors()) << "seed " << seed << ":\n"
+                                      << to_json(program, result);
+    for (const u32 depth : {0u, 1u}) {
+      os::MachineConfig machine_config;
+      machine_config.framework_present = true;
+      os::OsConfig os_config;
+      os_config.static_ddt = true;
+      os_config.context_depth = depth;
+      testing::SimRunner runner(machine_config, os_config);
+      runner.load_source(source);
+      runner.os().enable_module(isa::ModuleId::kDdt);
+      runner.run();
+      ASSERT_TRUE(runner.os().finished()) << "seed " << seed << " depth " << depth;
+
+      const modules::DdtModule* ddt = runner.machine().ddt();
+      ASSERT_NE(ddt, nullptr);
+      checks[depth] += ddt->stats().footprint_checks;
+      EXPECT_EQ(ddt->stats().footprint_violations, 0u)
+          << "seed " << seed << " depth " << depth
+          << ": attack-shaped legal write tripped the static footprint";
+    }
+  }
+  EXPECT_GT(checks[0], 0u) << "depth 0 checked nothing across the attack suite";
+  EXPECT_GT(checks[1], 0u) << "depth 1 checked nothing across the attack suite";
+}
+
+/// The CFC side of the same property: legally re-pointed jump tables must
+/// pass the static successor check (the clobbered entry still lands on an
+/// address-taken handler — coarse CFI admits it) and the handlers' jr
+/// returns fall back to the text-range check, all with zero violations at
+/// both context depths.
+TEST(FootprintPropertyTest, StaticCfcCleanOnJumpTableClobberProgramsBothDepths) {
+  u64 static_checks = 0, range_checks = 0;
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source =
+        testing::generate_random_program(seed + 4000, attack_pattern_options(seed));
+    for (const u32 depth : {0u, 1u}) {
+      os::MachineConfig machine_config;
+      machine_config.framework_present = true;
+      os::OsConfig os_config;
+      os_config.static_cfc = true;
+      os_config.context_depth = depth;
+      testing::SimRunner runner(machine_config, os_config);
+      runner.load_source(source);
+      runner.os().enable_module(isa::ModuleId::kCfc);
+      runner.run();
+      ASSERT_TRUE(runner.os().finished()) << "seed " << seed << " depth " << depth;
+
+      const modules::CfcModule* cfc = runner.machine().cfc();
+      ASSERT_NE(cfc, nullptr);
+      static_checks += cfc->stats().indirect_static_checks;
+      range_checks += cfc->stats().indirect_range_checks;
+      EXPECT_EQ(cfc->stats().violations, 0u)
+          << "seed " << seed << " depth " << depth
+          << ": legal jump-table re-point tripped the CFC";
+    }
+  }
+  EXPECT_GT(static_checks, 0u) << "no clobbered dispatch was table-checked";
+  EXPECT_GT(range_checks, 0u) << "no handler return hit the range fallback";
 }
 
 /// The harness itself must be reproducible: same seed, same program, same

@@ -25,8 +25,34 @@ void expect_error_free(const std::string& label, const std::string& source) {
 
 TEST(WorkloadLintTest, CampaignWorkloadsLintClean) {
   for (const std::string& name : campaign::workload_names()) {
+    // The CHECK-bypass pair patches its own gate instruction — the one
+    // corpus entry that is *supposed* to lint dirty (see the dedicated
+    // test below); every other workload, attacks included, lints clean.
+    if (name == "attack-chk" || name == "benign-chk") continue;
     expect_error_free("campaign workload '" + name + "'",
                       campaign::make_workload(name).source);
+  }
+}
+
+TEST(WorkloadLintTest, ChkPatchScenariosAreFlaggedByStaticLint) {
+  // The CHECK-bypass scenarios (attack and benign twin alike) rewrite the
+  // gate instruction in place, so the static pass reports the store-to-text
+  // that the dynamic ICM misses when the CHECK itself is bypassed
+  // (docs/security.md).  The donor/mirror blocks are read as data, never
+  // jumped to, so an unreachable-block warning rides along.  Pin both: a
+  // lint-clean chk scenario would mean the attack stopped attacking.
+  for (const char* name : {"attack-chk", "benign-chk"}) {
+    const isa::Program program = isa::assemble(campaign::make_workload(name).source);
+    const AnalysisResult result = analyze(program);
+    EXPECT_EQ(result.count(Severity::kError), 1u) << name;
+    bool store_to_text = false;
+    bool unreachable = false;
+    for (const Diagnostic& d : result.diagnostics) {
+      if (d.code == DiagCode::kStoreToText) store_to_text = true;
+      if (d.code == DiagCode::kUnreachableBlock) unreachable = true;
+    }
+    EXPECT_TRUE(store_to_text) << name << ": the gate patch must be flagged";
+    EXPECT_TRUE(unreachable) << name << ": donor/mirror are data, not flow targets";
   }
 }
 

@@ -108,15 +108,35 @@ TEST(Outcome, EveryOutcomeHasAName) {
   }
 }
 
-TEST(Outcome, DetectedPredicateCoversExactlyTheFourDetectors) {
+TEST(Outcome, DetectedPredicateCoversExactlyTheFiveDetectors) {
   u32 detected = 0;
   for (unsigned o = 0; o < kNumOutcomes; ++o) {
     if (is_detected(static_cast<Outcome>(o))) ++detected;
   }
-  EXPECT_EQ(detected, 4u);
+  EXPECT_EQ(detected, 5u);
+  EXPECT_TRUE(is_detected(Outcome::kDetectedDme));
   EXPECT_FALSE(is_detected(Outcome::kMasked));
   EXPECT_FALSE(is_detected(Outcome::kSdc));
   EXPECT_FALSE(is_detected(Outcome::kHang));
+}
+
+TEST(Outcome, DmeDivergenceClassifiesAsDetectedDme) {
+  // A run whose canonical trace diverged where the golden baseline did not.
+  RunEvidence e;
+  e.finished = true;
+  e.output = "42";
+  e.dme_divergences = 1;
+  e.dme_first_divergence = 7;
+  EXPECT_EQ(classify(e, golden()), Outcome::kDetectedDme);
+  // An *earlier* divergence than a divergent baseline is still a detection
+  // (the fault moved the first mismatch forward); a divergence at the same
+  // position as the baseline's is the attack itself, not the fault.
+  GoldenRun g = golden();
+  g.dme_divergences = 1;
+  g.dme_first_divergence = 7;
+  EXPECT_NE(classify(e, g), Outcome::kDetectedDme);
+  e.dme_first_divergence = 3;
+  EXPECT_EQ(classify(e, g), Outcome::kDetectedDme);
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// Differential property harness for divergent multi-version execution
+// (rse/dme.hpp, docs/security.md): two variants of the same guest under
+// distinct MLR layout seeds must produce identical *canonical* traces on
+// every fault-free run — across random program shapes, seed pairs, and both
+// execution engines — while any corruption of a committed record must
+// surface as a divergence.  False divergences would poison every --dme
+// campaign's baseline; missed corruptions would erase the detector.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../support/random_program.hpp"
+#include "campaign/runner.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "rse/dme.hpp"
+
+namespace rse::dme {
+namespace {
+
+constexpr u64 kPrograms = 60;  // ≥ 50 program/seed-pair runs (ISSUE 10)
+
+testing::RandomProgramOptions options_for(u64 seed) {
+  testing::RandomProgramOptions options;
+  options.with_calls = seed % 2 == 0;
+  options.print_progress = seed % 3 == 0;
+  options.attack_patterns = seed % 4 == 0;  // legal attack-shaped traffic
+  return options;
+}
+
+RecordedTrace record(const isa::Program& program, u64 mlr_seed, bool prefer_fast) {
+  os::MachineConfig machine_config;
+  os::OsConfig os_config;
+  const VariantSpec spec{machine_config, os_config, {}, mlr_seed};
+  return record_trace(spec, program, kDefaultMaxRecords, prefer_fast);
+}
+
+/// Zero false divergences on fault-free runs: for every random program the
+/// two MLR variants — one recorded through the fast-path engine, one
+/// through the cycle-accurate core — compare canonically equal, and both
+/// finish with the same architectural result.
+TEST(DmeProperty, FaultFreeRandomProgramsNeverDiverge) {
+  u64 records_total = 0;
+  for (u64 seed = 1; seed <= kPrograms; ++seed) {
+    const std::string source = testing::generate_random_program(seed, options_for(seed));
+    const isa::Program program = isa::assemble(source);
+    const RecordedTrace reference = record(program, /*mlr_seed=*/2 * seed + 1,
+                                           /*prefer_fast=*/true);
+    const RecordedTrace run = record(program, /*mlr_seed=*/2 * seed + 2,
+                                     /*prefer_fast=*/false);
+    ASSERT_TRUE(reference.finished) << "seed " << seed;
+    ASSERT_TRUE(run.finished) << "seed " << seed;
+    EXPECT_EQ(run.output, reference.output) << "seed " << seed;
+    EXPECT_EQ(run.exit_code, reference.exit_code) << "seed " << seed;
+
+    const DmeResult verdict = compare_traces(run, reference.trace);
+    EXPECT_EQ(verdict.divergences, 0u)
+        << "seed " << seed << ": false divergence at canonical record "
+        << verdict.first_divergence << " (of " << run.trace.records.size() << ")";
+    EXPECT_EQ(run.trace.records.size(), reference.trace.records.size()) << "seed " << seed;
+    records_total += run.trace.records.size();
+  }
+  EXPECT_GT(records_total, 0u);
+}
+
+/// Engine parity: the same variant (same seed) recorded fast and
+/// cycle-accurately yields canonically identical traces — the DME is a
+/// valid second consumer of the fast-path engine.
+TEST(DmeProperty, FastAndCycleAccurateRecordingsAgree) {
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    const std::string source = testing::generate_random_program(seed, options_for(seed));
+    const isa::Program program = isa::assemble(source);
+    const RecordedTrace fast = record(program, /*mlr_seed=*/seed, /*prefer_fast=*/true);
+    const RecordedTrace slow = record(program, /*mlr_seed=*/seed, /*prefer_fast=*/false);
+    ASSERT_TRUE(fast.finished && slow.finished) << "seed " << seed;
+    EXPECT_EQ(slow.output, fast.output) << "seed " << seed;
+    const DmeResult verdict = compare_traces(slow, fast.trace);
+    EXPECT_EQ(verdict.divergences, 0u)
+        << "seed " << seed << ": engines disagree at record " << verdict.first_divergence;
+    EXPECT_EQ(slow.trace.records.size(), fast.trace.records.size()) << "seed " << seed;
+  }
+}
+
+/// Sensitivity: corrupting any single committed record — the trace-level
+/// image of a register or data-word fault at that commit — must flip the
+/// comparison to a divergence at exactly that record.  Exercises every
+/// field the checker matches on (pc, raw word, memory ea, value).
+TEST(DmeProperty, CorruptedRecordsAlwaysDiverge) {
+  Xorshift64 rng(0xD1FF);
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    const std::string source = testing::generate_random_program(seed, options_for(seed));
+    const isa::Program program = isa::assemble(source);
+    const RecordedTrace reference = record(program, /*mlr_seed=*/seed, /*prefer_fast=*/true);
+    const RecordedTrace run = record(program, /*mlr_seed=*/seed + 100, /*prefer_fast=*/true);
+    ASSERT_EQ(compare_traces(run, reference.trace).divergences, 0u) << "seed " << seed;
+    ASSERT_FALSE(reference.trace.records.empty());
+
+    for (int trial = 0; trial < 4; ++trial) {
+      CanonicalTrace mutated = reference.trace;
+      const u64 index = rng.next_below(mutated.records.size());
+      TraceRecord& victim = mutated.records[index];
+      switch (trial) {
+        case 0:
+          victim.pc ^= 0x4;  // control-flow fault: wrong committed pc
+          break;
+        case 1:
+          victim.raw ^= 1u << rng.next_below(32);  // instruction-word fault
+          break;
+        case 2:
+          // Value fault: both the raw and canonical views change (a real
+          // corrupted commit changes the value wherever it is rebased to).
+          // Values are canonical identity only on memory records — a non-mem
+          // record is already fully pinned by its pc + raw word.
+          if ((victim.flags & kFlagMem) == 0) continue;
+          victim.value ^= 0x80001;
+          victim.value_canon ^= 0x80001;
+          break;
+        case 3:
+          if ((victim.flags & kFlagMem) == 0) continue;  // ea only on mem records
+          victim.ea ^= 0x40;
+          victim.ea_canon ^= 0x40;
+          break;
+      }
+      const DmeResult verdict = compare_traces(run, mutated);
+      EXPECT_EQ(verdict.divergences, 1u)
+          << "seed " << seed << " trial " << trial << ": corrupted record " << index
+          << " went unnoticed";
+      EXPECT_EQ(verdict.first_divergence, index)
+          << "seed " << seed << " trial " << trial << ": divergence not at the fault";
+    }
+  }
+}
+
+/// A truncated reference (run limit hit while recording) must never flag a
+/// divergence for records past its end — the comparison is inconclusive,
+/// not divergent — while a *finished* reference that simply ends earlier
+/// than the run is a divergence at the boundary.
+TEST(DmeProperty, TruncatedReferenceIsInconclusiveNotDivergent) {
+  const std::string source = testing::generate_random_program(3, options_for(3));
+  const isa::Program program = isa::assemble(source);
+  const RecordedTrace reference = record(program, 5, /*prefer_fast=*/true);
+  const RecordedTrace run = record(program, 6, /*prefer_fast=*/true);
+  ASSERT_GT(reference.trace.records.size(), 8u);
+
+  CanonicalTrace cut = reference.trace;
+  cut.records.resize(cut.records.size() / 2);
+  cut.truncated = true;
+  EXPECT_EQ(compare_traces(run, cut).divergences, 0u)
+      << "records past a truncated reference are not evidence of divergence";
+
+  cut.truncated = false;  // same prefix, but claiming the program ended there
+  const DmeResult verdict = compare_traces(run, cut);
+  EXPECT_EQ(verdict.divergences, 1u);
+  EXPECT_EQ(verdict.first_divergence, cut.records.size());
+}
+
+/// End-to-end flip property on campaign workloads: with --dme layered onto
+/// fault-injection campaigns, every injected fault is masked, detected by a
+/// module, a crash/hang — or caught by the trace diff.  Silent data
+/// corruption is impossible by construction: a wrong final output requires
+/// a wrong committed value, and a wrong committed value IS a canonical
+/// divergence.
+TEST(DmeProperty, InjectedFaultsFlipToDivergenceOrModuleDetection) {
+  campaign::CampaignRunner runner;
+  u32 dme_detections = 0;
+  for (const char* workload : {"loop", "calls"}) {
+    campaign::CampaignSpec spec;
+    spec.workload = workload;
+    spec.runs = 48;
+    spec.seed = 11;
+    spec.jobs = 2;
+    spec.dme = true;
+    const campaign::CampaignReport report = runner.run(spec);
+    EXPECT_EQ(report.by_outcome[static_cast<unsigned>(campaign::Outcome::kSdc)], 0u)
+        << workload << ": a fault corrupted the output without any detection";
+    dme_detections +=
+        report.by_outcome[static_cast<unsigned>(campaign::Outcome::kDetectedDme)];
+  }
+  EXPECT_GT(dme_detections, 0u) << "no fault was caught by the trace diff alone";
+}
+
+}  // namespace
+}  // namespace rse::dme

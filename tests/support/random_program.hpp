@@ -53,6 +53,15 @@ struct RandomProgramOptions {
   /// exercise bail-and-resume: a resumable session must execute the yield as
   /// a cycle-accurate excursion and continue fast afterwards.
   bool yield_points = false;
+  /// Attack-shaped traffic for the security suites (docs/security.md):
+  /// framed helpers that store far past their own $sp envelope (deep
+  /// out-of-frame writes into caller stack territory, the stack-smash write
+  /// shape) and an in-memory jump table whose entries are re-pointed between
+  /// address-taken handlers before each indirect dispatch (the GOT-clobber
+  /// write shape).  Everything stays semantically legal, so the static
+  /// DDT/CFC modes must stay violation-free on these programs at every
+  /// context depth — the adversarial-shape false-positive property.
+  bool attack_patterns = false;
   /// Emit self-modifying text patches: a block copies a donor instruction
   /// word over a later patch site, then crosses a serializing syscall plus a
   /// padding run longer than the core's fetch buffer before executing the
@@ -81,8 +90,18 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     // step times three steps) plus the recursive writer's slots.
     s << "smatrix: .space 40960\n";
   }
+  if (options.attack_patterns) s << "jtab: .space 32\n";
   s << ".text\nmain:\n  la s0, arena\n";
   if (options.call_heavy) s << "  la t8, arena\n";
+  if (options.attack_patterns) {
+    // Seed the jump table: every entry starts on a handler (address-taken,
+    // so coarse CFI admits any later re-pointing among them).
+    s << "  la t9, jtab\n";
+    for (u32 e = 0; e < 8; ++e) {
+      s << "  la v0, jthandler_" << e % 3 << "\n";
+      s << "  sw v0, " << e * 4 << "(t9)\n";
+    }
+  }
   for (const std::string& r : regs) {
     s << "  li " << r << ", " << static_cast<i64>(rng.next_in(-40000, 40000)) << "\n";
   }
@@ -123,6 +142,7 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
   u32 patch_count = 0;
   bool argfill_used[4] = {false, false, false, false};
   bool stwalk_used = false, recwr_used = false;
+  bool oobfw_used = false, jtab_used = false;
   for (u32 block = 0; block < options.blocks; ++block) {
     s << "block_" << block << ":\n";
     if (options.print_progress && rng.next_below(3) == 0) {
@@ -211,6 +231,25 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
       s << "  li a1, " << 1 + rng.next_below(4) << "\n";
       s << "  jal recwr\n";
       recwr_used = true;
+    }
+    if (options.attack_patterns && rng.next_below(2) == 0) {
+      if (rng.next_below(2) == 0) {
+        // Out-of-frame write shape: a framed helper stores deep below its
+        // own $sp envelope and one word above its frame's top (caller stack
+        // territory nothing ever reads back).
+        s << "  jal oobfw\n";
+        oobfw_used = true;
+      } else {
+        // Jump-table clobber shape: re-point a table entry at another
+        // address-taken handler, then dispatch through the clobbered slot.
+        const u32 e = rng.next_below(8);
+        s << "  la t9, jtab\n";
+        s << "  la v0, jthandler_" << rng.next_below(3) << "\n";
+        s << "  sw v0, " << e * 4 << "(t9)\n";
+        s << "  lw v1, " << e * 4 << "(t9)\n";
+        s << "  jalr ra, v1\n";
+        jtab_used = true;
+      }
     }
     if (options.arg_pointers && rng.next_below(2) == 0) {
       const u32 k = rng.next_below(4);        // pointer register a0..a3
@@ -306,6 +345,29 @@ inline std::string generate_random_program(u64 seed, const RandomProgramOptions&
     s << "  addi a0, a0, 4\n  addi a1, a1, -1\n  jal recwr\n";
     s << "recwr_done:\n";
     s << "  lw a1, 0(sp)\n  lw ra, 4(sp)\n  addi sp, sp, 8\n  jr ra\n";
+  }
+  if (oobfw_used) {
+    // Framed helper writing past its own envelope in both directions: four
+    // pages below its sp (deep stack territory) and one word above its
+    // 16-byte frame.  Both stores are machine-legal and dead — the property
+    // suites pin that the static modes neither crash nor false-positive on
+    // this write shape.
+    s << "oobfw:\n";
+    s << "  addi sp, sp, -16\n  sw ra, 12(sp)\n";
+    s << "  sw v1, -16384(sp)\n";
+    s << "  lw v0, -16384(sp)\n";
+    s << "  sw v0, 16(sp)\n";
+    s << "  lw ra, 12(sp)\n  addi sp, sp, 16\n  jr ra\n";
+  }
+  if (jtab_used || options.attack_patterns) {
+    // Jump-table handlers: reached only through jalr (never jal), so their
+    // returns fall back to the CFC's text-range check.  Each nudges one
+    // working register deterministically.
+    for (int h = 0; h < 3; ++h) {
+      s << "jthandler_" << h << ":\n";
+      s << "  addi s" << h + 1 << ", s" << h + 1 << ", " << 7 * h + 3 << "\n";
+      s << "  jr ra\n";
+    }
   }
   if (options.arg_pointers) {
     // argfill_<k> walks a<k+1>-many words through the buffer base received

@@ -26,6 +26,12 @@
 //                           forks from the latest snapshot before its
 //                           injection cycle (identical digest)
 //     --snapshot-buckets n  snapshot-chain bucket count               (8)
+//     --dme                 divergent multi-version execution: the campaign
+//                           runs layout-randomized under MLR seed A and every
+//                           run's canonical trace is diffed against a
+//                           fault-free reference variant under seed B; adds
+//                           the detected_dme outcome (docs/security.md)
+//     --dme-seeds A:B       the two MLR seeds (default 1:2; implies --dme)
 //     --shard i/N           execute plan range i of N (multi-process
 //                           scale-out; write the partial report with
 //                           --shard-out, fold with --merge)
@@ -59,7 +65,8 @@ int usage() {
             << "  [--targets reg,instr,data,config] [--hang-factor F] [--static-cfc]\n"
             << "  [--static-ddt] [--flat-footprint] [--context-depth N] [--field-sensitive]\n"
             << "  [--no-field-sensitive] [--fast-forward] [--snapshot-fork]\n"
-            << "  [--snapshot-buckets N] [--shard I/N] [--shard-out PATH] [--window LO:HI]\n"
+            << "  [--snapshot-buckets N] [--dme] [--dme-seeds A:B] [--shard I/N]\n"
+            << "  [--shard-out PATH] [--window LO:HI]\n"
             << "  [--ci-threshold F] [--ci-batch N] [--ci-max-runs N]\n"
             << "  [--runs-csv PATH] [--json PATH|-] [--describe INDEX] [--digest]\n"
             << "  | rse_campaign --merge SHARD-FILE... [--runs-csv PATH] [--json PATH|-]\n"
@@ -129,6 +136,18 @@ int main(int argc, char** argv) {
       spec.snapshot_fork = true;
     } else if (arg == "--snapshot-buckets") {
       spec.snapshot_buckets = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--dme") {
+      spec.dme = true;
+    } else if (arg == "--dme-seeds") {
+      const std::string v = value();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--dme-seeds expects A:B\n";
+        return usage();
+      }
+      spec.dme = true;
+      spec.dme_seed_a = std::stoull(v.substr(0, colon));
+      spec.dme_seed_b = std::stoull(v.substr(colon + 1));
     } else if (arg == "--shard") {
       const std::string v = value();
       const auto slash = v.find('/');

@@ -29,6 +29,13 @@
 //                           field-sensitive footprint (default 2)
 //     --static-ddt          hand the DDT the static data-flow page footprint
 //                           at load and hand it to the CFC (implies --cfc)
+//     --dme                 divergent multi-version execution: run the program
+//                           twice under distinct MLR layout-randomization
+//                           seeds, canonicalize both committed-instruction
+//                           traces (rse/dme.hpp), and report whether they
+//                           converge; prints variant A's output followed by a
+//                           `dme:` summary line (docs/security.md)
+//     --dme-seeds A:B       the two MLR seeds (default 1:2; implies --dme)
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -41,6 +48,7 @@
 #include "isa/assembler.hpp"
 #include "os/guest_os.hpp"
 #include "os/machine.hpp"
+#include "rse/dme.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace rse;
@@ -52,7 +60,8 @@ int usage() {
             << "  [--instrument] [--randomize] [--rerand N] [--limit N] [--fast]\n"
             << "  [--requests N] [--io N] [--stats] [--trace N] [--lint] [--static-cfc]\n"
             << "  [--static-ddt] [--flat-footprint] [--context-depth N]\n"
-            << "  [--field-sensitive] [--no-field-sensitive] [--sp-depth N]\n";
+            << "  [--field-sensitive] [--no-field-sensitive] [--sp-depth N]\n"
+            << "  [--dme] [--dme-seeds A:B]\n";
   return 2;
 }
 
@@ -128,6 +137,8 @@ int main(int argc, char** argv) {
   bool enable_cfc = false;
   bool lint = false;
   bool fast = false;
+  bool dme = false;
+  u64 dme_seed_a = 1, dme_seed_b = 2;
   u32 requests = 0;
   Cycle io_latency = 0;
 
@@ -152,6 +163,18 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace = next_u64(0);
     else if (arg == "--lint") lint = true;
     else if (arg == "--fast") fast = true;
+    else if (arg == "--dme") dme = true;
+    else if (arg == "--dme-seeds") {
+      const std::string v = i + 1 < argc ? argv[++i] : "";
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--dme-seeds expects A:B\n";
+        return usage();
+      }
+      dme = true;
+      dme_seed_a = std::stoull(v.substr(0, colon));
+      dme_seed_b = std::stoull(v.substr(colon + 1));
+    }
     else if (arg == "--flat-footprint") os_config.footprint_summaries = false;
     else if (arg == "--context-depth") os_config.context_depth = static_cast<u32>(next_u64(os_config.context_depth));
     else if (arg == "--field-sensitive") os_config.field_sensitive = true;
@@ -195,6 +218,39 @@ int main(int argc, char** argv) {
                   << " lint error(s)\n";
         return 1;
       }
+    }
+    if (dme) {
+      // Record both variants fault-free under distinct MLR seeds and diff
+      // the canonical traces.  Variant B goes through the fast-path engine,
+      // variant A through the cycle-accurate core, so convergence here also
+      // exercises trace parity across both execution engines.
+      machine_config.framework_present = true;
+      const isa::Program program = isa::assemble(source);
+      std::vector<isa::ModuleId> enables;
+      if (enable_icm) enables.push_back(isa::ModuleId::kIcm);
+      if (enable_mlr) enables.push_back(isa::ModuleId::kMlr);
+      if (enable_ddt) enables.push_back(isa::ModuleId::kDdt);
+      if (enable_ahbm) enables.push_back(isa::ModuleId::kAhbm);
+      if (enable_cfc) enables.push_back(isa::ModuleId::kCfc);
+      dme::VariantSpec variant_b{machine_config, os_config, enables, dme_seed_b};
+      const dme::RecordedTrace ref = dme::record_trace(variant_b, program);
+      dme::VariantSpec variant_a{machine_config, os_config, enables, dme_seed_a};
+      const dme::RecordedTrace run = dme::record_trace(variant_a, program,
+                                                       dme::kDefaultMaxRecords,
+                                                       /*prefer_fast=*/false);
+      const dme::DmeResult verdict = dme::compare_traces(run, ref.trace);
+      std::cout << run.output;
+      if (verdict.divergences == 0) {
+        std::cout << "dme: convergent (" << run.trace.records.size() << " canonical records, "
+                  << "seeds " << dme_seed_a << ":" << dme_seed_b << ")\n";
+      } else {
+        std::cout << "dme: DIVERGENCE at record " << verdict.first_divergence << " (seeds "
+                  << dme_seed_a << ":" << dme_seed_b << ")\n";
+      }
+      if (!run.finished) {
+        std::cerr << "rse_run: run limit reached before the program finished\n";
+      }
+      return run.exit_code;
     }
     os::Machine machine(machine_config);
     os::GuestOs guest(machine, os_config);
